@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 2 reproduction: cumulative distribution of microservices shared
+ * by a different number of online services, from the synthetic
+ * Alibaba-like trace population (the paper uses the production traces:
+ * 20000+ microservices, 1000+ services, ~40% of microservices shared by
+ * more than 100 services).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workload/synth_trace.hpp"
+
+using namespace erms;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 2 — microservice sharing CDF "
+                           "(synthetic Alibaba-like traces)");
+
+    // Scale note: production dependency graphs average hundreds of
+    // microservices ("a service can consist of 1000+ microservices",
+    // §1), which is what lets 40% of 20000+ microservices be shared by
+    // >100 of ~1000 services. Our population keeps the paper's service
+    // count but draws ~16x smaller graphs, so sharing *degrees* scale
+    // down by the same factor: the paper's ">100 services" anchor maps
+    // to ">6 services" here, with the same heavy-tailed CDF shape.
+    SynthTraceConfig config;
+    config.microserviceCount = 3000;
+    config.serviceCount = 1000;
+    config.minGraphSize = 10;
+    config.maxGraphSize = 90;
+    config.popularitySkew = 0.05;
+    config.seed = 7;
+    const SynthTrace trace = makeSynthTrace(config);
+
+    const auto degrees = trace.sharingDegrees();
+    SampleSet set;
+    for (int degree : degrees)
+        set.add(static_cast<double>(degree));
+
+    std::cout << "population: " << config.serviceCount << " services, "
+              << config.microserviceCount << " microservices ("
+              << degrees.size() << " used by at least one service)\n\n";
+
+    TextTable table({"shared by > N services", "fraction of microservices"});
+    for (double threshold : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                             500.0}) {
+        table.row()
+            .cell(static_cast<long>(threshold))
+            .cell(set.fractionAbove(threshold), 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper's anchor: ~40% of microservices shared by >100 "
+                 "of 1000+ services at\nproduction graph sizes; scale-"
+                 "equivalent here (~16x smaller graphs): "
+              << set.fractionAbove(6.0) * 100.0
+              << "%\nshared by >6 of 1000 services\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 4 reproduction: latency targets and normalized resource usage for
+ * the two-microservice chain U -> P (userTimeline -> postStorage) under
+ * Erms, GrandSLAm and Rhythm, in a light-workload and a heavy-workload
+ * setting. The shape to reproduce: Erms assigns U (the workload-
+ * sensitive microservice) a clearly higher latency target and its
+ * targets shift with the workload, while the baselines' mean-derived
+ * split is workload-independent and under-serves U, costing containers.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace erms;
+using namespace erms::bench;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 4 — latency targets on the U -> P chain "
+                           "(SLA 150 ms)");
+
+    MicroserviceCatalog catalog;
+    const Application app = makeMotivationChain(catalog, 0);
+    const Interference itf{0.30, 0.30};
+    const auto idU = catalog.findByName("mot-user-timeline");
+    const auto idP = catalog.findByName("mot-post-storage");
+
+    BaselineContext context;
+    context.catalog = &catalog;
+    context.interference = itf;
+
+    struct Row
+    {
+        std::string scheme;
+        double tU, tP;
+        int containers;
+    };
+
+    for (const auto &[label, workload] :
+         std::vector<std::pair<std::string, double>>{
+             {"light workload (4k req/min)", 4000.0},
+             {"heavy workload (40k req/min)", 40000.0}}) {
+        const auto services = makeServices(app, 150.0, workload);
+        std::vector<Row> rows;
+
+        ErmsController controller(catalog, {});
+        const GlobalPlan erms = controller.plan(services, itf);
+        GrandSlamAllocator grandslam;
+        RhythmAllocator rhythm;
+        const GlobalPlan gs = grandslam.allocate(services, context);
+        const GlobalPlan rh = rhythm.allocate(services, context);
+
+        for (const auto &[name, plan] :
+             std::vector<std::pair<std::string, const GlobalPlan *>>{
+                 {"Erms", &erms}, {"GrandSLAm", &gs}, {"Rhythm", &rh}}) {
+            Row row;
+            row.scheme = name;
+            const auto &alloc = plan->services.front().perMicroservice;
+            row.tU = alloc.at(idU).latencyTargetMs;
+            row.tP = alloc.at(idP).latencyTargetMs;
+            row.containers = plan->totalContainers;
+            rows.push_back(row);
+        }
+
+        printBanner(std::cout, "(a) computed latency targets — " + label);
+        TextTable targets({"scheme", "target U (ms)", "target P (ms)",
+                           "containers"});
+        for (const Row &row : rows) {
+            targets.row()
+                .cell(row.scheme)
+                .cell(row.tU, 1)
+                .cell(row.tP, 1)
+                .cell(row.containers);
+        }
+        targets.print(std::cout);
+
+        printBanner(std::cout,
+                    "(b) resource usage normalized to Erms — " + label);
+        TextTable usage({"scheme", "normalized containers"});
+        const double erms_containers =
+            static_cast<double>(rows.front().containers);
+        for (const Row &row : rows) {
+            usage.row().cell(row.scheme).cell(
+                static_cast<double>(row.containers) / erms_containers, 2);
+        }
+        usage.print(std::cout);
+    }
+
+    std::cout << "\npaper's anchor: the same scaling saves up to 58% "
+                 "(heavy) / 6x (light) containers\nwhile baselines give U "
+                 "a lower target than optimal.\n";
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fig. 11 reproduction: containers allocated under static workloads.
+ *  (a) distribution of total containers across all (workload, SLA)
+ *      settings per scheme — the paper's CDF, reported as quantiles;
+ *  (b) average containers by workload level and by SLA level.
+ * Schemes: Erms, Firm, GrandSLAm, Rhythm on the profiled Hotel
+ * Reservation application. Shapes to reproduce: Erms needs the fewest
+ * containers everywhere; the gap grows with workload and at low SLAs;
+ * Firm has the longest tail.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace erms;
+using namespace erms::bench;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 11 — containers allocated with static "
+                           "workloads (hotel-reservation, profiled)");
+
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    profileApplication(catalog, app);
+    const Interference itf{0.30, 0.25};
+
+    BaselineContext context;
+    context.catalog = &catalog;
+    context.interference = itf;
+
+    ErmsController erms(catalog, {});
+    FirmAllocator firm(0.0, 1);
+    GrandSlamAllocator grandslam;
+    RhythmAllocator rhythm;
+
+    const std::vector<double> workloads{4000, 8000, 14000, 20000, 28000};
+    const std::vector<double> slas{150, 160, 175, 190};
+
+    struct SchemeStats
+    {
+        std::string name;
+        SampleSet containers;
+        std::unordered_map<double, StreamingStats> byWorkload;
+        std::unordered_map<double, StreamingStats> bySla;
+    };
+    std::vector<SchemeStats> schemes(4);
+    schemes[0].name = "Erms";
+    schemes[1].name = "Firm";
+    schemes[2].name = "GrandSLAm";
+    schemes[3].name = "Rhythm";
+
+    for (double workload : workloads) {
+        for (double sla : slas) {
+            const auto services = makeServices(app, sla, workload);
+            const GlobalPlan plans[4] = {
+                erms.plan(services, itf),
+                firm.allocate(services, context),
+                grandslam.allocate(services, context),
+                rhythm.allocate(services, context),
+            };
+            for (int k = 0; k < 4; ++k) {
+                const double total =
+                    static_cast<double>(plans[k].totalContainers);
+                schemes[k].containers.add(total);
+                schemes[k].byWorkload[workload].add(total);
+                schemes[k].bySla[sla].add(total);
+            }
+        }
+    }
+
+    printBanner(std::cout, "(a) distribution over all settings "
+                           "(container-count quantiles)");
+    TextTable dist({"scheme", "P20", "P50", "P80", "max", "mean"});
+    for (const SchemeStats &s : schemes) {
+        dist.row()
+            .cell(s.name)
+            .cell(s.containers.quantile(0.2), 0)
+            .cell(s.containers.quantile(0.5), 0)
+            .cell(s.containers.quantile(0.8), 0)
+            .cell(s.containers.max(), 0)
+            .cell(s.containers.mean(), 1);
+    }
+    dist.print(std::cout);
+
+    printBanner(std::cout, "(b) average containers by workload "
+                           "(requests/min/service)");
+    {
+        TextTable table({"workload", "Erms", "Firm", "GrandSLAm", "Rhythm",
+                         "Erms saving vs best baseline"});
+        for (double workload : workloads) {
+            double values[4];
+            for (int k = 0; k < 4; ++k)
+                values[k] = schemes[k].byWorkload.at(workload).mean();
+            const double best_baseline =
+                std::min({values[1], values[2], values[3]});
+            table.row()
+                .cell(workload, 0)
+                .cell(values[0], 1)
+                .cell(values[1], 1)
+                .cell(values[2], 1)
+                .cell(values[3], 1)
+                .cell(1.0 - values[0] / best_baseline, 2);
+        }
+        table.print(std::cout);
+    }
+
+    printBanner(std::cout, "(b) average containers by SLA (ms)");
+    {
+        TextTable table({"SLA", "Erms", "Firm", "GrandSLAm", "Rhythm",
+                         "Erms saving vs best baseline"});
+        for (double sla : slas) {
+            double values[4];
+            for (int k = 0; k < 4; ++k)
+                values[k] = schemes[k].bySla.at(sla).mean();
+            const double best_baseline =
+                std::min({values[1], values[2], values[3]});
+            table.row()
+                .cell(sla, 0)
+                .cell(values[0], 1)
+                .cell(values[1], 1)
+                .cell(values[2], 1)
+                .cell(values[3], 1)
+                .cell(1.0 - values[0] / best_baseline, 2);
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\npaper's anchors: Erms saves on average 48.1% / 53.5% / "
+                 "60.1% of containers vs Firm,\nGrandSLAm and Rhythm; the "
+                 "saving grows with workload and at tighter SLAs.\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 12 reproduction: tail latency and SLA violations under each
+ * scheme's allocation, measured by replaying the workload in the cluster
+ * simulator against the deployed plans. Shapes to reproduce: Erms'
+ * violation probability stays low (paper: <2% on average vs 16.5% /
+ * 13.5% / 7.3% under Firm / GrandSLAm / Rhythm), and its actual tail
+ * latency sits closer to (but below) the SLA.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace erms;
+using namespace erms::bench;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 12 — SLA violations and tail latency "
+                           "(hotel-reservation, profiled)");
+
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    profileApplication(catalog, app);
+    const Interference itf{0.30, 0.25};
+
+    BaselineContext context;
+    context.catalog = &catalog;
+    context.interference = itf;
+
+    ErmsController erms(catalog, {});
+    FirmAllocator firm(0.0, 1);
+    GrandSlamAllocator grandslam;
+    RhythmAllocator rhythm;
+
+    struct Agg
+    {
+        std::string name;
+        StreamingStats violations; ///< per-setting mean violation rate
+        StreamingStats latencyRatio; ///< per-setting worst P95 / SLA
+        StreamingStats containers;
+    };
+    std::vector<Agg> aggregates(4);
+    aggregates[0].name = "Erms";
+    aggregates[1].name = "Firm";
+    aggregates[2].name = "GrandSLAm";
+    aggregates[3].name = "Rhythm";
+
+    const std::vector<std::pair<double, double>> settings{
+        {6000, 160}, {12000, 160}, {20000, 160},
+        {12000, 150}, {12000, 175}, {20000, 175}};
+
+    TextTable detail({"workload", "SLA", "scheme", "containers",
+                      "worst P95 (ms)", "mean violation %"});
+    for (const auto &[workload, sla] : settings) {
+        const auto services = makeServices(app, sla, workload);
+        const GlobalPlan plans[4] = {
+            erms.plan(services, itf),
+            firm.allocate(services, context),
+            grandslam.allocate(services, context),
+            rhythm.allocate(services, context),
+        };
+        for (int k = 0; k < 4; ++k) {
+            const ValidationResult result =
+                validatePlan(catalog, services, plans[k], itf, 4);
+            aggregates[k].violations.add(result.meanViolationRate());
+            aggregates[k].latencyRatio.add(result.maxP95() / sla);
+            aggregates[k].containers.add(plans[k].totalContainers);
+            detail.row()
+                .cell(workload, 0)
+                .cell(sla, 0)
+                .cell(aggregates[k].name)
+                .cell(plans[k].totalContainers)
+                .cell(result.maxP95(), 1)
+                .cell(100.0 * result.meanViolationRate(), 2);
+        }
+    }
+    detail.print(std::cout);
+
+    printBanner(std::cout, "(a)+(b) aggregates over all settings");
+    TextTable summary({"scheme", "mean violation %", "mean worstP95/SLA",
+                       "mean containers"});
+    for (const Agg &agg : aggregates) {
+        summary.row()
+            .cell(agg.name)
+            .cell(100.0 * agg.violations.mean(), 2)
+            .cell(agg.latencyRatio.mean(), 3)
+            .cell(agg.containers.mean(), 1);
+    }
+    summary.print(std::cout);
+
+    std::cout << "\npaper's anchors: average violation <2% (Erms) vs 16.5% "
+                 "(Firm) / 13.5% (GrandSLAm) /\n7.3% (Rhythm); Erms also "
+                 "reduces actual end-to-end delay by ~10%.\n";
+    return 0;
+}

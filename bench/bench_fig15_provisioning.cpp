@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fig. 15 reproduction: interference-aware resource provisioning (§5.4)
+ * against the Kubernetes-default spread placement and a bin-packing
+ * adversary, under heterogeneous background (iBench-like) load.
+ *  (a) containers required to satisfy the SLA: scale the Erms plan by a
+ *      multiplier until the simulated P95 meets the SLA under each
+ *      placement policy;
+ *  (b) latency at equal resources: P95 with the unscaled plan.
+ * Shapes to reproduce: interference-unaware placement needs >50% more
+ * containers, and at equal resources Erms' placement improves latency.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "provision/interference_aware.hpp"
+
+using namespace erms;
+using namespace erms::bench;
+
+namespace {
+
+/** Heterogeneous background: half the hosts run hot batch jobs. */
+void
+injectBackground(Simulation &sim, int host_count, double hot_cpu,
+                 double hot_mem)
+{
+    for (int h = 0; h < host_count; ++h) {
+        if (h % 2 == 0)
+            sim.setBackgroundLoad(static_cast<HostId>(h), hot_cpu, hot_mem);
+        else
+            sim.setBackgroundLoad(static_cast<HostId>(h), 0.05, 0.08);
+    }
+}
+
+struct PolicyRun
+{
+    double worstP95 = 0.0;
+    double violation = 0.0;
+};
+
+PolicyRun
+runWithPolicy(const MicroserviceCatalog &catalog,
+              const std::vector<ServiceSpec> &services,
+              const GlobalPlan &plan, double scale,
+              std::shared_ptr<PlacementPolicy> policy, double hot_cpu,
+              double hot_mem)
+{
+    SimConfig config;
+    config.horizonMinutes = 4;
+    config.warmupMinutes = 1;
+    config.seed = 11;
+    // A default Kubernetes Service load-balances blindly; an informed
+    // least-loaded dispatcher would partially hide bad placement.
+    config.dispatch = DispatchPolicy::RoundRobin;
+    Simulation sim(catalog, config);
+    injectBackground(sim, config.hostCount, hot_cpu, hot_mem);
+    sim.setPlacementPolicy(std::move(policy));
+    for (const ServiceSpec &svc : services) {
+        ServiceWorkload workload;
+        workload.id = svc.id;
+        workload.graph = svc.graph;
+        workload.slaMs = svc.slaMs;
+        workload.rate = svc.workload;
+        sim.addService(workload);
+    }
+    GlobalPlan scaled = plan;
+    for (auto &[id, count] : scaled.containers)
+        count = std::max(1, static_cast<int>(std::ceil(count * scale)));
+    sim.applyPlan(scaled);
+    sim.run();
+
+    PolicyRun result;
+    for (const ServiceSpec &svc : services) {
+        result.worstP95 =
+            std::max(result.worstP95, sim.metrics().p95(svc.id));
+        result.violation = std::max(
+            result.violation,
+            sim.metrics().violationRate(svc.id, svc.slaMs));
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 15 — interference-aware provisioning vs "
+                           "k8s-default placement (hotel-reservation)");
+
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    profileApplication(catalog, app);
+
+    const double sla = 150.0;
+    const auto services = makeServices(app, sla, 12000.0);
+    // Plan against the cluster-average interference the controller would
+    // observe under the heterogeneous background.
+    const Interference avg_itf{(0.55 + 0.05) / 2, (0.45 + 0.08) / 2};
+    ErmsController controller(catalog, {});
+    const GlobalPlan plan = controller.plan(services, avg_itf);
+
+    const std::vector<std::pair<std::string, double>> interference_levels{
+        {"medium interference (55%/45% on half the hosts)", 0.55},
+        {"high interference (70%/60% on half the hosts)", 0.70}};
+
+    for (const auto &[label, hot_cpu] : interference_levels) {
+        const double hot_mem = hot_cpu - 0.10;
+        printBanner(std::cout, label);
+
+        TextTable table({"placement", "x1.0 P95 (ms)", "x1.0 violation %",
+                         "containers multiplier to meet SLA"});
+        for (const auto &[name, make_policy] :
+             std::vector<std::pair<
+                 std::string,
+                 std::function<std::shared_ptr<PlacementPolicy>()>>>{
+                 {"Erms interference-aware",
+                  [] {
+                      return std::make_shared<InterferenceAwarePlacement>();
+                  }},
+                 {"k8s default (spread)",
+                  [] { return std::make_shared<SpreadPlacementPolicy>(); }},
+                 {"bin-packing",
+                  [] {
+                      return std::make_shared<BinPackPlacementPolicy>();
+                  }}}) {
+            const PolicyRun base = runWithPolicy(
+                catalog, services, plan, 1.0, make_policy(), hot_cpu,
+                hot_mem);
+
+            double needed = -1.0;
+            for (double scale : {1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}) {
+                const PolicyRun run = runWithPolicy(
+                    catalog, services, plan, scale, make_policy(), hot_cpu,
+                    hot_mem);
+                if (run.worstP95 <= sla) {
+                    needed = scale;
+                    break;
+                }
+            }
+            table.row()
+                .cell(name)
+                .cell(base.worstP95, 1)
+                .cell(100.0 * base.violation, 2)
+                .cell(needed > 0 ? std::to_string(needed).substr(0, 4)
+                                 : ">3.0");
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\npaper's anchors: interference-unaware K8s placement "
+                 "needs >50% more containers to\nsatisfy the SLA (up to "
+                 "2x at high SLA), and at equal resources Erms improves "
+                 "latency\nby ~1.2x on average (2.2x under high "
+                 "interference).\n";
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fig. 16 reproduction: large-scale trace-driven "Taobao" simulation —
+ * 500+ services of ~50 microservices each with 300+ shared
+ * microservices, planned analytically (as the paper's trace-driven
+ * simulation does).
+ *  (a) distribution of containers per service;
+ *  (b) average containers under Erms, Erms-LTC-only (FCFS), non-sharing,
+ *      GrandSLAm and Rhythm.
+ * Shapes to reproduce: Erms reduces allocated containers by ~1.6x vs the
+ * baselines — more than on the small benchmarks — with LTC alone worth
+ * ~1.2x and priority scheduling contributing a further large cut.
+ */
+
+#include <iostream>
+
+#include "baselines/baseline.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/erms.hpp"
+#include "workload/synth_trace.hpp"
+
+using namespace erms;
+
+namespace {
+
+/** Attribute deployed containers back to services (shared microservices
+ *  split evenly among their users) for the per-service distribution. */
+SampleSet
+perServiceContainers(const GlobalPlan &plan,
+                     const std::vector<ServiceSpec> &services)
+{
+    std::unordered_map<MicroserviceId, int> users;
+    for (const ServiceSpec &svc : services) {
+        for (MicroserviceId id : svc.graph->nodes())
+            ++users[id];
+    }
+    SampleSet per_service;
+    for (const ServiceSpec &svc : services) {
+        double total = 0.0;
+        for (MicroserviceId id : svc.graph->nodes()) {
+            auto it = plan.containers.find(id);
+            if (it != plan.containers.end())
+                total += static_cast<double>(it->second) / users.at(id);
+        }
+        per_service.add(total);
+    }
+    return per_service;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 16 — Taobao-scale trace-driven "
+                           "simulation (synthetic traces)");
+
+    SynthTraceConfig config;
+    config.microserviceCount = 3000;
+    config.serviceCount = 500;
+    config.minGraphSize = 20;
+    config.maxGraphSize = 80;
+    config.popularitySkew = 0.3;
+    // SLAs drawn relative to each service's own knee latency, the way
+    // operators calibrate SLAs against observed behaviour.
+    config.slaRelativeToKnee = true;
+    config.workloadLow = 2000.0;
+    config.workloadHigh = 30000.0;
+    config.seed = 17;
+    const SynthTrace trace = makeSynthTrace(config);
+
+    std::vector<ServiceSpec> services;
+    for (std::size_t i = 0; i < trace.graphs.size(); ++i) {
+        ServiceSpec svc;
+        svc.id = trace.graphs[i].service();
+        svc.name = "svc" + std::to_string(i);
+        svc.graph = &trace.graphs[i];
+        svc.slaMs = trace.slaMs[i];
+        svc.workload = trace.workloads[i];
+        services.push_back(svc);
+    }
+    std::cout << "population: " << trace.graphs.size() << " services, "
+              << trace.catalog.size() << " microservices, "
+              << trace.sharedMicroserviceCount()
+              << " shared microservices\n";
+
+    const Interference itf{0.35, 0.30};
+    BaselineContext context;
+    context.catalog = &trace.catalog;
+    context.interference = itf;
+
+    MultiplexingPlanner planner(trace.catalog, ClusterCapacity{});
+    GrandSlamAllocator grandslam;
+    RhythmAllocator rhythm;
+
+    struct Entry
+    {
+        std::string name;
+        GlobalPlan plan;
+    };
+    std::vector<Entry> entries;
+    entries.push_back(
+        {"Erms (priority)",
+         planner.plan(services, itf, SharingPolicy::Priority)});
+    entries.push_back(
+        {"Erms (LTC only, FCFS)",
+         planner.plan(services, itf, SharingPolicy::FcfsSharing)});
+    entries.push_back(
+        {"non-sharing",
+         planner.plan(services, itf, SharingPolicy::NonSharing)});
+    entries.push_back({"GrandSLAm", grandslam.allocate(services, context)});
+    entries.push_back({"Rhythm", rhythm.allocate(services, context)});
+
+    printBanner(std::cout, "(a) per-service container distribution");
+    TextTable dist({"scheme", "P20", "P50", "P80", "P95"});
+    for (const Entry &entry : entries) {
+        const SampleSet per_service =
+            perServiceContainers(entry.plan, services);
+        dist.row()
+            .cell(entry.name)
+            .cell(per_service.quantile(0.2), 1)
+            .cell(per_service.quantile(0.5), 1)
+            .cell(per_service.quantile(0.8), 1)
+            .cell(per_service.quantile(0.95), 1);
+    }
+    dist.print(std::cout);
+
+    printBanner(std::cout, "(b) total containers");
+    TextTable totals({"scheme", "total containers", "ratio vs Erms"});
+    const double erms_total =
+        static_cast<double>(entries.front().plan.totalContainers);
+    for (const Entry &entry : entries) {
+        totals.row()
+            .cell(entry.name)
+            .cell(entry.plan.totalContainers)
+            .cell(static_cast<double>(entry.plan.totalContainers) /
+                      erms_total,
+                  2);
+    }
+    totals.print(std::cout);
+
+    std::cout << "\npaper's anchors: Erms cuts allocated containers by "
+                 "~1.6x vs GrandSLAm/Rhythm at trace\nscale; LTC alone is "
+                 "worth ~1.2x, priority scheduling a further ~50% at "
+                 "shared microservices.\n";
+    return 0;
+}

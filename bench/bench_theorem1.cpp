@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Theorem 1 (Appendix A) verification: resource usage of the three
+ * multiplexing schemes in the two-service shared-P scenario,
+ *   RU^o (priority) <= RU^n (non-sharing) <= RU^s (FCFS sharing),
+ * over large randomized parameter sweeps in the equal-slack setting,
+ * plus the reproduction finding about the decoupled heuristic.
+ */
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "scaling/theorem.hpp"
+
+using namespace erms;
+
+int
+main()
+{
+    printBanner(std::cout, "Theorem 1 — RU^o <= RU^n <= RU^s over "
+                           "randomized scenarios (equal slack)");
+
+    Rng rng(41);
+    constexpr int kTrials = 100000;
+    int n_le_s_violations = 0;
+    int o_le_n_violations = 0;
+    double worst_o_over_n = 1.0;
+    StreamingStats savings_o_vs_s;
+    StreamingStats savings_n_vs_s;
+
+    for (int trial = 0; trial < kTrials; ++trial) {
+        TheoremScenario s;
+        s.au = rng.uniform(0.01, 1.0);
+        s.ah = rng.uniform(0.01, 1.0);
+        s.ap = rng.uniform(0.01, 1.0);
+        s.bu = rng.uniform(1.0, 40.0);
+        s.bh = rng.uniform(1.0, 40.0);
+        s.bp = rng.uniform(1.0, 40.0);
+        s.Ru = rng.uniform(0.2, 3.0);
+        s.Rh = rng.uniform(0.2, 3.0);
+        s.Rp = rng.uniform(0.2, 3.0);
+        s.gamma1 = rng.uniform(500.0, 100000.0);
+        s.gamma2 = rng.uniform(500.0, 100000.0);
+        s.sla1 = s.bu + s.bp + rng.uniform(10.0, 400.0);
+        s.sla2 = s.sla1 - s.bu + s.bh;
+
+        const double ru_o = ruPriorityActual(s);
+        const double ru_n = ruNonSharing(s);
+        const double ru_s = ruSharingFcfs(s);
+        n_le_s_violations += ru_n > ru_s * (1.0 + 1e-12);
+        if (ru_o > ru_n * (1.0 + 1e-12)) {
+            ++o_le_n_violations;
+            worst_o_over_n = std::max(worst_o_over_n, ru_o / ru_n);
+        }
+        savings_o_vs_s.add(1.0 - ru_o / ru_s);
+        savings_n_vs_s.add(1.0 - ru_n / ru_s);
+    }
+
+    TextTable table({"property", "result"});
+    table.row()
+        .cell("trials")
+        .cell(static_cast<long>(kTrials));
+    table.row()
+        .cell("RU^n <= RU^s violations (exact claim)")
+        .cell(static_cast<long>(n_le_s_violations));
+    table.row()
+        .cell("RU^o <= RU^n violations (decoupled heuristic)")
+        .cell(static_cast<long>(o_le_n_violations));
+    table.row()
+        .cell("worst RU^o / RU^n over violations")
+        .cell(worst_o_over_n, 4);
+    table.row()
+        .cell("mean saving of priority vs FCFS sharing")
+        .cell(savings_o_vs_s.mean(), 3);
+    table.row()
+        .cell("mean saving of non-sharing vs FCFS sharing")
+        .cell(savings_n_vs_s.mean(), 3);
+    table.print(std::cout);
+
+    printBanner(std::cout, "example scenario (paper-flavoured parameters)");
+    TheoremScenario example;
+    example.au = 0.4;
+    example.ah = 0.1;
+    example.ap = 0.05;
+    example.bu = 20.0;
+    example.bh = 10.0;
+    example.bp = 8.0;
+    example.gamma1 = example.gamma2 = 40000.0;
+    example.sla1 = 300.0;
+    example.sla2 = example.sla1 - example.bu + example.bh;
+    TextTable ex({"scheme", "resource usage", "vs FCFS"});
+    const double ru_s = ruSharingFcfs(example);
+    ex.row().cell("FCFS sharing (RU^s)").cell(ru_s, 1).cell(1.0, 2);
+    ex.row()
+        .cell("non-sharing (RU^n)")
+        .cell(ruNonSharing(example), 1)
+        .cell(ruNonSharing(example) / ru_s, 2);
+    ex.row()
+        .cell("priority (RU^o)")
+        .cell(ruPriorityActual(example), 1)
+        .cell(ruPriorityActual(example) / ru_s, 2);
+    ex.row()
+        .cell("priority upper bound (Eq. 19)")
+        .cell(ruPriorityUpperBound(example), 1)
+        .cell(ruPriorityUpperBound(example) / ru_s, 2);
+    ex.print(std::cout);
+
+    std::cout
+        << "\nreproduction note: Theorem 1 bounds the *joint* optimum of "
+           "Eqs. (13)-(14). Erms'\npractical decoupled computation "
+           "(initial-target priority rule + independent solves)\ntracks "
+           "it closely but can exceed RU^n by up to ~2-3% in rare corner "
+           "cases, while the\nRU^n <= RU^s inequality is exact "
+           "(Cauchy-Schwarz).\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace erms::bench {
+
+std::vector<ServiceSpec>
+makeServices(const Application &app, double sla_ms, double workload)
+{
+    std::vector<double> slas(app.graphs.size(), sla_ms);
+    std::vector<double> workloads(app.graphs.size(), workload);
+    return makeServices(app, slas, workloads);
+}
+
+std::vector<ServiceSpec>
+makeServices(const Application &app, const std::vector<double> &sla_ms,
+             const std::vector<double> &workloads)
+{
+    ERMS_ASSERT(sla_ms.size() == app.graphs.size());
+    ERMS_ASSERT(workloads.size() == app.graphs.size());
+    std::vector<ServiceSpec> services;
+    services.reserve(app.graphs.size());
+    for (std::size_t i = 0; i < app.graphs.size(); ++i) {
+        ServiceSpec svc;
+        svc.id = app.graphs[i].service();
+        svc.name = app.serviceNames[i];
+        svc.graph = &app.graphs[i];
+        svc.slaMs = sla_ms[i];
+        svc.workload = workloads[i];
+        services.push_back(svc);
+    }
+    return services;
+}
+
+std::unordered_map<MicroserviceId, double>
+profileApplication(MicroserviceCatalog &catalog, const Application &app,
+                   double rate_per_service, int minutes_per_cell,
+                   std::uint64_t seed)
+{
+    std::vector<const DependencyGraph *> graphs;
+    graphs.reserve(app.graphs.size());
+    for (const auto &graph : app.graphs)
+        graphs.push_back(&graph);
+
+    ProfilingSweepConfig sweep;
+    sweep.ratePerService = rate_per_service;
+    sweep.minutesPerCell = minutes_per_cell;
+    sweep.seed = seed;
+    const auto samples = collectProfilingSamples(catalog, graphs, sweep);
+    return fitAndAttachModels(catalog, samples);
+}
+
+double
+ValidationResult::maxP95() const
+{
+    double worst = 0.0;
+    for (double p95 : p95Ms)
+        worst = std::max(worst, p95);
+    return worst;
+}
+
+double
+ValidationResult::meanViolationRate() const
+{
+    if (violationRate.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double rate : violationRate)
+        sum += rate;
+    return sum / static_cast<double>(violationRate.size());
+}
+
+ValidationResult
+validatePlan(const MicroserviceCatalog &catalog,
+             const std::vector<ServiceSpec> &services, const GlobalPlan &plan,
+             const Interference &itf, int horizon_minutes, std::uint64_t seed)
+{
+    SimConfig config;
+    config.horizonMinutes = horizon_minutes;
+    config.warmupMinutes = 1;
+    config.seed = seed;
+    Simulation sim(catalog, config);
+    sim.setBackgroundLoadAll(itf.cpuUtil, itf.memUtil);
+    for (const ServiceSpec &svc : services) {
+        ServiceWorkload workload;
+        workload.id = svc.id;
+        workload.graph = svc.graph;
+        workload.slaMs = svc.slaMs;
+        workload.rate = svc.workload;
+        sim.addService(workload);
+    }
+    sim.applyPlan(plan);
+    sim.run();
+
+    ValidationResult result;
+    for (const ServiceSpec &svc : services) {
+        result.p95Ms.push_back(sim.metrics().p95(svc.id));
+        result.violationRate.push_back(
+            sim.metrics().violationRate(svc.id, svc.slaMs));
+    }
+    result.requestsCompleted = sim.metrics().requestsCompleted;
+    return result;
+}
+
+std::string
+policyName(SharingPolicy policy)
+{
+    switch (policy) {
+      case SharingPolicy::Priority:
+        return "priority";
+      case SharingPolicy::FcfsSharing:
+        return "fcfs-sharing";
+      case SharingPolicy::NonSharing:
+        return "non-sharing";
+    }
+    return "?";
+}
+
+} // namespace erms::bench

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared machinery of the reproduction benches: building service specs
+ * from an application, profiling a catalog through the simulator
+ * (offline profiling as §5.2 prescribes), deploying a plan in the
+ * simulator and measuring P95/violations, and small printing helpers.
+ * Every bench prints the paper's rows so shapes can be compared against
+ * the original figures (EXPERIMENTS.md records the comparison).
+ */
+
+#ifndef ERMS_BENCH_BENCH_UTIL_HPP
+#define ERMS_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "apps/applications.hpp"
+#include "baselines/baseline.hpp"
+#include "core/erms.hpp"
+#include "core/profiling_pipeline.hpp"
+
+namespace erms::bench {
+
+/** Service specs for an application at uniform SLA/workload. */
+std::vector<ServiceSpec> makeServices(const Application &app, double sla_ms,
+                                      double workload);
+
+/** Service specs using per-service SLAs/workloads. */
+std::vector<ServiceSpec>
+makeServices(const Application &app, const std::vector<double> &sla_ms,
+             const std::vector<double> &workloads);
+
+/**
+ * Offline profiling for an application: run the sweep and attach fitted
+ * models to the catalog. Returns per-microservice training accuracy.
+ */
+std::unordered_map<MicroserviceId, double>
+profileApplication(MicroserviceCatalog &catalog, const Application &app,
+                   double rate_per_service = 12000.0,
+                   int minutes_per_cell = 2, std::uint64_t seed = 11);
+
+/** Result of validating one plan in the simulator. */
+struct ValidationResult
+{
+    /** Per-service P95 (ms), ordered as the service specs. */
+    std::vector<double> p95Ms;
+    /** Per-service fraction of requests above the SLA. */
+    std::vector<double> violationRate;
+    std::uint64_t requestsCompleted = 0;
+
+    double maxP95() const;
+    double meanViolationRate() const;
+};
+
+/** Deploy a plan and replay the workload in the cluster simulator. */
+ValidationResult validatePlan(const MicroserviceCatalog &catalog,
+                              const std::vector<ServiceSpec> &services,
+                              const GlobalPlan &plan, const Interference &itf,
+                              int horizon_minutes = 5,
+                              std::uint64_t seed = 42);
+
+/** Human-readable policy name. */
+std::string policyName(SharingPolicy policy);
+
+} // namespace erms::bench
+
+#endif // ERMS_BENCH_BENCH_UTIL_HPP

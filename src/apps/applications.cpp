@@ -1,0 +1,415 @@
+#include "applications.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+namespace {
+
+/**
+ * Register one microservice with an execution profile and a bootstrap
+ * analytic latency model derived from it.
+ */
+MicroserviceId
+addMs(MicroserviceCatalog &catalog, const std::string &name, double base_ms,
+      int threads, double cpu_slowdown, double mem_slowdown,
+      double network_ms = 0.2, double cv = 0.5)
+{
+    MicroserviceProfile profile;
+    profile.name = name;
+    profile.resources = ResourceSpec{0.1, 200.0};
+    profile.threadsPerContainer = threads;
+    profile.baseServiceMs = base_ms;
+    profile.serviceCv = cv;
+    profile.cpuSlowdown = cpu_slowdown;
+    profile.memSlowdown = mem_slowdown;
+    profile.networkMs = network_ms;
+    const MicroserviceId id = catalog.add(profile);
+    catalog.setModel(id, approximateModelFromProfile(profile));
+    return id;
+}
+
+} // namespace
+
+std::vector<MicroserviceId>
+Application::sharedMicroservices() const
+{
+    std::unordered_map<MicroserviceId, int> users;
+    for (const DependencyGraph &graph : graphs) {
+        for (MicroserviceId id : graph.nodes())
+            ++users[id];
+    }
+    std::vector<MicroserviceId> shared;
+    for (const auto &[id, count] : users) {
+        if (count >= 2)
+            shared.push_back(id);
+    }
+    return shared;
+}
+
+std::size_t
+Application::uniqueMicroservices() const
+{
+    std::unordered_set<MicroserviceId> unique;
+    for (const DependencyGraph &graph : graphs) {
+        for (MicroserviceId id : graph.nodes())
+            unique.insert(id);
+    }
+    return unique.size();
+}
+
+Application
+makeSocialNetwork(MicroserviceCatalog &catalog, ServiceId first_service)
+{
+    Application app;
+    app.name = "social-network";
+
+    // Entry / orchestration tiers: moderate service times, few threads.
+    // Caches: fast, many threads. Databases: slow, few threads.
+    const auto nginx_compose = addMs(catalog, "nginx-compose", 3.0, 8, 0.8, 1.0);
+    const auto compose_post = addMs(catalog, "compose-post", 12.0, 3, 1.5, 1.8);
+    const auto unique_id = addMs(catalog, "unique-id", 1.5, 8, 0.5, 0.6);
+    const auto text_service = addMs(catalog, "text-service", 10.0, 3, 1.4, 1.6);
+    const auto media_service = addMs(catalog, "media-service", 14.0, 3, 1.2, 2.0);
+    const auto user_service = addMs(catalog, "user-service", 8.0, 4, 1.0, 1.4);
+    const auto url_shorten = addMs(catalog, "url-shorten", 6.0, 4, 1.0, 1.2);
+    const auto user_mention = addMs(catalog, "user-mention", 7.0, 4, 1.0, 1.2);
+    const auto text_filter = addMs(catalog, "text-filter", 9.0, 3, 1.3, 1.4);
+    const auto spell_check = addMs(catalog, "spell-check", 5.0, 4, 0.9, 1.0);
+    const auto link_preview = addMs(catalog, "link-preview", 8.0, 3, 1.1, 1.3);
+    const auto media_cache = addMs(catalog, "media-cache", 2.0, 8, 0.6, 0.8);
+    const auto media_db = addMs(catalog, "media-db", 18.0, 2, 1.2, 2.4);
+    const auto user_cache = addMs(catalog, "user-cache", 1.8, 8, 0.6, 0.8);
+    const auto geo_tag = addMs(catalog, "geo-tag", 6.0, 4, 1.0, 1.1);
+    const auto post_storage = addMs(catalog, "post-storage", 10.0, 4, 1.1, 1.6);
+    const auto post_db = addMs(catalog, "post-db", 16.0, 2, 1.2, 2.2);
+    const auto write_timeline = addMs(catalog, "write-timeline", 9.0, 3, 1.2, 1.5);
+    const auto notification = addMs(catalog, "notification", 4.0, 6, 0.8, 0.9);
+    const auto social_graph = addMs(catalog, "social-graph", 11.0, 3, 1.3, 1.7);
+    const auto social_cache = addMs(catalog, "social-cache", 2.2, 8, 0.6, 0.8);
+    const auto social_db = addMs(catalog, "social-db", 17.0, 2, 1.2, 2.3);
+    const auto analytics = addMs(catalog, "analytics", 5.0, 6, 0.9, 1.0);
+
+    const auto nginx_home = addMs(catalog, "nginx-home", 3.0, 8, 0.8, 1.0);
+    const auto home_timeline = addMs(catalog, "home-timeline", 20.0, 2, 1.8, 2.2);
+    const auto home_cache = addMs(catalog, "home-cache", 2.0, 8, 0.6, 0.8);
+    const auto home_db = addMs(catalog, "home-db", 15.0, 2, 1.2, 2.1);
+    const auto ad_service = addMs(catalog, "ad-service", 7.0, 4, 1.0, 1.2);
+    const auto post_cache = addMs(catalog, "post-cache", 2.0, 8, 0.6, 0.8);
+    const auto ranking = addMs(catalog, "ranking-service", 9.0, 3, 1.3, 1.4);
+
+    const auto nginx_user = addMs(catalog, "nginx-user", 3.0, 8, 0.8, 1.0);
+    const auto user_timeline = addMs(catalog, "user-timeline", 25.0, 2, 2.0, 2.4);
+    const auto ut_cache = addMs(catalog, "user-timeline-cache", 2.0, 8, 0.6, 0.8);
+    const auto ut_db = addMs(catalog, "user-timeline-db", 16.0, 2, 1.2, 2.2);
+    const auto profile_service = addMs(catalog, "profile-service", 8.0, 4, 1.0, 1.3);
+    const auto url_expand = addMs(catalog, "url-expand", 5.0, 4, 0.9, 1.0);
+
+    // Service 1: composePost.
+    {
+        DependencyGraph g(first_service, nginx_compose);
+        g.addCall(nginx_compose, compose_post, 0);
+        g.addCall(compose_post, unique_id, 0);
+        g.addCall(compose_post, text_service, 0);
+        g.addCall(compose_post, media_service, 0);
+        g.addCall(compose_post, user_service, 0);
+        g.addCall(text_service, url_shorten, 0);
+        g.addCall(text_service, user_mention, 0);
+        g.addCall(text_service, text_filter, 0);
+        g.addCall(text_service, spell_check, 1);
+        g.addCall(url_shorten, link_preview, 0);
+        g.addCall(media_service, media_cache, 0);
+        g.addCall(media_service, media_db, 1);
+        g.addCall(user_service, user_cache, 0);
+        g.addCall(compose_post, geo_tag, 1);
+        g.addCall(compose_post, post_storage, 2);
+        g.addCall(post_storage, post_db, 0);
+        g.addCall(compose_post, write_timeline, 3);
+        g.addCall(compose_post, notification, 3);
+        g.addCall(write_timeline, social_graph, 0);
+        g.addCall(social_graph, social_cache, 0);
+        g.addCall(social_graph, social_db, 1);
+        g.addCall(compose_post, analytics, 4);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("composePost");
+        app.defaultSlaMs.push_back(200.0);
+    }
+
+    // Service 2: readHomeTimeline.
+    {
+        DependencyGraph g(first_service + 1, nginx_home);
+        g.addCall(nginx_home, home_timeline, 0);
+        g.addCall(home_timeline, home_cache, 0);
+        g.addCall(home_timeline, ad_service, 0);
+        g.addCall(home_cache, home_db, 0);
+        g.addCall(home_timeline, social_graph, 1);
+        g.addCall(home_timeline, post_storage, 2, 2.0);
+        g.addCall(post_storage, post_cache, 0);
+        g.addCall(home_timeline, user_service, 3);
+        g.addCall(home_timeline, ranking, 3);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("readHomeTimeline");
+        app.defaultSlaMs.push_back(150.0);
+    }
+
+    // Service 3: readUserTimeline.
+    {
+        DependencyGraph g(first_service + 2, nginx_user);
+        g.addCall(nginx_user, user_timeline, 0);
+        g.addCall(user_timeline, ut_cache, 0);
+        g.addCall(user_timeline, ut_db, 1);
+        g.addCall(user_timeline, post_storage, 2, 2.0);
+        g.addCall(user_timeline, user_service, 3);
+        g.addCall(user_timeline, profile_service, 3);
+        g.addCall(profile_service, url_expand, 0);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("readUserTimeline");
+        app.defaultSlaMs.push_back(150.0);
+    }
+
+    ERMS_ASSERT(app.uniqueMicroservices() == 36);
+    ERMS_ASSERT(app.sharedMicroservices().size() == 3);
+    return app;
+}
+
+Application
+makeMediaService(MicroserviceCatalog &catalog, ServiceId first_service)
+{
+    Application app;
+    app.name = "media-service";
+
+    const auto nginx = addMs(catalog, "nginx-media", 3.0, 8, 0.8, 1.0);
+    const auto compose = addMs(catalog, "compose-review", 13.0, 3, 1.5, 1.8);
+    const auto unique_id = addMs(catalog, "unique-id-m", 1.5, 8, 0.5, 0.6);
+    const auto movie_id = addMs(catalog, "movie-id", 7.0, 4, 1.0, 1.2);
+    const auto text = addMs(catalog, "text-m", 9.0, 3, 1.3, 1.5);
+    const auto user = addMs(catalog, "user-m", 8.0, 4, 1.0, 1.4);
+    const auto rating = addMs(catalog, "rating", 8.0, 4, 1.1, 1.3);
+    const auto movie_info = addMs(catalog, "movie-info", 10.0, 3, 1.2, 1.5);
+    const auto movie_info_cache = addMs(catalog, "movie-info-cache", 2.0, 8, 0.6, 0.8);
+    const auto movie_info_db = addMs(catalog, "movie-info-db", 16.0, 2, 1.2, 2.2);
+    const auto rating_cache = addMs(catalog, "rating-cache", 2.0, 8, 0.6, 0.8);
+    const auto rating_db = addMs(catalog, "rating-db", 14.0, 2, 1.2, 2.0);
+    const auto review_storage = addMs(catalog, "review-storage", 11.0, 3, 1.2, 1.6);
+    const auto review_cache = addMs(catalog, "review-cache", 2.0, 8, 0.6, 0.8);
+    const auto review_db = addMs(catalog, "review-db", 17.0, 2, 1.2, 2.3);
+    const auto user_review = addMs(catalog, "user-review", 9.0, 3, 1.2, 1.4);
+    const auto user_review_cache = addMs(catalog, "user-review-cache", 2.0, 8, 0.6, 0.8);
+    const auto user_review_db = addMs(catalog, "user-review-db", 15.0, 2, 1.2, 2.1);
+    const auto movie_review = addMs(catalog, "movie-review", 9.0, 3, 1.2, 1.4);
+    const auto movie_review_cache = addMs(catalog, "movie-review-cache", 2.0, 8, 0.6, 0.8);
+    const auto movie_review_db = addMs(catalog, "movie-review-db", 15.0, 2, 1.2, 2.1);
+    const auto cast_info = addMs(catalog, "cast-info", 8.0, 4, 1.0, 1.3);
+    const auto cast_cache = addMs(catalog, "cast-cache", 2.0, 8, 0.6, 0.8);
+    const auto cast_db = addMs(catalog, "cast-db", 14.0, 2, 1.2, 2.0);
+    const auto plot = addMs(catalog, "plot", 7.0, 4, 1.0, 1.2);
+    const auto plot_cache = addMs(catalog, "plot-cache", 2.0, 8, 0.6, 0.8);
+    const auto plot_db = addMs(catalog, "plot-db", 14.0, 2, 1.2, 2.0);
+    const auto video = addMs(catalog, "video", 18.0, 2, 1.6, 2.0);
+    const auto video_cache = addMs(catalog, "video-cache", 2.5, 8, 0.6, 0.8);
+    const auto video_db = addMs(catalog, "video-db", 20.0, 2, 1.3, 2.4);
+    const auto photo = addMs(catalog, "photo", 12.0, 3, 1.3, 1.8);
+    const auto photo_cache = addMs(catalog, "photo-cache", 2.0, 8, 0.6, 0.8);
+    const auto photo_db = addMs(catalog, "photo-db", 16.0, 2, 1.2, 2.2);
+    const auto page = addMs(catalog, "page", 6.0, 4, 1.0, 1.1);
+    const auto search = addMs(catalog, "search-m", 10.0, 3, 1.3, 1.5);
+    const auto recommender = addMs(catalog, "recommender-m", 9.0, 3, 1.2, 1.4);
+    const auto trailer = addMs(catalog, "trailer", 8.0, 4, 1.0, 1.3);
+    const auto subtitle = addMs(catalog, "subtitle", 6.0, 4, 0.9, 1.1);
+
+    DependencyGraph g(first_service, nginx);
+    g.addCall(nginx, compose, 0);
+    g.addCall(compose, unique_id, 0);
+    g.addCall(compose, movie_id, 0);
+    g.addCall(compose, text, 0);
+    g.addCall(compose, user, 0);
+    g.addCall(compose, rating, 0);
+    g.addCall(movie_id, movie_info, 0);
+    g.addCall(movie_info, movie_info_cache, 0);
+    g.addCall(movie_info, movie_info_db, 1);
+    g.addCall(rating, rating_cache, 0);
+    g.addCall(rating, rating_db, 1);
+    g.addCall(compose, review_storage, 1);
+    g.addCall(review_storage, review_cache, 0);
+    g.addCall(review_storage, review_db, 1);
+    g.addCall(compose, user_review, 2);
+    g.addCall(compose, movie_review, 2);
+    g.addCall(user_review, user_review_cache, 0);
+    g.addCall(user_review, user_review_db, 1);
+    g.addCall(movie_review, movie_review_cache, 0);
+    g.addCall(movie_review, movie_review_db, 1);
+    g.addCall(compose, cast_info, 3);
+    g.addCall(cast_info, cast_cache, 0);
+    g.addCall(cast_info, cast_db, 1);
+    g.addCall(compose, plot, 3);
+    g.addCall(plot, plot_cache, 0);
+    g.addCall(plot, plot_db, 1);
+    g.addCall(compose, video, 4);
+    g.addCall(video, video_cache, 0);
+    g.addCall(video, video_db, 0);
+    g.addCall(video, trailer, 1);
+    g.addCall(trailer, subtitle, 0);
+    g.addCall(compose, photo, 4);
+    g.addCall(photo, photo_cache, 0);
+    g.addCall(photo, photo_db, 1);
+    g.addCall(compose, page, 5);
+    g.addCall(compose, search, 5);
+    g.addCall(search, recommender, 0);
+    g.validate();
+
+    app.graphs.push_back(std::move(g));
+    app.serviceNames.push_back("composeReview");
+    app.defaultSlaMs.push_back(250.0);
+
+    ERMS_ASSERT(app.uniqueMicroservices() == 38);
+    ERMS_ASSERT(app.sharedMicroservices().empty());
+    return app;
+}
+
+Application
+makeHotelReservation(MicroserviceCatalog &catalog, ServiceId first_service)
+{
+    Application app;
+    app.name = "hotel-reservation";
+
+    // 0.1-core containers realistically run one or two worker threads;
+    // low concurrency gives each tier the strong queueing knee of Fig. 3.
+    const auto fe_search = addMs(catalog, "frontend-search", 3.0, 4, 0.8, 1.0, 0.2, 0.3);
+    const auto search = addMs(catalog, "search", 14.0, 1, 1.6, 1.9, 0.2, 0.4);
+    const auto geo = addMs(catalog, "geo", 9.0, 2, 1.2, 1.4, 0.2, 0.35);
+    const auto rate = addMs(catalog, "rate", 10.0, 2, 1.3, 1.5, 0.2, 0.35);
+    const auto profile = addMs(catalog, "profile-hotel", 8.0, 2, 1.1, 1.4, 0.2, 0.3);
+    const auto memcached = addMs(catalog, "memcached-profile", 2.0, 4, 0.6, 0.8, 0.2, 0.25);
+
+    const auto fe_rec = addMs(catalog, "frontend-recommend", 3.0, 4, 0.8, 1.0, 0.2, 0.3);
+    const auto recommend = addMs(catalog, "recommendation", 12.0, 1, 1.4, 1.6, 0.2, 0.4);
+    const auto attractions = addMs(catalog, "attractions", 7.0, 2, 1.0, 1.2, 0.2, 0.3);
+
+    const auto fe_res = addMs(catalog, "frontend-reserve", 3.0, 4, 0.8, 1.0, 0.2, 0.3);
+    const auto reservation = addMs(catalog, "reservation", 13.0, 1, 1.4, 1.7, 0.2, 0.4);
+    const auto check_avail = addMs(catalog, "check-availability", 9.0, 2, 1.2, 1.4, 0.2, 0.35);
+    const auto payment = addMs(catalog, "payment", 11.0, 2, 1.2, 1.5, 0.2, 0.35);
+
+    const auto fe_login = addMs(catalog, "frontend-login", 3.0, 4, 0.8, 1.0, 0.2, 0.3);
+    const auto user_hotel = addMs(catalog, "user-hotel", 7.0, 2, 1.0, 1.2, 0.2, 0.3);
+
+    // Service 1: search.
+    {
+        DependencyGraph g(first_service, fe_search);
+        g.addCall(fe_search, search, 0);
+        g.addCall(search, geo, 0);
+        g.addCall(search, rate, 0);
+        g.addCall(search, profile, 1);
+        g.addCall(profile, memcached, 0);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("searchHotel");
+        app.defaultSlaMs.push_back(120.0);
+    }
+    // Service 2: recommend.
+    {
+        DependencyGraph g(first_service + 1, fe_rec);
+        g.addCall(fe_rec, recommend, 0);
+        g.addCall(recommend, geo, 0);
+        g.addCall(recommend, rate, 0);
+        g.addCall(recommend, profile, 1);
+        g.addCall(recommend, attractions, 2);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("recommend");
+        app.defaultSlaMs.push_back(120.0);
+    }
+    // Service 3: reserve.
+    {
+        DependencyGraph g(first_service + 2, fe_res);
+        g.addCall(fe_res, reservation, 0);
+        g.addCall(reservation, check_avail, 0);
+        g.addCall(reservation, rate, 1);
+        g.addCall(reservation, payment, 2);
+        g.addCall(reservation, profile, 3);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("reserve");
+        app.defaultSlaMs.push_back(180.0);
+    }
+    // Service 4: login.
+    {
+        DependencyGraph g(first_service + 3, fe_login);
+        g.addCall(fe_login, user_hotel, 0);
+        g.addCall(user_hotel, profile, 0);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("login");
+        app.defaultSlaMs.push_back(80.0);
+    }
+
+    ERMS_ASSERT(app.uniqueMicroservices() == 15);
+    ERMS_ASSERT(app.sharedMicroservices().size() == 3);
+    return app;
+}
+
+Application
+makeMotivationChain(MicroserviceCatalog &catalog, ServiceId first_service)
+{
+    Application app;
+    app.name = "motivation-chain";
+
+    // U (userTimeline) is light but *queueing-prone* (a single worker
+    // thread gives it an early knee and a steep post-knee slope) while
+    // P (postStorage) is a heavy-but-stable storage tier (large service
+    // time, wide thread pool, low interference sensitivity). P's mean
+    // latency exceeds U's even though U is far more workload-sensitive —
+    // exactly the regime where mean-proportional baselines under-serve U
+    // (Fig. 4).
+    const auto u = addMs(catalog, "mot-user-timeline", 12.0, 1, 1.8, 2.2);
+    const auto p =
+        addMs(catalog, "mot-post-storage", 40.0, 16, 0.4, 0.5, 0.2, 0.3);
+
+    DependencyGraph g(first_service, u);
+    g.addCall(u, p, 0);
+    g.validate();
+    app.graphs.push_back(std::move(g));
+    app.serviceNames.push_back("timeline");
+    app.defaultSlaMs.push_back(300.0);
+    return app;
+}
+
+Application
+makeMotivationShared(MicroserviceCatalog &catalog, ServiceId first_service)
+{
+    Application app;
+    app.name = "motivation-shared";
+
+    const auto u = addMs(catalog, "shr-user-timeline", 14.0, 2, 1.8, 2.2);
+    const auto h =
+        addMs(catalog, "shr-home-timeline", 12.0, 6, 0.6, 0.8, 0.2, 0.4);
+    const auto p = addMs(catalog, "shr-post-storage", 20.0, 3, 1.0, 1.2);
+
+    {
+        DependencyGraph g(first_service, u);
+        g.addCall(u, p, 0);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("service1-U-P");
+        app.defaultSlaMs.push_back(300.0);
+    }
+    {
+        DependencyGraph g(first_service + 1, h);
+        g.addCall(h, p, 0);
+        g.validate();
+        app.graphs.push_back(std::move(g));
+        app.serviceNames.push_back("service2-H-P");
+        app.defaultSlaMs.push_back(300.0);
+    }
+
+    ERMS_ASSERT(app.sharedMicroservices().size() == 1);
+    return app;
+}
+
+} // namespace erms

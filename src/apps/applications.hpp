@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DeathStarBench-like application catalog (§6.1): Social Network (36
+ * microservices, 3 services, 3 shared), Media Service (38 microservices,
+ * 1 service), Hotel Reservation (15 microservices, 4 services, 3
+ * shared), plus the two motivating mini-apps of §2 (the U→P chain of
+ * Fig. 4 and the two-service shared-P scenario of Fig. 5).
+ *
+ * Each builder appends microservices to a caller-supplied catalog (so
+ * multiple applications can coexist in one experiment) and wires
+ * dependency graphs whose shapes mirror the real benchmark: compose
+ * flows fanning out over text/media/user tiers, timeline reads hitting
+ * storage tiers, hotel search fanning out over geo/rate/profile.
+ * Every microservice gets a physical execution profile and a bootstrap
+ * analytic latency model (approximateModelFromProfile).
+ */
+
+#ifndef ERMS_APPS_APPLICATIONS_HPP
+#define ERMS_APPS_APPLICATIONS_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/dependency_graph.hpp"
+#include "model/catalog.hpp"
+
+namespace erms {
+
+/** One built application: graphs reference ids in the shared catalog. */
+struct Application
+{
+    std::string name;
+    std::vector<DependencyGraph> graphs;
+    std::vector<std::string> serviceNames;
+    /** Default SLA per service (ms), overridable by experiments. */
+    std::vector<double> defaultSlaMs;
+
+    /** Microservices appearing in more than one of this app's graphs. */
+    std::vector<MicroserviceId> sharedMicroservices() const;
+
+    /** Distinct microservices across all graphs. */
+    std::size_t uniqueMicroservices() const;
+};
+
+/** Social Network: 36 microservices, 3 services, 3 shared. */
+Application makeSocialNetwork(MicroserviceCatalog &catalog,
+                              ServiceId first_service);
+
+/** Media Service: 38 microservices, 1 service. */
+Application makeMediaService(MicroserviceCatalog &catalog,
+                             ServiceId first_service);
+
+/** Hotel Reservation: 15 microservices, 4 services, 3 shared. */
+Application makeHotelReservation(MicroserviceCatalog &catalog,
+                                 ServiceId first_service);
+
+/**
+ * Fig. 4 motivation: one service calling userTimeline (U) then
+ * postStorage (P) sequentially; U is markedly more workload-sensitive.
+ */
+Application makeMotivationChain(MicroserviceCatalog &catalog,
+                                ServiceId first_service);
+
+/**
+ * Fig. 5 motivation: service 1 = U -> P, service 2 = H -> P with P
+ * shared; U is more latency-sensitive than H.
+ */
+Application makeMotivationShared(MicroserviceCatalog &catalog,
+                                 ServiceId first_service);
+
+} // namespace erms
+
+#endif // ERMS_APPS_APPLICATIONS_HPP

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Implementations of the GrandSLAm, Rhythm and Firm baseline allocators
+ * (see baseline.hpp for the modelling notes).
+ */
+
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "baselines/stats.hpp"
+#include "baselines/targets.hpp"
+
+namespace erms {
+
+namespace {
+
+/** Floor each score at 10% of the graph-average score so a near-zero
+ *  statistic cannot produce a degenerate (sub-intercept) target. */
+std::unordered_map<MicroserviceId, double>
+flooredScores(std::unordered_map<MicroserviceId, double> scores)
+{
+    double sum = 0.0;
+    for (const auto &[id, score] : scores)
+        sum += std::max(score, 0.0);
+    const double average = sum / static_cast<double>(scores.size());
+    const double floor = std::max(1e-9, 0.10 * average);
+    for (auto &[id, score] : scores)
+        score = std::max(score, floor);
+    return scores;
+}
+
+/** Total workload per microservice shared by >= 2 services. */
+std::unordered_map<MicroserviceId, double>
+sharedTotalWorkloads(const std::vector<ServiceSpec> &services)
+{
+    std::unordered_map<MicroserviceId, double> totals;
+    std::unordered_map<MicroserviceId, int> users;
+    for (const ServiceSpec &svc : services) {
+        const auto workloads = svc.graph->workloads(svc.workload);
+        for (const auto &[id, gamma] : workloads) {
+            totals[id] += gamma;
+            ++users[id];
+        }
+    }
+    std::unordered_map<MicroserviceId, double> shared;
+    for (const auto &[id, total] : totals) {
+        if (users.at(id) >= 2)
+            shared.emplace(id, total);
+    }
+    return shared;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// GrandSLAm
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Per-microservice score map for one service. */
+using ScoreFn = std::function<std::unordered_map<MicroserviceId, double>(
+    const ServiceSpec &, const BaselineContext &)>;
+
+/**
+ * Shared engine of the score-based baselines: per-service targets from
+ * score-proportional splitting, sizing against total (FCFS) or
+ * cumulative (priority-scheduled) workloads at shared microservices,
+ * max-combined containers.
+ */
+GlobalPlan
+scoreBasedAllocate(const std::vector<ServiceSpec> &services,
+                   const BaselineContext &context, const ScoreFn &score_fn,
+                   bool with_priority)
+{
+    ERMS_ASSERT(context.catalog != nullptr);
+    const auto shared_totals = sharedTotalWorkloads(services);
+
+    // Targets per service.
+    std::unordered_map<ServiceId,
+                       std::unordered_map<MicroserviceId, double>>
+        targets_by_service;
+    for (const ServiceSpec &service : services) {
+        auto scores = score_fn(service, context);
+        targets_by_service.emplace(
+            service.id,
+            pathProportionalTargets(*service.graph, service.slaMs,
+                                    flooredScores(std::move(scores))));
+    }
+
+    // Sizing workloads at shared microservices: total under FCFS;
+    // cumulative by ascending target under priority scheduling.
+    std::unordered_map<ServiceId,
+                       std::unordered_map<MicroserviceId, double>>
+        sizing_by_service;
+    std::unordered_map<MicroserviceId, std::vector<ServiceId>> priority;
+    for (const ServiceSpec &service : services)
+        sizing_by_service[service.id] = shared_totals;
+    if (with_priority) {
+        for (const auto &[ms_id, total] : shared_totals) {
+            std::vector<std::pair<double, const ServiceSpec *>> ranked;
+            for (const ServiceSpec &service : services) {
+                if (!service.graph->contains(ms_id))
+                    continue;
+                ranked.emplace_back(
+                    targets_by_service.at(service.id).at(ms_id), &service);
+            }
+            std::sort(ranked.begin(), ranked.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+            double cumulative = 0.0;
+            auto &order = priority[ms_id];
+            for (const auto &[target, svc] : ranked) {
+                cumulative +=
+                    svc->graph->workloads(svc->workload).at(ms_id);
+                sizing_by_service[svc->id][ms_id] = cumulative;
+                order.push_back(svc->id);
+            }
+        }
+    }
+
+    std::vector<ServiceAllocation> allocations;
+    for (const ServiceSpec &service : services) {
+        allocations.push_back(allocationFromTargets(
+            *context.catalog, context.capacity, service,
+            context.interference, targets_by_service.at(service.id),
+            &sizing_by_service.at(service.id)));
+    }
+    GlobalPlan plan = combineUncoordinated(
+        *context.catalog, context.capacity, std::move(allocations));
+    if (with_priority) {
+        plan.policy = SharingPolicy::Priority;
+        plan.priorityOrder = std::move(priority);
+    }
+    return plan;
+}
+
+} // namespace
+
+GlobalPlan
+GrandSlamAllocator::allocate(const std::vector<ServiceSpec> &services,
+                             const BaselineContext &context)
+{
+    const ScoreFn score_fn = [](const ServiceSpec &service,
+                                const BaselineContext &ctx) {
+        const auto stats = computeWorkloadSweepStats(
+            *ctx.catalog, *service.graph, ctx.interference);
+        std::unordered_map<MicroserviceId, double> scores;
+        for (const auto &[id, stat] : stats)
+            scores.emplace(id, stat.meanLatencyMs);
+        return scores;
+    };
+    return scoreBasedAllocate(services, context, score_fn, withPriority_);
+}
+
+GlobalPlan
+RhythmAllocator::allocate(const std::vector<ServiceSpec> &services,
+                          const BaselineContext &context)
+{
+    const ScoreFn score_fn = [](const ServiceSpec &service,
+                                const BaselineContext &ctx) {
+        const auto stats = computeWorkloadSweepStats(
+            *ctx.catalog, *service.graph, ctx.interference);
+        std::unordered_map<MicroserviceId, double> scores;
+        for (const auto &[id, stat] : stats) {
+            // Contribution: normalized product of mean, variance and
+            // correlation with end-to-end latency.
+            const double corr = std::max(stat.endToEndCorrelation, 0.05);
+            scores.emplace(id, stat.meanLatencyMs *
+                                   std::sqrt(stat.latencyVariance) * corr);
+        }
+        return scores;
+    };
+    return scoreBasedAllocate(services, context, score_fn, withPriority_);
+}
+
+
+// ---------------------------------------------------------------------
+// Firm
+// ---------------------------------------------------------------------
+
+FirmAllocator::FirmAllocator(double epsilon, std::uint64_t seed,
+                             double sla_safety)
+    : epsilon_(epsilon), seed_(seed), slaSafety_(sla_safety)
+{
+    ERMS_ASSERT(epsilon >= 0.0 && epsilon <= 1.0);
+    ERMS_ASSERT(sla_safety > 0.0 && sla_safety <= 1.0);
+}
+
+namespace {
+
+/** Model-estimated microservice latency at the current allocation. */
+double
+estimatedLatency(const MicroserviceCatalog &catalog, MicroserviceId id,
+                 double gamma, int containers, const Interference &itf)
+{
+    const double per_container =
+        gamma / static_cast<double>(std::max(1, containers));
+    const auto &model = catalog.model(id);
+    // Beyond 1.1x the knee (the same saturation guard the Erms solver
+    // uses) the queue saturates; penalize steeply so the tuner never
+    // settles in a physically unstable regime.
+    const double saturation = 1.15 * model.cutoff(itf);
+    if (per_container > saturation) {
+        const double slope =
+            model.band(itf, Interval::AboveCutoff).a;
+        return model.latency(saturation, itf) +
+               10.0 * slope * (per_container - saturation);
+    }
+    return model.latency(per_container, itf);
+}
+
+/** Estimated end-to-end latency and the critical (argmax) path,
+ *  using the stage-sum composition of Fig. 1. */
+double
+estimatedEndToEnd(const MicroserviceCatalog &catalog,
+                  const DependencyGraph &graph,
+                  const std::unordered_map<MicroserviceId, double> &workloads,
+                  const std::unordered_map<MicroserviceId, int> &containers,
+                  const Interference &itf,
+                  std::vector<MicroserviceId> *critical_path)
+{
+    std::unordered_map<MicroserviceId, double> latency;
+    latency.reserve(workloads.size());
+    for (const auto &[id, gamma] : workloads) {
+        latency[id] = estimatedLatency(catalog, id, gamma,
+                                       containers.at(id), itf);
+    }
+    return endToEndLatency(graph, latency, critical_path);
+}
+
+} // namespace
+
+GlobalPlan
+FirmAllocator::allocate(const std::vector<ServiceSpec> &services,
+                        const BaselineContext &context)
+{
+    ERMS_ASSERT(context.catalog != nullptr);
+    const MicroserviceCatalog &catalog = *context.catalog;
+    Rng rng(seed_);
+
+    // Firm tunes per service, but the latencies it observes at a shared
+    // microservice reflect the *total* load on its containers; model
+    // estimates use the aggregate workload there.
+    const auto shared_totals = sharedTotalWorkloads(services);
+
+    std::vector<ServiceAllocation> allocations;
+    for (const ServiceSpec &service : services) {
+        const DependencyGraph &graph = *service.graph;
+        auto workloads = graph.workloads(service.workload);
+        for (auto &[id, gamma] : workloads) {
+            auto it = shared_totals.find(id);
+            if (it != shared_totals.end())
+                gamma = it->second;
+        }
+
+        // Initial allocation: operate each microservice at its knee.
+        // Like every scheme, Firm knows queues saturate shortly past the
+        // knee: it never reclaims below the 1.1x-knee floor, and its
+        // increments stop at a dense 4x-knee ceiling.
+        std::unordered_map<MicroserviceId, int> containers;
+        std::unordered_map<MicroserviceId, int> floor_n;
+        std::unordered_map<MicroserviceId, int> ceil_n;
+        for (MicroserviceId id : graph.nodes()) {
+            const double cutoff = std::max(
+                catalog.model(id).cutoff(context.interference), 1.0);
+            const double gamma = workloads.at(id);
+            floor_n[id] = std::max(
+                1, static_cast<int>(std::ceil(gamma / (1.15 * cutoff))));
+            ceil_n[id] = std::max(
+                floor_n[id] + 1,
+                static_cast<int>(std::ceil(4.0 * gamma / cutoff)));
+            containers[id] = std::max(
+                1, static_cast<int>(std::ceil(gamma / cutoff)));
+        }
+
+        // RL-style tuning loop: bump the hottest microservice on the
+        // critical path while violating; reclaim when comfortably under.
+        constexpr int kMaxIterations = 300;
+        for (int iter = 0; iter < kMaxIterations; ++iter) {
+            std::vector<MicroserviceId> critical;
+            const double e2e = estimatedEndToEnd(
+                catalog, graph, workloads, containers,
+                context.interference, &critical);
+            const double aim = slaSafety_ * service.slaMs;
+            if (e2e > aim) {
+                // Critical-component localization: worst latency on the
+                // critical path (with epsilon-greedy exploration).
+                MicroserviceId pick = critical.front();
+                if (rng.bernoulli(epsilon_)) {
+                    pick = critical[static_cast<std::size_t>(rng.uniformInt(
+                        0, static_cast<std::int64_t>(critical.size()) - 1))];
+                } else {
+                    double worst = -1.0;
+                    for (MicroserviceId id : critical) {
+                        const double latency = estimatedLatency(
+                            catalog, id, workloads.at(id), containers.at(id),
+                            context.interference);
+                        if (latency > worst) {
+                            worst = latency;
+                            pick = id;
+                        }
+                    }
+                }
+                // RL step sizes are coarse: +25%% on the critical
+                // component, which overshoots near the SLA boundary (the
+                // over-allocation behaviour of Fig. 11).
+                if (containers[pick] >= ceil_n[pick])
+                    break; // saturated everywhere useful: give up
+                containers[pick] = std::min(
+                    ceil_n[pick],
+                    containers[pick] +
+                        std::max(1, static_cast<int>(std::ceil(
+                                        0.25 * containers[pick]))));
+            } else if (e2e < 0.6 * aim) {
+                // Conservative reclaim: try one randomly-chosen
+                // microservice; stop reclaiming after the first failure.
+                std::vector<MicroserviceId> candidates;
+                for (MicroserviceId id : graph.nodes()) {
+                    if (containers[id] > floor_n[id])
+                        candidates.push_back(id);
+                }
+                if (candidates.empty())
+                    break;
+                const MicroserviceId pick =
+                    candidates[static_cast<std::size_t>(rng.uniformInt(
+                        0,
+                        static_cast<std::int64_t>(candidates.size()) - 1))];
+                --containers[pick];
+                const double trial = estimatedEndToEnd(
+                    catalog, graph, workloads, containers,
+                    context.interference, nullptr);
+                if (trial >= 0.9 * aim) {
+                    ++containers[pick]; // revert and give up reclaiming
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+
+        ServiceAllocation alloc;
+        alloc.service = service.id;
+        alloc.slaMs = service.slaMs;
+        alloc.feasible = true;
+        for (MicroserviceId id : graph.nodes()) {
+            MicroserviceAllocation ms_alloc;
+            ms_alloc.workload = workloads.at(id);
+            ms_alloc.containers = containers.at(id);
+            ms_alloc.containersFractional =
+                static_cast<double>(containers.at(id));
+            ms_alloc.latencyTargetMs = estimatedLatency(
+                catalog, id, workloads.at(id), containers.at(id),
+                context.interference);
+            ms_alloc.resourceDemand = dominantShare(
+                catalog.profile(id).resources, context.capacity);
+            alloc.perMicroservice.emplace(id, ms_alloc);
+        }
+        allocations.push_back(std::move(alloc));
+    }
+    return combineUncoordinated(catalog, context.capacity,
+                                std::move(allocations));
+}
+
+} // namespace erms

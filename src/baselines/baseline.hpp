@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Baseline resource managers evaluated against Erms (§6.1):
+ *
+ *  - GrandSLAm [22]: latency targets proportional to each microservice's
+ *    *average* latency across workloads, per root-to-leaf path; no
+ *    workload/interference awareness in the split.
+ *  - Rhythm [45]: targets proportional to a contribution score — the
+ *    normalized product of mean latency, latency variance and the
+ *    correlation between microservice latency and end-to-end latency.
+ *  - Firm [35]: critical-path localization plus per-microservice
+ *    reinforcement-learning-style tuning: repeatedly bump the most
+ *    critical microservice until the (estimated) SLA holds, reclaim when
+ *    comfortably under it.
+ *
+ * All baselines size containers with the *true* piecewise latency model
+ * once their targets are chosen — differences in resource usage and SLA
+ * compliance then isolate the quality of target allocation and (lack of)
+ * shared-microservice coordination, as in the paper's §2.2 analysis.
+ * None of them coordinates shared microservices: each service computes
+ * targets independently and a shared microservice deploys the maximum
+ * demand (equivalently, the minimum latency target, §2.3).
+ */
+
+#ifndef ERMS_BASELINES_BASELINE_HPP
+#define ERMS_BASELINES_BASELINE_HPP
+
+#include <string>
+
+#include "scaling/multiplexing.hpp"
+
+namespace erms {
+
+/** Shared inputs for every baseline. */
+struct BaselineContext
+{
+    const MicroserviceCatalog *catalog = nullptr;
+    ClusterCapacity capacity{};
+    Interference interference{};
+};
+
+/** Abstract baseline allocator. */
+class BaselineAllocator
+{
+  public:
+    virtual ~BaselineAllocator() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Produce a cluster-wide plan for the given services. */
+    virtual GlobalPlan allocate(const std::vector<ServiceSpec> &services,
+                                const BaselineContext &context) = 0;
+};
+
+/** GrandSLAm-style mean-proportional target allocation. */
+class GrandSlamAllocator : public BaselineAllocator
+{
+  public:
+    /**
+     * @param with_priority apply Erms-style priority scheduling on top
+     *        (§6.4.2): order services at shared microservices by
+     *        ascending target and size them against cumulative instead
+     *        of total workloads. The paper finds this helps baselines
+     *        only marginally since their targets never adapt.
+     */
+    explicit GrandSlamAllocator(bool with_priority = false)
+        : withPriority_(with_priority)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return withPriority_ ? "GrandSLAm+prio" : "GrandSLAm";
+    }
+    GlobalPlan allocate(const std::vector<ServiceSpec> &services,
+                        const BaselineContext &context) override;
+
+  private:
+    bool withPriority_;
+};
+
+/** Rhythm-style contribution-score target allocation. */
+class RhythmAllocator : public BaselineAllocator
+{
+  public:
+    /** @param with_priority see GrandSlamAllocator. */
+    explicit RhythmAllocator(bool with_priority = false)
+        : withPriority_(with_priority)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return withPriority_ ? "Rhythm+prio" : "Rhythm";
+    }
+    GlobalPlan allocate(const std::vector<ServiceSpec> &services,
+                        const BaselineContext &context) override;
+
+  private:
+    bool withPriority_;
+};
+
+/** Firm-style critical-component RL tuning. */
+class FirmAllocator : public BaselineAllocator
+{
+  public:
+    /**
+     * @param epsilon exploration probability of the epsilon-greedy tuner
+     * @param seed    RNG seed for exploration
+     * @param sla_safety fraction of the SLA the tuner actually aims for:
+     *        RL reward shaping penalizes violations heavily, so Firm
+     *        converges well below the SLA boundary and over-allocates —
+     *        the behaviour Fig. 11 reports.
+     */
+    explicit FirmAllocator(double epsilon = 0.1, std::uint64_t seed = 23,
+                           double sla_safety = 0.85);
+
+    std::string name() const override { return "Firm"; }
+    GlobalPlan allocate(const std::vector<ServiceSpec> &services,
+                        const BaselineContext &context) override;
+
+  private:
+    double epsilon_;
+    std::uint64_t seed_;
+    double slaSafety_;
+};
+
+} // namespace erms
+
+#endif // ERMS_BASELINES_BASELINE_HPP

@@ -1,0 +1,69 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace erms {
+
+std::unordered_map<MicroserviceId, MicroserviceStats>
+computeWorkloadSweepStats(const MicroserviceCatalog &catalog,
+                          const DependencyGraph &graph,
+                          const Interference &itf, int grid_points)
+{
+    ERMS_ASSERT(grid_points >= 2);
+
+    // Latency series per microservice over the relative-load grid.
+    std::unordered_map<MicroserviceId, std::vector<double>> series;
+    std::vector<double> e2e(static_cast<std::size_t>(grid_points), 0.0);
+
+    for (int g = 0; g < grid_points; ++g) {
+        // Traces mostly show sub-knee operation (autoscalers keep
+        // services below saturation), so the sweep covers 10%-110% of
+        // each microservice's cutoff workload.
+        const double fraction =
+            0.10 + (1.10 - 0.10) * static_cast<double>(g) /
+                       static_cast<double>(grid_points - 1);
+        std::unordered_map<MicroserviceId, double> latency_at;
+        for (MicroserviceId id : graph.nodes()) {
+            const auto &model = catalog.model(id);
+            const double cutoff = model.cutoff(itf);
+            const double latency = model.latency(fraction * cutoff, itf);
+            latency_at[id] = latency;
+            series[id].push_back(latency);
+        }
+
+        // End-to-end at this grid point: recursive stage-max sum.
+        const std::function<double(MicroserviceId)> walk =
+            [&](MicroserviceId id) -> double {
+            double total = latency_at.at(id);
+            for (const auto &stage : graph.stages(id)) {
+                double stage_max = 0.0;
+                for (const DependencyGraph::Call &call : stage) {
+                    stage_max =
+                        std::max(stage_max, walk(call.callee));
+                }
+                total += stage_max;
+            }
+            return total;
+        };
+        e2e[static_cast<std::size_t>(g)] = walk(graph.root());
+    }
+
+    std::unordered_map<MicroserviceId, MicroserviceStats> stats;
+    for (MicroserviceId id : graph.nodes()) {
+        StreamingStats acc;
+        for (double latency : series.at(id))
+            acc.add(latency);
+        MicroserviceStats s;
+        s.meanLatencyMs = acc.mean();
+        s.latencyVariance = acc.variance();
+        s.endToEndCorrelation = pearsonCorrelation(series.at(id), e2e);
+        stats.emplace(id, s);
+    }
+    return stats;
+}
+
+} // namespace erms

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Latency statistics "across different workloads" that GrandSLAm and
+ * Rhythm base their target allocation on (§2.2, §6.1): mean, variance,
+ * and the correlation between microservice latency and end-to-end
+ * latency, sampled from the latency models over a load sweep.
+ */
+
+#ifndef ERMS_BASELINES_STATS_HPP
+#define ERMS_BASELINES_STATS_HPP
+
+#include <unordered_map>
+
+#include "graph/dependency_graph.hpp"
+#include "model/catalog.hpp"
+
+namespace erms {
+
+/** Workload-sweep statistics of one microservice. */
+struct MicroserviceStats
+{
+    double meanLatencyMs = 0.0;
+    double latencyVariance = 0.0;
+    /** Pearson correlation of L_i with the end-to-end latency. */
+    double endToEndCorrelation = 0.0;
+};
+
+/**
+ * Sweep each microservice in the graph from 10% to 110% of its cutoff
+ * workload (per container) at the given interference, evaluating the
+ * piecewise latency model; compute per-microservice mean/variance and
+ * correlation with the summed (per root-to-leaf path max) end-to-end
+ * latency at the same relative load.
+ */
+std::unordered_map<MicroserviceId, MicroserviceStats>
+computeWorkloadSweepStats(const MicroserviceCatalog &catalog,
+                          const DependencyGraph &graph,
+                          const Interference &itf, int grid_points = 24);
+
+} // namespace erms
+
+#endif // ERMS_BASELINES_STATS_HPP

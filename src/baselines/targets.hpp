@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared machinery for score-based baselines: distribute a service's SLA
+ * over each root-to-leaf path proportionally to per-microservice scores
+ * (taking the minimum across paths for microservices on several paths),
+ * then size containers with the true piecewise latency model and combine
+ * services without coordination (max demand at shared microservices).
+ */
+
+#ifndef ERMS_BASELINES_TARGETS_HPP
+#define ERMS_BASELINES_TARGETS_HPP
+
+#include <unordered_map>
+
+#include "scaling/multiplexing.hpp"
+
+namespace erms {
+
+/**
+ * Score-proportional SLA split with the graph's latency semantics:
+ * recursively, a node's budget is divided between the node itself and
+ * its sequential stages proportionally to scores (a stage's score is the
+ * max over its parallel branches' subtree scores, mirroring how stage
+ * latency composes); all branches of a parallel stage inherit the stage
+ * budget. Along every critical path the targets sum to exactly the SLA.
+ * Scores must be positive.
+ */
+std::unordered_map<MicroserviceId, double>
+pathProportionalTargets(const DependencyGraph &graph, double sla_ms,
+                        const std::unordered_map<MicroserviceId, double> &scores);
+
+/**
+ * Build a ServiceAllocation from fixed latency targets: pick the model
+ * interval consistent with each target and size n = a*gamma/(T - b).
+ * When total_workloads is given, sizing at microservices present in the
+ * map uses that (cluster-wide) workload — baselines observe the actual
+ * aggregate load on a shared microservice's containers even though they
+ * never coordinate targets across services (§2.3 FCFS semantics).
+ * Targets at or below the intercept are sized against a floor slack of
+ * 2% of the intercept (the latency can never undercut b, so the service
+ * will simply violate in validation — exactly the baseline behaviour the
+ * paper reports).
+ */
+ServiceAllocation
+allocationFromTargets(const MicroserviceCatalog &catalog,
+                      ClusterCapacity capacity, const ServiceSpec &service,
+                      const Interference &itf,
+                      const std::unordered_map<MicroserviceId, double> &targets,
+                      const std::unordered_map<MicroserviceId, double>
+                          *total_workloads = nullptr);
+
+/**
+ * Combine per-service allocations into a GlobalPlan without shared-
+ * microservice coordination: deployed containers take the maximum demand
+ * (FCFS sharing, §2.3).
+ */
+GlobalPlan
+combineUncoordinated(const MicroserviceCatalog &catalog,
+                     ClusterCapacity capacity,
+                     std::vector<ServiceAllocation> allocations);
+
+} // namespace erms
+
+#endif // ERMS_BASELINES_TARGETS_HPP

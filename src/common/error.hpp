@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error handling primitives.
+ *
+ * Following the gem5 fatal()/panic() distinction:
+ *  - ErmsError (via throwError) reports conditions caused by bad user
+ *    input — an infeasible SLA, a malformed graph — that a caller can
+ *    catch and handle.
+ *  - ERMS_ASSERT flags internal invariant violations, i.e. library bugs.
+ */
+
+#ifndef ERMS_COMMON_ERROR_HPP
+#define ERMS_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace erms {
+
+/** Exception type for all user-facing Erms failures. */
+class ErmsError : public std::runtime_error
+{
+  public:
+    explicit ErmsError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Raised when an SLA cannot be met with any finite resource allocation. */
+class InfeasibleError : public ErmsError
+{
+  public:
+    explicit InfeasibleError(const std::string &what) : ErmsError(what) {}
+};
+
+/** Raised when a dependency graph violates structural requirements. */
+class GraphError : public ErmsError
+{
+  public:
+    explicit GraphError(const std::string &what) : ErmsError(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+assertFail(const char *expr, const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "ERMS internal assertion failed: " << expr << " at " << file << ":"
+       << line;
+    if (!msg.empty())
+        os << " — " << msg;
+    throw std::logic_error(os.str());
+}
+
+} // namespace detail
+} // namespace erms
+
+/** Internal invariant check; failure indicates a bug in Erms itself. */
+#define ERMS_ASSERT(expr)                                                     \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::erms::detail::assertFail(#expr, __FILE__, __LINE__, "");        \
+    } while (0)
+
+/** Internal invariant check with an explanatory message. */
+#define ERMS_ASSERT_MSG(expr, msg)                                            \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::erms::detail::assertFail(#expr, __FILE__, __LINE__, (msg));     \
+    } while (0)
+
+#endif // ERMS_COMMON_ERROR_HPP

@@ -1,0 +1,104 @@
+#include "linalg.hpp"
+
+#include <cmath>
+
+#include "error.hpp"
+
+namespace erms {
+
+std::vector<double>
+solveLinearSystem(std::vector<double> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    ERMS_ASSERT(a.size() == n * n);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        double best = std::fabs(a[col * n + col]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double mag = std::fabs(a[row * n + col]);
+            if (mag > best) {
+                best = mag;
+                pivot = row;
+            }
+        }
+        if (best < 1e-14)
+            return {};
+        if (pivot != col) {
+            for (std::size_t k = 0; k < n; ++k)
+                std::swap(a[pivot * n + k], a[col * n + k]);
+            std::swap(b[pivot], b[col]);
+        }
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row * n + col] / a[col * n + col];
+            if (factor == 0.0)
+                continue;
+            for (std::size_t k = col; k < n; ++k)
+                a[row * n + k] -= factor * a[col * n + k];
+            b[row] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            acc -= a[i * n + k] * x[k];
+        x[i] = acc / a[i * n + i];
+    }
+    return x;
+}
+
+std::vector<double>
+leastSquares(const std::vector<double> &x, const std::vector<double> &y,
+             std::size_t cols, double lambda)
+{
+    ERMS_ASSERT(cols > 0);
+    const std::size_t rows = y.size();
+    ERMS_ASSERT(x.size() == rows * cols);
+    if (rows == 0)
+        return std::vector<double>(cols, 0.0);
+
+    // Normal equations: (X^T X + lambda I) w = X^T y.
+    std::vector<double> xtx(cols * cols, 0.0);
+    std::vector<double> xty(cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double *row = &x[r * cols];
+        for (std::size_t i = 0; i < cols; ++i) {
+            xty[i] += row[i] * y[r];
+            for (std::size_t j = i; j < cols; ++j)
+                xtx[i * cols + j] += row[i] * row[j];
+        }
+    }
+    for (std::size_t i = 0; i < cols; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            xtx[i * cols + j] = xtx[j * cols + i];
+        xtx[i * cols + i] += lambda;
+    }
+
+    auto w = solveLinearSystem(std::move(xtx), std::move(xty));
+    if (w.empty())
+        w.assign(cols, 0.0);
+    return w;
+}
+
+double
+residualSumOfSquares(const std::vector<double> &x, const std::vector<double> &y,
+                     std::size_t cols, const std::vector<double> &w)
+{
+    ERMS_ASSERT(w.size() == cols);
+    const std::size_t rows = y.size();
+    ERMS_ASSERT(x.size() == rows * cols);
+    double rss = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        double pred = 0.0;
+        for (std::size_t c = 0; c < cols; ++c)
+            pred += x[r * cols + c] * w[c];
+        const double err = pred - y[r];
+        rss += err * err;
+    }
+    return rss;
+}
+
+} // namespace erms

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small dense linear-algebra helpers: ordinary least squares via normal
+ * equations with Gaussian elimination. Sized for the profiler's tiny
+ * feature sets (<= 8 features), not for general numerical work.
+ */
+
+#ifndef ERMS_COMMON_LINALG_HPP
+#define ERMS_COMMON_LINALG_HPP
+
+#include <vector>
+
+namespace erms {
+
+/**
+ * Solve the linear system A x = b for square A (row-major, n x n) with
+ * partial pivoting. Returns an empty vector when A is singular.
+ */
+std::vector<double> solveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b);
+
+/**
+ * Ordinary least squares: find w minimizing ||X w - y||^2 with ridge
+ * damping lambda for numerical stability. X is row-major with
+ * rows = y.size() and cols = w.size().
+ */
+std::vector<double> leastSquares(const std::vector<double> &x,
+                                 const std::vector<double> &y,
+                                 std::size_t cols, double lambda = 1e-9);
+
+/** Sum of squared residuals of a fitted linear model. */
+double residualSumOfSquares(const std::vector<double> &x,
+                            const std::vector<double> &y, std::size_t cols,
+                            const std::vector<double> &w);
+
+} // namespace erms
+
+#endif // ERMS_COMMON_LINALG_HPP

@@ -1,0 +1,200 @@
+#include "rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "error.hpp"
+
+namespace erms {
+namespace {
+
+/** SplitMix64 step, used for seeding and stream splitting. */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa0761d6478bd642fULL);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    ERMS_ASSERT(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::exponential(double mean)
+{
+    ERMS_ASSERT(mean > 0.0);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    if (hasSpareNormal_) {
+        hasSpareNormal_ = false;
+        return spareNormal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spareNormal_ = r * std::sin(theta);
+    hasSpareNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormalMeanCv(double mean, double cv)
+{
+    ERMS_ASSERT(mean > 0.0 && cv >= 0.0);
+    if (cv == 0.0)
+        return mean;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    ERMS_ASSERT(mean >= 0.0);
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        const double limit = std::exp(-mean);
+        double prod = uniform();
+        std::uint64_t n = 0;
+        while (prod > limit) {
+            prod *= uniform();
+            ++n;
+        }
+        return n;
+    }
+    // Normal approximation with continuity correction for large means.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    ERMS_ASSERT(n >= 1);
+    if (n == 1)
+        return 1;
+    if (s <= 1.0) {
+        // Rejection sampling needs s > 1; fall back to explicit weights.
+        std::vector<double> weights(n);
+        for (std::uint64_t k = 1; k <= n; ++k)
+            weights[k - 1] = std::pow(static_cast<double>(k), -s);
+        return static_cast<std::uint64_t>(weightedIndex(weights)) + 1;
+    }
+    // Inverse-CDF via rejection (Devroye). Good enough for workload synth.
+    const double b = std::pow(2.0, s - 1.0);
+    while (true) {
+        const double u = uniform();
+        const double v = uniform();
+        const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+        if (x < 1.0 || x > static_cast<double>(n))
+            continue;
+        const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+        if (v * x * (t - 1.0) / (b - 1.0) <= t / b)
+            return static_cast<std::uint64_t>(x);
+    }
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    ERMS_ASSERT(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        ERMS_ASSERT(w >= 0.0);
+        total += w;
+    }
+    ERMS_ASSERT(total > 0.0);
+    double draw = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace erms

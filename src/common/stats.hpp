@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Statistics accumulators used across the simulator, profiler and
+ * benchmark harnesses: streaming mean/variance, exact percentile
+ * estimation over stored samples, windowed (per-minute) aggregation, and
+ * empirical CDF extraction for the paper's distribution figures.
+ */
+
+#ifndef ERMS_COMMON_STATS_HPP
+#define ERMS_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace erms {
+
+/**
+ * Streaming first/second moment accumulator (Welford). Constant memory;
+ * used where only mean/variance are needed (e.g. Rhythm's contribution
+ * statistics).
+ */
+class StreamingStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Standard deviation derived from variance(). */
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one (parallel aggregation). */
+    void merge(const StreamingStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Exact sample store with percentile queries. Samples are buffered and
+ * sorted lazily on the first quantile query after an insert.
+ */
+class SampleSet
+{
+  public:
+    void add(double x);
+    void addAll(const std::vector<double> &xs);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * Quantile in [0, 1] using linear interpolation between order
+     * statistics. quantile(0.95) is the paper's P95.
+     */
+    double quantile(double q) const;
+
+    /** Convenience alias for the paper's tail metrics. */
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Fraction of samples strictly greater than the threshold. */
+    double fractionAbove(double threshold) const;
+
+    /**
+     * Empirical CDF evaluated at the given points:
+     * result[i] = P(X <= points[i]).
+     */
+    std::vector<double> cdfAt(const std::vector<double> &points) const;
+
+    /**
+     * (value, cumulative probability) pairs over all distinct sorted
+     * samples — the series plotted in the paper's CDF figures.
+     */
+    std::vector<std::pair<double, double>> cdfSeries() const;
+
+    const std::vector<double> &samples() const { return samples_; }
+    void clear();
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Time-windowed sample aggregation keyed by an integral window index
+ * (the paper aggregates per minute: latency samples and per-container
+ * call counts within the jth minute form one profiling data point).
+ */
+class WindowedSamples
+{
+  public:
+    /** Add a sample into the window with the given index. */
+    void add(std::uint64_t window, double x);
+
+    /** Number of distinct windows with at least one sample. */
+    std::size_t windowCount() const { return windows_.size(); }
+
+    /** Sorted list of window indices present. */
+    std::vector<std::uint64_t> windowIndices() const;
+
+    /** Sample set of one window; empty set if absent. */
+    const SampleSet &window(std::uint64_t index) const;
+
+  private:
+    std::vector<std::pair<std::uint64_t, SampleSet>> windows_;
+    static const SampleSet kEmpty;
+};
+
+/** Pearson correlation coefficient; 0 when undefined. */
+double pearsonCorrelation(const std::vector<double> &x,
+                          const std::vector<double> &y);
+
+} // namespace erms
+
+#endif // ERMS_COMMON_STATS_HPP

@@ -1,0 +1,99 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "error.hpp"
+
+namespace erms {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    ERMS_ASSERT(!headers_.empty());
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    ERMS_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+TextTable &
+TextTable::cell(std::size_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(long value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &text = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << text;
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "== " << title << " ==" << '\n';
+}
+
+} // namespace erms

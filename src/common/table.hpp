@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table/series printer used by the benchmark harnesses so every
+ * bench binary emits the paper's rows in a uniform, diff-friendly layout.
+ */
+
+#ifndef ERMS_COMMON_TABLE_HPP
+#define ERMS_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace erms {
+
+/**
+ * Column-aligned text table. Collects string/number cells row by row and
+ * renders with padded columns; numeric cells are formatted with fixed
+ * precision.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    TextTable &row();
+
+    TextTable &cell(const std::string &value);
+    TextTable &cell(const char *value);
+    TextTable &cell(double value, int precision = 3);
+    TextTable &cell(std::size_t value);
+    TextTable &cell(long value);
+    TextTable &cell(int value);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a titled section banner (used between experiment sub-tables). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace erms
+
+#endif // ERMS_COMMON_TABLE_HPP

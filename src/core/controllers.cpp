@@ -1,0 +1,101 @@
+#include "controllers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+std::function<void(Simulation &, int)>
+makeBaselineAutoscaler(std::shared_ptr<BaselineAllocator> allocator,
+                       BaselineContext context,
+                       std::vector<ServiceSpec> services,
+                       double workload_headroom)
+{
+    ERMS_ASSERT(allocator != nullptr);
+    ERMS_ASSERT(context.catalog != nullptr);
+    return [allocator, context, services = std::move(services),
+            workload_headroom](Simulation &sim, int) mutable {
+        for (ServiceSpec &svc : services) {
+            const double observed = sim.observedRate(svc.id);
+            if (observed > 0.0)
+                svc.workload = observed * workload_headroom;
+        }
+        BaselineContext ctx = context;
+        ctx.interference = sim.clusterInterference();
+        const GlobalPlan plan = allocator->allocate(services, ctx);
+        sim.applyPlan(plan);
+    };
+}
+
+std::function<void(Simulation &, int)>
+makeFirmReactiveController(const MicroserviceCatalog &catalog,
+                           std::vector<ServiceSpec> services)
+{
+    return [&catalog, services = std::move(services)](Simulation &sim,
+                                                      int minute) {
+        const auto &metrics = sim.metrics();
+        for (const ServiceSpec &svc : services) {
+            auto windows_it =
+                metrics.endToEndByMinute.find(svc.id);
+            if (windows_it == metrics.endToEndByMinute.end())
+                continue;
+            const SampleSet &window = windows_it->second.window(
+                static_cast<std::uint64_t>(minute));
+            if (window.empty())
+                continue;
+            const double p95 = window.p95();
+
+            if (p95 > svc.slaMs) {
+                // Locate the critical component: the microservice with
+                // the worst observed tail latency this minute.
+                MicroserviceId critical = kInvalidMicroservice;
+                double worst = -1.0;
+                for (const ProfilingRecord &record : metrics.profiling) {
+                    if (record.minute !=
+                        static_cast<std::uint64_t>(minute))
+                        continue;
+                    if (!svc.graph->contains(record.microservice))
+                        continue;
+                    if (record.tailLatencyMs > worst) {
+                        worst = record.tailLatencyMs;
+                        critical = record.microservice;
+                    }
+                }
+                if (critical == kInvalidMicroservice)
+                    critical = svc.graph->root();
+                // Bump the critical component hard and everything else in
+                // the violating service a little (queues have built up
+                // everywhere by the time Firm notices).
+                for (MicroserviceId id : svc.graph->nodes()) {
+                    const int current = sim.containerCount(id);
+                    const double step = id == critical ? 0.30 : 0.10;
+                    sim.setContainerCount(
+                        id, current + std::max(1, static_cast<int>(
+                                                      std::ceil(step *
+                                                                current))));
+                }
+            } else if (p95 < 0.75 * svc.slaMs) {
+                // Reclaim from the most-provisioned microservice.
+                MicroserviceId fattest = kInvalidMicroservice;
+                int most = 1;
+                for (MicroserviceId id : svc.graph->nodes()) {
+                    const int count = sim.containerCount(id);
+                    if (count > most) {
+                        most = count;
+                        fattest = id;
+                    }
+                }
+                if (fattest != kInvalidMicroservice) {
+                    const int reduced = std::max(
+                        1, most - std::max(1, static_cast<int>(
+                                                  std::floor(0.10 * most))));
+                    sim.setContainerCount(fattest, reduced);
+                }
+            }
+        }
+    };
+}
+
+} // namespace erms

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Closed-loop controllers for the dynamic-workload experiments
+ * (Fig. 13): baseline autoscalers that re-plan per minute from observed
+ * workloads, and a reactive Firm-style controller that only responds
+ * *after* observing SLA violations (the "late detection of bottleneck
+ * microservices" behaviour the paper reports).
+ */
+
+#ifndef ERMS_CORE_CONTROLLERS_HPP
+#define ERMS_CORE_CONTROLLERS_HPP
+
+#include <functional>
+#include <memory>
+
+#include "baselines/baseline.hpp"
+#include "sim/simulation.hpp"
+
+namespace erms {
+
+/**
+ * Wrap a baseline allocator into a per-minute autoscaler (GrandSLAm /
+ * Rhythm in Fig. 13): observed rates feed the allocator, the resulting
+ * plan is applied without priority scheduling.
+ */
+std::function<void(Simulation &, int)>
+makeBaselineAutoscaler(std::shared_ptr<BaselineAllocator> allocator,
+                       BaselineContext context,
+                       std::vector<ServiceSpec> services,
+                       double workload_headroom = 1.1);
+
+/**
+ * Reactive Firm-style controller: each minute, for each service whose
+ * observed P95 exceeded its SLA, bump the worst-latency microservice of
+ * its graph by 15%; when P95 sits below 75% of the SLA, reclaim 10% from
+ * the most over-provisioned microservice.
+ */
+std::function<void(Simulation &, int)>
+makeFirmReactiveController(const MicroserviceCatalog &catalog,
+                           std::vector<ServiceSpec> services);
+
+} // namespace erms
+
+#endif // ERMS_CORE_CONTROLLERS_HPP

@@ -1,0 +1,69 @@
+#include "erms.hpp"
+
+#include "common/error.hpp"
+
+namespace erms {
+
+ErmsController::ErmsController(const MicroserviceCatalog &catalog,
+                               ErmsConfig config)
+    : catalog_(catalog), config_(config),
+      planner_(catalog, config.capacity, config.solver)
+{
+    ERMS_ASSERT(config.workloadHeadroom >= 1.0);
+}
+
+GlobalPlan
+ErmsController::plan(const std::vector<ServiceSpec> &services,
+                     const Interference &itf) const
+{
+    return planner_.plan(services, itf, config_.policy);
+}
+
+std::function<void(Simulation &, int)>
+ErmsController::makeAutoscaler(std::vector<ServiceSpec> services) const
+{
+    // The closure owns its service list; observed rates overwrite the
+    // workload field each minute. A service whose observed P95 exceeded
+    // its SLA gets a recovery boost: matching capacity to arrivals alone
+    // would never drain the queue that built up, so provision surplus
+    // until the tail is back under the SLA.
+    return [this, services = std::move(services)](Simulation &sim,
+                                                  int minute) mutable {
+        for (ServiceSpec &svc : services) {
+            const double observed = sim.observedRate(svc.id);
+            if (observed <= 0.0)
+                continue;
+            double factor = config_.workloadHeadroom;
+            auto it = sim.metrics().endToEndByMinute.find(svc.id);
+            if (it != sim.metrics().endToEndByMinute.end()) {
+                const double p95 =
+                    it->second.window(static_cast<std::uint64_t>(minute))
+                        .p95();
+                if (p95 > svc.slaMs)
+                    factor *= 1.6; // drain the backlog
+            }
+            svc.workload = observed * factor;
+        }
+        // Best-effort degradation: if the SLA is model-infeasible at
+        // the current interference (e.g. it tightened as load grew),
+        // re-plan against a relaxed SLA rather than freezing the stale
+        // deployment — an under-scaled cluster melts down, a best-effort
+        // plan merely misses the target.
+        const Interference itf = sim.clusterInterference();
+        GlobalPlan next = plan(services, itf);
+        if (!next.feasible) {
+            std::vector<ServiceSpec> relaxed = services;
+            for (double factor : {1.25, 1.6, 2.2}) {
+                for (std::size_t i = 0; i < services.size(); ++i)
+                    relaxed[i].slaMs = services[i].slaMs * factor;
+                next = plan(relaxed, itf);
+                if (next.feasible)
+                    break;
+            }
+        }
+        if (next.feasible)
+            sim.applyPlan(next);
+    };
+}
+
+} // namespace erms

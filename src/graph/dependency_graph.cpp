@@ -1,0 +1,265 @@
+#include "dependency_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+DependencyGraph::DependencyGraph(ServiceId service, MicroserviceId root)
+    : service_(service), root_(root)
+{
+    if (root == kInvalidMicroservice)
+        throw GraphError("dependency graph requires a valid root");
+    nodes_.push_back(root);
+    info_.emplace(root, NodeInfo{});
+}
+
+void
+DependencyGraph::addCall(MicroserviceId parent, MicroserviceId child,
+                         int stage, double multiplicity)
+{
+    auto parent_it = info_.find(parent);
+    if (parent_it == info_.end()) {
+        throw GraphError("addCall: parent " + std::to_string(parent) +
+                         " not in graph");
+    }
+    if (info_.count(child)) {
+        throw GraphError("addCall: microservice " + std::to_string(child) +
+                         " already appears in this graph (tree property)");
+    }
+    if (multiplicity <= 0.0)
+        throw GraphError("addCall: multiplicity must be positive");
+
+    auto &calls = parent_it->second.calls;
+    calls.push_back(Call{child, stage, multiplicity});
+    std::stable_sort(calls.begin(), calls.end(),
+                     [](const Call &a, const Call &b) {
+                         return a.stage < b.stage;
+                     });
+
+    nodes_.push_back(child);
+    NodeInfo child_info;
+    child_info.parent = parent;
+    info_.emplace(child, std::move(child_info));
+}
+
+bool
+DependencyGraph::contains(MicroserviceId id) const
+{
+    return info_.count(id) > 0;
+}
+
+const DependencyGraph::NodeInfo &
+DependencyGraph::info(MicroserviceId id) const
+{
+    auto it = info_.find(id);
+    if (it == info_.end()) {
+        throw GraphError("microservice " + std::to_string(id) +
+                         " not in graph");
+    }
+    return it->second;
+}
+
+const std::vector<DependencyGraph::Call> &
+DependencyGraph::calls(MicroserviceId parent) const
+{
+    return info(parent).calls;
+}
+
+std::vector<std::vector<DependencyGraph::Call>>
+DependencyGraph::stages(MicroserviceId parent) const
+{
+    std::vector<std::vector<Call>> grouped;
+    for (const Call &call : info(parent).calls) {
+        if (grouped.empty() || grouped.back().front().stage != call.stage)
+            grouped.emplace_back();
+        grouped.back().push_back(call);
+    }
+    return grouped;
+}
+
+MicroserviceId
+DependencyGraph::parent(MicroserviceId id) const
+{
+    return info(id).parent;
+}
+
+bool
+DependencyGraph::isLeaf(MicroserviceId id) const
+{
+    return info(id).calls.empty();
+}
+
+std::unordered_map<MicroserviceId, double>
+DependencyGraph::workloads(double root_rate) const
+{
+    ERMS_ASSERT(root_rate >= 0.0);
+    std::unordered_map<MicroserviceId, double> result;
+    result.reserve(nodes_.size());
+
+    // nodes_ is in insertion order with parents always before children,
+    // so one forward pass propagates multiplicities.
+    result[root_] = root_rate;
+    for (MicroserviceId id : nodes_) {
+        const double parent_rate = result.at(id);
+        for (const Call &call : info(id).calls)
+            result[call.callee] = parent_rate * call.multiplicity;
+    }
+    return result;
+}
+
+std::vector<std::vector<MicroserviceId>>
+DependencyGraph::rootToLeafPaths() const
+{
+    std::vector<std::vector<MicroserviceId>> paths;
+    std::vector<MicroserviceId> current;
+
+    const std::function<void(MicroserviceId)> walk =
+        [&](MicroserviceId id) {
+            current.push_back(id);
+            const auto &node_calls = info(id).calls;
+            if (node_calls.empty()) {
+                paths.push_back(current);
+            } else {
+                for (const Call &call : node_calls)
+                    walk(call.callee);
+            }
+            current.pop_back();
+        };
+    walk(root_);
+    return paths;
+}
+
+std::vector<std::vector<MicroserviceId>>
+DependencyGraph::criticalPaths(std::size_t max_paths) const
+{
+    // Partial critical paths under construction, extended node by node.
+    std::vector<std::vector<MicroserviceId>> paths;
+    bool truncated = false;
+
+    // Returns the set of path *suffixes* through the subtree rooted at
+    // id: each suffix starts with id and picks one branch per stage.
+    const std::function<std::vector<std::vector<MicroserviceId>>(
+        MicroserviceId)>
+        suffixes = [&](MicroserviceId id)
+        -> std::vector<std::vector<MicroserviceId>> {
+        std::vector<std::vector<MicroserviceId>> result{{id}};
+        for (const auto &stage : stages(id)) {
+            // One branch choice per stage: cross product.
+            std::vector<std::vector<MicroserviceId>> extended;
+            for (const auto &prefix : result) {
+                for (const Call &call : stage) {
+                    for (const auto &branch : suffixes(call.callee)) {
+                        if (extended.size() >= max_paths) {
+                            truncated = true;
+                            break;
+                        }
+                        std::vector<MicroserviceId> path = prefix;
+                        path.insert(path.end(), branch.begin(),
+                                    branch.end());
+                        extended.push_back(std::move(path));
+                    }
+                }
+            }
+            result = std::move(extended);
+        }
+        return result;
+    };
+
+    paths = suffixes(root_);
+    (void)truncated;
+    if (paths.size() > max_paths)
+        paths.resize(max_paths);
+    return paths;
+}
+
+double
+endToEndLatency(const DependencyGraph &graph,
+                const std::unordered_map<MicroserviceId, double> &values,
+                std::vector<MicroserviceId> *critical)
+{
+    struct SubtreeResult
+    {
+        double latency = 0.0;
+        std::vector<MicroserviceId> path;
+    };
+    const std::function<SubtreeResult(MicroserviceId)> walk =
+        [&](MicroserviceId id) -> SubtreeResult {
+        SubtreeResult result;
+        result.latency = values.at(id);
+        result.path.push_back(id);
+        for (const auto &stage : graph.stages(id)) {
+            SubtreeResult worst;
+            worst.latency = -1.0;
+            for (const DependencyGraph::Call &call : stage) {
+                SubtreeResult branch = walk(call.callee);
+                if (branch.latency > worst.latency)
+                    worst = std::move(branch);
+            }
+            result.latency += worst.latency;
+            result.path.insert(result.path.end(), worst.path.begin(),
+                               worst.path.end());
+        }
+        return result;
+    };
+    SubtreeResult total = walk(graph.root());
+    if (critical)
+        *critical = std::move(total.path);
+    return total.latency;
+}
+
+int
+DependencyGraph::depth() const
+{
+    int max_depth = 0;
+    const std::function<int(MicroserviceId)> walk = [&](MicroserviceId id) {
+        int deepest = 0;
+        for (const Call &call : info(id).calls)
+            deepest = std::max(deepest, walk(call.callee));
+        return deepest + 1;
+    };
+    max_depth = walk(root_);
+    return max_depth;
+}
+
+void
+DependencyGraph::validate() const
+{
+    // Reachability: every node must be reachable from the root.
+    std::size_t visited = 0;
+    const std::function<void(MicroserviceId)> walk = [&](MicroserviceId id) {
+        ++visited;
+        for (const Call &call : info(id).calls) {
+            if (info(call.callee).parent != id)
+                throw GraphError("parent/child bookkeeping mismatch");
+            walk(call.callee);
+        }
+    };
+    walk(root_);
+    if (visited != nodes_.size())
+        throw GraphError("graph contains unreachable nodes");
+    if (info(root_).parent != kInvalidMicroservice)
+        throw GraphError("root must not have a parent");
+}
+
+std::string
+DependencyGraph::toDot(
+    const std::function<std::string(MicroserviceId)> &name_of) const
+{
+    std::ostringstream os;
+    os << "digraph service_" << service_ << " {\n";
+    for (MicroserviceId id : nodes_)
+        os << "  n" << id << " [label=\"" << name_of(id) << "\"];\n";
+    for (MicroserviceId id : nodes_) {
+        for (const Call &call : info(id).calls) {
+            os << "  n" << id << " -> n" << call.callee << " [label=\"s"
+               << call.stage << "\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace erms

@@ -1,0 +1,149 @@
+#include "variants.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+DependencyGraph
+mergeGraphVariants(const std::vector<const DependencyGraph *> &variants,
+                   VariantMergePolicy policy)
+{
+    if (variants.empty())
+        throw GraphError("mergeGraphVariants: no variants given");
+    const DependencyGraph &first = *variants.front();
+    for (const DependencyGraph *variant : variants) {
+        ERMS_ASSERT(variant != nullptr);
+        if (variant->service() != first.service())
+            throw GraphError("variants belong to different services");
+        if (variant->root() != first.root())
+            throw GraphError("variants disagree on the root microservice");
+    }
+
+    // Collect, per child microservice: the placement (parent, stage)
+    // from its first appearance, the sum of multiplicities, and the
+    // number of variants containing it.
+    struct ChildInfo
+    {
+        MicroserviceId parent = kInvalidMicroservice;
+        int stage = 0;
+        double multiplicitySum = 0.0;
+        int appearances = 0;
+        std::size_t firstVariant = 0; ///< insertion-order tie-break
+        std::size_t order = 0;        ///< position within that variant
+    };
+    std::unordered_map<MicroserviceId, ChildInfo> children;
+
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const DependencyGraph &variant = *variants[v];
+        const auto &nodes = variant.nodes();
+        for (std::size_t position = 0; position < nodes.size();
+             ++position) {
+            const MicroserviceId id = nodes[position];
+            if (id == variant.root())
+                continue;
+            const MicroserviceId parent = variant.parent(id);
+            double multiplicity = 1.0;
+            int stage = 0;
+            for (const DependencyGraph::Call &call :
+                 variant.calls(parent)) {
+                if (call.callee == id) {
+                    multiplicity = call.multiplicity;
+                    stage = call.stage;
+                    break;
+                }
+            }
+            auto it = children.find(id);
+            if (it == children.end()) {
+                ChildInfo info;
+                info.parent = parent;
+                info.stage = stage;
+                info.multiplicitySum = multiplicity;
+                info.appearances = 1;
+                info.firstVariant = v;
+                info.order = position;
+                children.emplace(id, info);
+            } else {
+                it->second.multiplicitySum += multiplicity;
+                ++it->second.appearances;
+            }
+        }
+    }
+
+    // Rebuild in (first variant, position) order so parents precede
+    // children.
+    std::vector<std::pair<std::pair<std::size_t, std::size_t>,
+                          MicroserviceId>>
+        ordered;
+    ordered.reserve(children.size());
+    for (const auto &[id, info] : children)
+        ordered.push_back({{info.firstVariant, info.order}, id});
+    std::sort(ordered.begin(), ordered.end());
+
+    DependencyGraph merged(first.service(), first.root());
+    const double variant_count = static_cast<double>(variants.size());
+    for (const auto &[key, id] : ordered) {
+        const ChildInfo &info = children.at(id);
+        // A child whose recorded parent never made it into the merged
+        // graph (conflicting placements) attaches under the root.
+        const MicroserviceId parent =
+            merged.contains(info.parent) ? info.parent : merged.root();
+        double multiplicity =
+            info.multiplicitySum / static_cast<double>(info.appearances);
+        if (policy == VariantMergePolicy::FrequencyWeighted) {
+            multiplicity *=
+                static_cast<double>(info.appearances) / variant_count;
+        }
+        merged.addCall(parent, id, info.stage, multiplicity);
+    }
+    merged.validate();
+    return merged;
+}
+
+double
+graphDistance(const DependencyGraph &a, const DependencyGraph &b)
+{
+    std::unordered_set<MicroserviceId> set_a(a.nodes().begin(),
+                                             a.nodes().end());
+    std::size_t intersection = 0;
+    for (MicroserviceId id : b.nodes())
+        intersection += set_a.count(id);
+    const std::size_t union_size =
+        a.nodes().size() + b.nodes().size() - intersection;
+    if (union_size == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(intersection) /
+                     static_cast<double>(union_size);
+}
+
+std::vector<std::vector<std::size_t>>
+clusterGraphVariants(const std::vector<const DependencyGraph *> &variants,
+                     double max_distance)
+{
+    ERMS_ASSERT(max_distance >= 0.0 && max_distance <= 1.0);
+    std::vector<std::vector<std::size_t>> clusters;
+    std::vector<bool> assigned(variants.size(), false);
+
+    for (std::size_t medoid = 0; medoid < variants.size(); ++medoid) {
+        if (assigned[medoid])
+            continue;
+        std::vector<std::size_t> cluster{medoid};
+        assigned[medoid] = true;
+        for (std::size_t other = medoid + 1; other < variants.size();
+             ++other) {
+            if (assigned[other])
+                continue;
+            if (graphDistance(*variants[medoid], *variants[other]) <=
+                max_distance) {
+                cluster.push_back(other);
+                assigned[other] = true;
+            }
+        }
+        clusters.push_back(std::move(cluster));
+    }
+    return clusters;
+}
+
+} // namespace erms

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dynamic dependency graph handling (§7) and the variant-clustering
+ * extension the paper leaves as future work (§9).
+ *
+ * Production call graphs are not static: the set of microservices a
+ * request touches depends on its input (cache hits, feature flags, A/B
+ * paths). Erms handles this by comparing the variants observed for one
+ * service and merging them into a *complete* graph that is then scaled
+ * (§7) — which over-provisions, because a request usually exercises only
+ * a small subset of the complete graph. Two refinements implemented
+ * here:
+ *
+ *  - frequency-weighted merging: a call's multiplicity in the complete
+ *    graph is scaled by the fraction of variants containing it, so the
+ *    per-microservice workload equals its *expected* calls per request;
+ *  - variant clustering (§9): group variants into classes of similar
+ *    structure and scale each class separately.
+ */
+
+#ifndef ERMS_GRAPH_VARIANTS_HPP
+#define ERMS_GRAPH_VARIANTS_HPP
+
+#include <vector>
+
+#include "graph/dependency_graph.hpp"
+
+namespace erms {
+
+/** Merging behaviour for dynamic graph variants. */
+enum class VariantMergePolicy
+{
+    /** §7 default: the complete graph keeps each call's average
+     *  multiplicity — conservative, over-provisions rarely-taken
+     *  branches. */
+    Complete,
+    /** Refinement: scale each call's multiplicity by its appearance
+     *  frequency across variants, making per-microservice workloads
+     *  equal to expected calls per request. */
+    FrequencyWeighted,
+};
+
+/**
+ * Merge observed variants of one service's dependency graph into a
+ * complete graph.
+ *
+ * All variants must share the service id and root. A microservice keeps
+ * the parent and stage from the first variant where it appears;
+ * conflicting placements in later variants are ignored (the paper's
+ * static-structure assumption per parent).
+ *
+ * @throws GraphError when variants is empty or roots/services disagree.
+ */
+DependencyGraph
+mergeGraphVariants(const std::vector<const DependencyGraph *> &variants,
+                   VariantMergePolicy policy = VariantMergePolicy::Complete);
+
+/**
+ * Structural distance between two variants: Jaccard distance of their
+ * microservice sets (0 = identical node sets, 1 = disjoint).
+ */
+double graphDistance(const DependencyGraph &a, const DependencyGraph &b);
+
+/**
+ * Greedy medoid clustering of variants (§9): repeatedly pick the first
+ * unassigned variant as a medoid and absorb every unassigned variant
+ * within max_distance of it. Returns clusters as index lists into the
+ * input vector; every variant belongs to exactly one cluster.
+ */
+std::vector<std::vector<std::size_t>>
+clusterGraphVariants(const std::vector<const DependencyGraph *> &variants,
+                     double max_distance);
+
+} // namespace erms
+
+#endif // ERMS_GRAPH_VARIANTS_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Persistence for profiling results and scaling plans. The paper's
+ * artifact stores days of offline-profiling output on disk and feeds it
+ * to the online modules; this module provides the equivalent: fitted
+ * piecewise models (including their decision-tree cutoffs) and global
+ * plans round-trip through a line-oriented text format.
+ *
+ * Format: one record per line, whitespace-separated tokens, `#` comments
+ * and blank lines ignored. Documented per record type below; versioned
+ * with a header line so future changes stay detectable.
+ */
+
+#ifndef ERMS_IO_SERIALIZATION_HPP
+#define ERMS_IO_SERIALIZATION_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "model/catalog.hpp"
+#include "profiling/piecewise_fit.hpp"
+#include "scaling/plan.hpp"
+
+namespace erms {
+
+/**
+ * Serializable form of a fitted piecewise model: the two interval
+ * parameter sets plus the cutoff decision tree (or a constant fallback).
+ * PiecewiseLatencyModel itself holds the cutoff as an opaque function,
+ * so fits that should be persisted are converted through this view.
+ */
+struct StoredModel
+{
+    IntervalParams below{};
+    IntervalParams above{};
+    /** Flattened cutoff tree nodes; empty = constant cutoff. */
+    struct TreeNode
+    {
+        int featureIndex = -1; ///< -1 for a leaf
+        double threshold = 0.0;
+        double value = 0.0;
+        int left = -1;
+        int right = -1;
+    };
+    std::vector<TreeNode> cutoffTree;
+    double cutoffFallback = 1.0;
+
+    /** Rebuild the runtime model (cutoff evaluated over (C, M)). */
+    PiecewiseLatencyModel toModel() const;
+
+    /** Evaluate the stored cutoff directly (for tests). */
+    double cutoffAt(const Interference &itf) const;
+};
+
+/** Capture a fit into its storable form. */
+StoredModel storedFromFit(const PiecewiseFitResult &fit);
+
+/** Write one microservice's stored model. */
+void writeModel(std::ostream &os, MicroserviceId id,
+                const StoredModel &model);
+
+/**
+ * Write every fitted model in `fits` keyed by microservice id, with a
+ * format header.
+ */
+void writeModels(
+    std::ostream &os,
+    const std::unordered_map<MicroserviceId, StoredModel> &models);
+
+/**
+ * Parse a model file previously produced by writeModels.
+ * @throws ErmsError on malformed input or version mismatch.
+ */
+std::unordered_map<MicroserviceId, StoredModel>
+readModels(std::istream &is);
+
+/** Attach every stored model to the catalog. */
+void attachModels(
+    MicroserviceCatalog &catalog,
+    const std::unordered_map<MicroserviceId, StoredModel> &models);
+
+/** Write a global plan (policy, container counts, priority orders). */
+void writePlan(std::ostream &os, const GlobalPlan &plan);
+
+/**
+ * Parse a plan previously produced by writePlan. Only deployment-facing
+ * fields (policy, containers, priorityOrder, totals) round-trip;
+ * per-service diagnostics are not persisted.
+ */
+GlobalPlan readPlan(std::istream &is);
+
+} // namespace erms
+
+#endif // ERMS_IO_SERIALIZATION_HPP

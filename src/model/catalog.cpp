@@ -1,0 +1,86 @@
+#include "catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace erms {
+
+MicroserviceId
+MicroserviceCatalog::add(MicroserviceProfile profile)
+{
+    const MicroserviceId id =
+        static_cast<MicroserviceId>(profiles_.size());
+    profiles_.push_back(std::move(profile));
+    return id;
+}
+
+void
+MicroserviceCatalog::checkId(MicroserviceId id) const
+{
+    if (id >= profiles_.size())
+        throw ErmsError("unknown microservice id " + std::to_string(id));
+}
+
+const MicroserviceProfile &
+MicroserviceCatalog::profile(MicroserviceId id) const
+{
+    checkId(id);
+    return profiles_[id];
+}
+
+MicroserviceProfile &
+MicroserviceCatalog::profile(MicroserviceId id)
+{
+    checkId(id);
+    return profiles_[id];
+}
+
+const std::string &
+MicroserviceCatalog::name(MicroserviceId id) const
+{
+    return profile(id).name;
+}
+
+MicroserviceId
+MicroserviceCatalog::findByName(const std::string &name) const
+{
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        if (profiles_[i].name == name)
+            return static_cast<MicroserviceId>(i);
+    }
+    return kInvalidMicroservice;
+}
+
+void
+MicroserviceCatalog::setModel(MicroserviceId id, PiecewiseLatencyModel model)
+{
+    checkId(id);
+    models_[id] = std::move(model);
+}
+
+bool
+MicroserviceCatalog::hasModel(MicroserviceId id) const
+{
+    return models_.count(id) > 0;
+}
+
+const PiecewiseLatencyModel &
+MicroserviceCatalog::model(MicroserviceId id) const
+{
+    auto it = models_.find(id);
+    if (it == models_.end()) {
+        throw ErmsError("no latency model attached for microservice " +
+                        std::to_string(id) + " (" + name(id) + ")");
+    }
+    return it->second;
+}
+
+std::vector<MicroserviceId>
+MicroserviceCatalog::ids() const
+{
+    std::vector<MicroserviceId> out(profiles_.size());
+    for (std::size_t i = 0; i < profiles_.size(); ++i)
+        out[i] = static_cast<MicroserviceId>(i);
+    return out;
+}
+
+} // namespace erms

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Registry of microservices: maps MicroserviceId to name, execution
+ * profile, and (optionally) a profiled piecewise latency model. Shared by
+ * the application catalog, the simulator, and the scaling pipeline.
+ */
+
+#ifndef ERMS_MODEL_CATALOG_HPP
+#define ERMS_MODEL_CATALOG_HPP
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "model/latency_model.hpp"
+#include "model/microservice_profile.hpp"
+
+namespace erms {
+
+/** Mutable registry of all microservices known to one experiment. */
+class MicroserviceCatalog
+{
+  public:
+    /** Register a microservice; returns its id. */
+    MicroserviceId add(MicroserviceProfile profile);
+
+    std::size_t size() const { return profiles_.size(); }
+
+    const MicroserviceProfile &profile(MicroserviceId id) const;
+    MicroserviceProfile &profile(MicroserviceId id);
+
+    const std::string &name(MicroserviceId id) const;
+
+    /** Look up an id by name; kInvalidMicroservice when absent. */
+    MicroserviceId findByName(const std::string &name) const;
+
+    /** Attach the (profiled or synthetic) latency model for a µs. */
+    void setModel(MicroserviceId id, PiecewiseLatencyModel model);
+
+    bool hasModel(MicroserviceId id) const;
+    const PiecewiseLatencyModel &model(MicroserviceId id) const;
+
+    /** All registered ids, ascending. */
+    std::vector<MicroserviceId> ids() const;
+
+  private:
+    void checkId(MicroserviceId id) const;
+
+    std::vector<MicroserviceProfile> profiles_;
+    std::unordered_map<MicroserviceId, PiecewiseLatencyModel> models_;
+};
+
+} // namespace erms
+
+#endif // ERMS_MODEL_CATALOG_HPP

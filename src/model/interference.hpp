@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Resource-interference descriptor. The paper quantifies interference by
+ * the CPU and memory utilization of the physical host a container runs on
+ * (§5.2); both couple into the slope and cutoff of the latency model.
+ */
+
+#ifndef ERMS_MODEL_INTERFERENCE_HPP
+#define ERMS_MODEL_INTERFERENCE_HPP
+
+#include <algorithm>
+
+namespace erms {
+
+/** Host-level interference: CPU and memory utilization in [0, 1]. */
+struct Interference
+{
+    double cpuUtil = 0.0;
+    double memUtil = 0.0;
+
+    /** Clamp both components into [0, 1]. */
+    Interference
+    clamped() const
+    {
+        return {std::clamp(cpuUtil, 0.0, 1.0), std::clamp(memUtil, 0.0, 1.0)};
+    }
+};
+
+/** Component-wise average of two interference readings. */
+inline Interference
+averageInterference(const Interference &a, const Interference &b)
+{
+    return {(a.cpuUtil + b.cpuUtil) / 2.0, (a.memUtil + b.memUtil) / 2.0};
+}
+
+} // namespace erms
+
+#endif // ERMS_MODEL_INTERFERENCE_HPP

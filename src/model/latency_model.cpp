@@ -1,0 +1,219 @@
+#include "latency_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "model/microservice_profile.hpp"
+
+namespace erms {
+
+PiecewiseLatencyModel::PiecewiseLatencyModel(IntervalParams below,
+                                             IntervalParams above,
+                                             CutoffFn cutoff)
+    : below_(below), above_(above), cutoff_(std::move(cutoff))
+{
+    ERMS_ASSERT_MSG(static_cast<bool>(cutoff_), "cutoff function required");
+}
+
+const IntervalParams &
+PiecewiseLatencyModel::params(Interval interval) const
+{
+    return interval == Interval::BelowCutoff ? below_ : above_;
+}
+
+double
+PiecewiseLatencyModel::cutoff(const Interference &itf) const
+{
+    ERMS_ASSERT_MSG(static_cast<bool>(cutoff_), "model not initialized");
+    return cutoff_(itf.clamped());
+}
+
+LatencyBand
+PiecewiseLatencyModel::band(const Interference &itf, Interval interval) const
+{
+    const IntervalParams &p = params(interval);
+    const Interference clamped = itf.clamped();
+    return LatencyBand{p.slope(clamped), p.b};
+}
+
+double
+PiecewiseLatencyModel::latency(double per_container_workload,
+                               const Interference &itf) const
+{
+    const Interference clamped = itf.clamped();
+    const double sigma = cutoff(clamped);
+    const IntervalParams &p =
+        per_container_workload <= sigma ? below_ : above_;
+    return p.evaluate(per_container_workload, clamped);
+}
+
+double
+PiecewiseLatencyModel::cutoffLatency(const Interference &itf) const
+{
+    const Interference clamped = itf.clamped();
+    return above_.evaluate(cutoff(clamped), clamped);
+}
+
+double
+PiecewiseLatencyModel::maxLoadForLatency(double target_ms,
+                                         const Interference &itf) const
+{
+    constexpr double kMinSlope = 1e-12;
+    const Interference clamped = itf.clamped();
+    const double sigma = cutoff(clamped);
+
+    // Try the queueing interval first: valid if the implied load sits at
+    // or beyond the cutoff.
+    const double a2 = above_.slope(clamped);
+    if (a2 > kMinSlope) {
+        const double x2 = (target_ms - above_.b) / a2;
+        if (x2 >= sigma)
+            return x2;
+    } else if (target_ms >= above_.evaluate(sigma, clamped)) {
+        // Degenerate (flat or inverted) fitted second interval: the fit
+        // carries no information about where saturation begins, so do
+        // not authorize loads beyond the knee itself.
+        return sigma;
+    }
+
+    // Otherwise the operating point is in interval 1 (bounded by sigma).
+    const double a1 = below_.slope(clamped);
+    if (a1 <= kMinSlope) {
+        // Flat light-load interval: any sub-cutoff load works iff the
+        // intercept itself satisfies the target.
+        return target_ms >= below_.b ? sigma : 0.0;
+    }
+    const double x1 = (target_ms - below_.b) / a1;
+    if (x1 <= 0.0)
+        return 0.0;
+    return std::min(x1, sigma);
+}
+
+PiecewiseLatencyModel
+makeSyntheticModel(const SyntheticModelConfig &config)
+{
+    ERMS_ASSERT(config.slope2 >= config.slope1);
+    ERMS_ASSERT(config.slope1 > 0.0);
+
+    IntervalParams below;
+    below.c = config.slope1;
+    below.alpha = config.cpuSensitivity * config.slope1;
+    below.beta = config.memSensitivity * config.slope1;
+    below.b = config.baseLatencyMs;
+
+    IntervalParams above;
+    above.c = config.slope2;
+    above.alpha = config.cpuSensitivity * config.slope2;
+    above.beta = config.memSensitivity * config.slope2;
+
+    const auto cutoff_fn = [config](const Interference &itf) {
+        const double sigma = config.cutoffAtZero -
+                             config.cutoffCpuShift * itf.cpuUtil -
+                             config.cutoffMemShift * itf.memUtil;
+        return std::max(sigma, config.cutoffFloor);
+    };
+
+    // Choose interval-2 intercept so the two intervals meet at the cutoff
+    // under the reference interference (latency curves in Fig. 3 are
+    // continuous at the knee).
+    const Interference ref = config.referenceItf.clamped();
+    const double sigma_ref = cutoff_fn(ref);
+    const double knee = below.evaluate(sigma_ref, ref);
+    above.b = knee - above.slope(ref) * sigma_ref;
+
+    return PiecewiseLatencyModel(below, above, cutoff_fn);
+}
+
+PiecewiseLatencyModel
+approximateModelFromProfile(const MicroserviceProfile &profile)
+{
+    ERMS_ASSERT(profile.baseServiceMs > 0.0);
+    const double threads =
+        static_cast<double>(std::max(1, profile.threadsPerContainer));
+    const double base = profile.baseServiceMs;
+    const double net2 = 2.0 * profile.networkMs;
+    const double k_cpu = profile.cpuSlowdown;
+    const double k_mem = profile.memSlowdown;
+
+    // Queueing anchors: the knee sits at rho = 0.7 of per-container
+    // capacity and the steep interval is the secant up to rho = 0.85,
+    // with M/M/c-flavored waiting factors q(rho) = rho / (c * (1-rho)).
+    const double rho_knee = 0.7;
+    const double rho_high = 0.95;
+    const double q_knee = rho_knee / (threads * (1.0 - rho_knee));
+    const double q_high = rho_high / (threads * (1.0 - rho_high));
+
+    // Ground-truth (nonlinear) relations as functions of interference.
+    const auto eff = [&](double c, double m) {
+        return 1.0 + k_cpu * c + k_mem * m;
+    };
+    // Per-container capacity (requests/min) and the knee workload.
+    const auto capacity = [&](double c, double m) {
+        return threads * 60000.0 / (base * eff(c, m));
+    };
+    const auto cutoff_true = [&](double c, double m) {
+        return rho_knee * capacity(c, m);
+    };
+    // Latency (ms) at the knee and at the high anchor.
+    const auto knee_latency = [&](double c, double m) {
+        return base * eff(c, m) * (1.0 + q_knee) + net2;
+    };
+    // Secant slopes (ms per request/min) of the two intervals.
+    const double b1 = base + net2; // idle intercept
+    const auto slope1_true = [&](double c, double m) {
+        return (knee_latency(c, m) - b1) / cutoff_true(c, m);
+    };
+    const auto slope2_true = [&](double c, double m) {
+        const double high_latency =
+            base * eff(c, m) * (1.0 + q_high) + net2;
+        return (high_latency - knee_latency(c, m)) /
+               ((rho_high - rho_knee) * capacity(c, m));
+    };
+
+    // Eq. (15) is linear in (C, M); take the tangent plane at a
+    // reference operating interference and floor the constant at the
+    // idle-host truth so low-interference slopes are never optimistic.
+    constexpr double ref_c = 0.30, ref_m = 0.30, h = 0.01;
+    const auto linearize = [&](const auto &f, double floor_const,
+                               double &alpha, double &beta, double &c0) {
+        const double f_ref = f(ref_c, ref_m);
+        alpha = (f(ref_c + h, ref_m) - f(ref_c - h, ref_m)) / (2.0 * h);
+        beta = (f(ref_c, ref_m + h) - f(ref_c, ref_m - h)) / (2.0 * h);
+        c0 = std::max(f_ref - alpha * ref_c - beta * ref_m, floor_const);
+    };
+
+    // The floor only guards against outright negative constants; it is
+    // set low (10% of the idle-host slope) so it does not bind at the
+    // reference point and break knee continuity there.
+    IntervalParams below;
+    below.b = b1;
+    linearize(slope1_true, 0.1 * slope1_true(0.0, 0.0), below.alpha,
+              below.beta, below.c);
+
+    IntervalParams above;
+    linearize(slope2_true, 0.1 * slope2_true(0.0, 0.0), above.alpha,
+              above.beta, above.c);
+
+    // Cutoff plane: tangent at the reference, capped at the idle truth,
+    // floored at 5% of the idle knee.
+    double cut_dc, cut_dm, cut_c0;
+    linearize(cutoff_true, -1e18, cut_dc, cut_dm, cut_c0);
+    cut_c0 = std::min(cut_c0, cutoff_true(0.0, 0.0));
+    const double cut_floor = 0.05 * cutoff_true(0.0, 0.0);
+    const auto cutoff_fn = [cut_dc, cut_dm, cut_c0,
+                            cut_floor](const Interference &itf) {
+        return std::max(cut_floor, cut_c0 + cut_dc * itf.cpuUtil +
+                                       cut_dm * itf.memUtil);
+    };
+
+    // Interval-2 intercept: continuity at the knee under the reference
+    // interference.
+    const Interference ref{ref_c, ref_m};
+    const double sigma_ref = cutoff_fn(ref);
+    above.b = knee_latency(ref_c, ref_m) - above.slope(ref) * sigma_ref;
+
+    return PiecewiseLatencyModel(below, above, cutoff_fn);
+}
+
+} // namespace erms

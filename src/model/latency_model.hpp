@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The piecewise-linear microservice tail-latency model of Eq. (15):
+ *
+ *   L = (alpha_l * C + beta_l * M + c_l) * x + b_l,   l in {1, 2}
+ *
+ * where x is the per-container workload (calls per minute per container,
+ * i.e. gamma_i / n_i), C/M the host CPU/memory utilization, and l selects
+ * the interval: l = 1 below the cutoff sigma(C, M) and l = 2 above it.
+ *
+ * For a fixed interference the model collapses to the solver-facing view
+ * of §4.1: L_i = a_i * gamma_i / n_i + b_i, captured by LatencyBand.
+ */
+
+#ifndef ERMS_MODEL_LATENCY_MODEL_HPP
+#define ERMS_MODEL_LATENCY_MODEL_HPP
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "model/interference.hpp"
+
+namespace erms {
+
+/** Which side of the cutoff a band describes. */
+enum class Interval { BelowCutoff = 1, AboveCutoff = 2 };
+
+/**
+ * One interval of Eq. (15): latency = (alpha*C + beta*M + c) * x + b,
+ * with x the per-container workload in requests/minute.
+ */
+struct IntervalParams
+{
+    double alpha = 0.0; ///< CPU-interference slope coupling
+    double beta = 0.0;  ///< memory-interference slope coupling
+    double c = 0.0;     ///< interference-free slope
+    double b = 0.0;     ///< intercept (ms)
+
+    /** Slope a(C, M) = alpha*C + beta*M + c for a given interference. */
+    double
+    slope(const Interference &itf) const
+    {
+        return alpha * itf.cpuUtil + beta * itf.memUtil + c;
+    }
+
+    /** Latency at per-container workload x under interference itf. */
+    double
+    evaluate(double x, const Interference &itf) const
+    {
+        return slope(itf) * x + b;
+    }
+};
+
+/**
+ * The solver-facing latency relation of §4.1 at a fixed interference:
+ * L = a * gamma / n + b. 'a' already folds in interference.
+ */
+struct LatencyBand
+{
+    double a = 0.0; ///< ms per (request/minute/container)
+    double b = 0.0; ///< intercept, ms
+
+    double
+    evaluate(double per_container_workload) const
+    {
+        return a * per_container_workload + b;
+    }
+};
+
+/**
+ * Full piecewise latency model for one microservice. The cutoff is an
+ * arbitrary function of interference so both analytic ground-truth
+ * models and learned decision-tree cutoffs (§5.2) fit behind the same
+ * interface.
+ */
+class PiecewiseLatencyModel
+{
+  public:
+    using CutoffFn = std::function<double(const Interference &)>;
+
+    PiecewiseLatencyModel() = default;
+
+    /**
+     * @param below  interval-1 parameters (light load)
+     * @param above  interval-2 parameters (queueing regime)
+     * @param cutoff per-container workload sigma(C, M) separating them
+     */
+    PiecewiseLatencyModel(IntervalParams below, IntervalParams above,
+                          CutoffFn cutoff);
+
+    /** Parameters of one interval. */
+    const IntervalParams &params(Interval interval) const;
+
+    /** Cutoff per-container workload sigma for the given interference. */
+    double cutoff(const Interference &itf) const;
+
+    /** Solver view {a, b} of one interval at a fixed interference. */
+    LatencyBand band(const Interference &itf, Interval interval) const;
+
+    /** Piecewise evaluation at per-container workload x. */
+    double latency(double per_container_workload,
+                   const Interference &itf) const;
+
+    /** Latency at the cutoff point (interval-2 parameters). */
+    double cutoffLatency(const Interference &itf) const;
+
+    /**
+     * Inverse of the piecewise relation: the largest per-container
+     * workload whose predicted latency stays within target_ms. Sizing
+     * n = gamma / maxLoadForLatency(T) guarantees the latency target is
+     * met under this model whatever interval the operating point lands
+     * in. Returns 0 when no positive workload satisfies the target
+     * (target below the interval-1 intercept).
+     */
+    double maxLoadForLatency(double target_ms,
+                             const Interference &itf) const;
+
+  private:
+    IntervalParams below_;
+    IntervalParams above_;
+    CutoffFn cutoff_;
+};
+
+/**
+ * Configuration for synthesizing an analytic ground-truth model, used by
+ * benches that bypass profiling. Slopes grow with interference; the
+ * cutoff moves *forward* (earlier) as interference grows, matching Fig. 3.
+ */
+struct SyntheticModelConfig
+{
+    double baseLatencyMs = 5.0;   ///< intercept of interval 1
+    double slope1 = 0.002;        ///< interference-free slope, interval 1
+    double slope2 = 0.02;         ///< interference-free slope, interval 2
+    double cpuSensitivity = 2.0;  ///< multiplies slopes as alpha = k*c
+    double memSensitivity = 3.0;  ///< multiplies slopes as beta = k*c
+    double cutoffAtZero = 4000.0; ///< sigma with an idle host (req/min)
+    double cutoffCpuShift = 2500.0; ///< sigma reduction per unit CPU util
+    double cutoffMemShift = 3000.0; ///< sigma reduction per unit mem util
+    double cutoffFloor = 200.0;     ///< lower bound on sigma
+    Interference referenceItf;      ///< continuity anchor for interval 2
+};
+
+/**
+ * Build a synthetic piecewise model whose two intervals are continuous at
+ * the cutoff under the reference interference.
+ */
+PiecewiseLatencyModel makeSyntheticModel(const SyntheticModelConfig &config);
+
+struct MicroserviceProfile; // forward: microservice_profile.hpp
+
+/**
+ * Derive an approximate piecewise model from a physical execution
+ * profile using M/M/c-flavored reasoning: per-container capacity is
+ * threads / service_time; the cutoff sits at ~70% of capacity; below it
+ * latency is dominated by the (interference-inflated) service time, and
+ * above it queueing delay climbs steeply. Offline profiling (§5.2)
+ * produces higher-fidelity models; this is the bootstrap default.
+ */
+PiecewiseLatencyModel
+approximateModelFromProfile(const MicroserviceProfile &profile);
+
+} // namespace erms
+
+#endif // ERMS_MODEL_LATENCY_MODEL_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Physical behaviour profile of a microservice, consumed by the cluster
+ * simulator. This is the ground truth the paper measures from a real
+ * deployment: per-request service time (with dispersion), thread pool
+ * size, interference sensitivity, and the container resource request.
+ * The piecewise latency model of Eq. (15) *emerges* from these via
+ * queueing and is then recovered by the offline profiler.
+ */
+
+#ifndef ERMS_MODEL_MICROSERVICE_PROFILE_HPP
+#define ERMS_MODEL_MICROSERVICE_PROFILE_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+#include "model/resource.hpp"
+
+namespace erms {
+
+/** Ground-truth execution profile of one microservice. */
+struct MicroserviceProfile
+{
+    std::string name;
+    ResourceSpec resources{};
+
+    /** Worker threads per container; the knee of the latency curve sits
+     *  where per-container load saturates this pool. */
+    int threadsPerContainer = 4;
+
+    /** Mean per-request processing time with an idle host (ms). */
+    double baseServiceMs = 2.0;
+
+    /** Coefficient of variation of the service-time distribution. */
+    double serviceCv = 0.5;
+
+    /** Service-time inflation per unit host CPU utilization:
+     *  service *= 1 + cpuSlowdown * C + memSlowdown * M. */
+    double cpuSlowdown = 1.2;
+
+    /** Service-time inflation per unit host memory utilization. */
+    double memSlowdown = 1.8;
+
+    /** One-way network/transmission latency per call (ms); included in
+     *  the microservice latency per §2.2. */
+    double networkMs = 0.2;
+};
+
+} // namespace erms
+
+#endif // ERMS_MODEL_MICROSERVICE_PROFILE_HPP

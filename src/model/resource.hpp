@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Container resource configuration and dominant-resource demand (Eq. (3)
+ * in the paper): R_i = max{R_i^C / C, R_i^M / M} where C and M are the
+ * cluster-wide CPU and memory capacities.
+ */
+
+#ifndef ERMS_MODEL_RESOURCE_HPP
+#define ERMS_MODEL_RESOURCE_HPP
+
+#include "common/error.hpp"
+
+namespace erms {
+
+/** Per-container resource request (the paper uses 0.1 core / 200 MB). */
+struct ResourceSpec
+{
+    double cpuCores = 0.1;
+    double memoryMb = 200.0;
+};
+
+/** Total cluster capacity (paper: 20 hosts x 32 cores / 64 GB). */
+struct ClusterCapacity
+{
+    double cpuCores = 20.0 * 32.0;
+    double memoryMb = 20.0 * 64.0 * 1024.0;
+};
+
+/**
+ * Dominant resource share of one container, Eq. (3). This is the
+ * per-container cost used by the scaling objective (Eq. (2)).
+ */
+inline double
+dominantShare(const ResourceSpec &spec, const ClusterCapacity &capacity)
+{
+    ERMS_ASSERT(capacity.cpuCores > 0.0 && capacity.memoryMb > 0.0);
+    const double cpu_share = spec.cpuCores / capacity.cpuCores;
+    const double mem_share = spec.memoryMb / capacity.memoryMb;
+    return cpu_share > mem_share ? cpu_share : mem_share;
+}
+
+} // namespace erms
+
+#endif // ERMS_MODEL_RESOURCE_HPP

@@ -1,0 +1,165 @@
+#include "decision_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig config)
+    : config_(config)
+{
+    ERMS_ASSERT(config.maxDepth >= 0);
+    ERMS_ASSERT(config.minSamplesLeaf >= 1);
+}
+
+void
+DecisionTreeRegressor::fit(const std::vector<std::vector<double>> &features,
+                           const std::vector<double> &targets,
+                           const std::vector<double> &weights)
+{
+    ERMS_ASSERT(!features.empty());
+    ERMS_ASSERT(features.size() == targets.size());
+    ERMS_ASSERT(weights.empty() || weights.size() == targets.size());
+
+    nodes_.clear();
+    std::vector<std::size_t> indices(features.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    std::vector<double> w = weights;
+    if (w.empty())
+        w.assign(features.size(), 1.0);
+    build(features, targets, w, std::move(indices), 0);
+}
+
+namespace {
+
+/** Weighted mean of targets over an index subset. */
+double
+weightedMean(const std::vector<double> &targets,
+             const std::vector<double> &weights,
+             const std::vector<std::size_t> &indices)
+{
+    double sum = 0.0, wsum = 0.0;
+    for (std::size_t i : indices) {
+        sum += weights[i] * targets[i];
+        wsum += weights[i];
+    }
+    return wsum > 0.0 ? sum / wsum : 0.0;
+}
+
+} // namespace
+
+int
+DecisionTreeRegressor::build(const std::vector<std::vector<double>> &features,
+                             const std::vector<double> &targets,
+                             const std::vector<double> &weights,
+                             std::vector<std::size_t> indices, int depth)
+{
+    Node node;
+    node.value = weightedMean(targets, weights, indices);
+
+    const bool can_split = depth < config_.maxDepth &&
+                           indices.size() >= 2 * config_.minSamplesLeaf;
+    if (!can_split) {
+        nodes_.push_back(node);
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    const std::size_t dims = features[indices[0]].size();
+    double best_score = std::numeric_limits<double>::infinity();
+    int best_feature = -1;
+    double best_threshold = 0.0;
+
+    // Evaluate every midpoint split on every feature.
+    std::vector<std::size_t> sorted = indices;
+    for (std::size_t d = 0; d < dims; ++d) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return features[a][d] < features[b][d];
+                  });
+
+        // Prefix sums of w, w*y, w*y^2 enable O(1) split scoring.
+        double wl = 0.0, syl = 0.0, syyl = 0.0;
+        double wr = 0.0, syr = 0.0, syyr = 0.0;
+        for (std::size_t i : sorted) {
+            wr += weights[i];
+            syr += weights[i] * targets[i];
+            syyr += weights[i] * targets[i] * targets[i];
+        }
+        for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+            const std::size_t i = sorted[k];
+            wl += weights[i];
+            syl += weights[i] * targets[i];
+            syyl += weights[i] * targets[i] * targets[i];
+            wr -= weights[i];
+            syr -= weights[i] * targets[i];
+            syyr -= weights[i] * targets[i] * targets[i];
+
+            if (k + 1 < config_.minSamplesLeaf ||
+                sorted.size() - (k + 1) < config_.minSamplesLeaf)
+                continue;
+            const double left_val = features[sorted[k]][d];
+            const double right_val = features[sorted[k + 1]][d];
+            if (left_val == right_val)
+                continue;
+
+            // Weighted SSE of both sides.
+            const double sse_l = wl > 0.0 ? syyl - syl * syl / wl : 0.0;
+            const double sse_r = wr > 0.0 ? syyr - syr * syr / wr : 0.0;
+            const double score = sse_l + sse_r;
+            if (score < best_score) {
+                best_score = score;
+                best_feature = static_cast<int>(d);
+                best_threshold = (left_val + right_val) / 2.0;
+            }
+        }
+    }
+
+    if (best_feature < 0) {
+        nodes_.push_back(node);
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    std::vector<std::size_t> left_idx, right_idx;
+    for (std::size_t i : indices) {
+        if (features[i][static_cast<std::size_t>(best_feature)] <=
+            best_threshold)
+            left_idx.push_back(i);
+        else
+            right_idx.push_back(i);
+    }
+    ERMS_ASSERT(!left_idx.empty() && !right_idx.empty());
+
+    node.featureIndex = best_feature;
+    node.threshold = best_threshold;
+    const int self = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+    const int left = build(features, targets, weights, std::move(left_idx),
+                           depth + 1);
+    const int right = build(features, targets, weights, std::move(right_idx),
+                            depth + 1);
+    nodes_[static_cast<std::size_t>(self)].left = left;
+    nodes_[static_cast<std::size_t>(self)].right = right;
+    return self;
+}
+
+double
+DecisionTreeRegressor::predict(const std::vector<double> &features) const
+{
+    ERMS_ASSERT_MSG(trained(), "predict before fit");
+    std::size_t index = 0;
+    while (true) {
+        const Node &node = nodes_[index];
+        if (node.featureIndex < 0)
+            return node.value;
+        const double value =
+            features[static_cast<std::size_t>(node.featureIndex)];
+        index = static_cast<std::size_t>(value <= node.threshold
+                                             ? node.left
+                                             : node.right);
+    }
+}
+
+} // namespace erms

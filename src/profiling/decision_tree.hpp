@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CART regression tree (variance-reduction splits). Used in two roles:
+ * learning the cutoff sigma as a function of interference (§5.2, citing
+ * Quinlan's decision trees) and as the weak learner inside the
+ * gradient-boosting baseline.
+ */
+
+#ifndef ERMS_PROFILING_DECISION_TREE_HPP
+#define ERMS_PROFILING_DECISION_TREE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace erms {
+
+/** Hyperparameters of a regression tree. */
+struct TreeConfig
+{
+    int maxDepth = 4;
+    std::size_t minSamplesLeaf = 3;
+};
+
+/** Axis-aligned regression tree over dense feature rows. */
+class DecisionTreeRegressor
+{
+  public:
+    explicit DecisionTreeRegressor(TreeConfig config = {});
+
+    /**
+     * Fit on row-major features (rows x dims) with optional sample
+     * weights (empty = uniform).
+     */
+    void fit(const std::vector<std::vector<double>> &features,
+             const std::vector<double> &targets,
+             const std::vector<double> &weights = {});
+
+    double predict(const std::vector<double> &features) const;
+
+    bool trained() const { return !nodes_.empty(); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Tree node in index-addressed form (featureIndex -1 = leaf). */
+    struct Node
+    {
+        int featureIndex = -1; ///< -1 for a leaf
+        double threshold = 0.0;
+        double value = 0.0; ///< leaf prediction
+        int left = -1;
+        int right = -1;
+    };
+
+    /** Flattened nodes for serialization (root at index 0). */
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** Restore a tree from flattened nodes (replaces any fit). */
+    void restore(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
+
+  private:
+
+    int build(const std::vector<std::vector<double>> &features,
+              const std::vector<double> &targets,
+              const std::vector<double> &weights,
+              std::vector<std::size_t> indices, int depth);
+
+    TreeConfig config_;
+    std::vector<Node> nodes_;
+};
+
+} // namespace erms
+
+#endif // ERMS_PROFILING_DECISION_TREE_HPP

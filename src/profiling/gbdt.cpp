@@ -1,0 +1,71 @@
+#include "gbdt.hpp"
+
+#include "common/error.hpp"
+
+namespace erms {
+
+GbdtRegressor::GbdtRegressor(GbdtConfig config) : config_(config)
+{
+    ERMS_ASSERT(config.estimators > 0);
+    ERMS_ASSERT(config.learningRate > 0.0 && config.learningRate <= 1.0);
+}
+
+std::vector<double>
+GbdtRegressor::featurize(const ProfilingSample &s)
+{
+    // Raw features plus the interaction terms the latency model uses.
+    return {s.gamma, s.cpuUtil, s.memUtil, s.cpuUtil * s.gamma,
+            s.memUtil * s.gamma};
+}
+
+void
+GbdtRegressor::fit(const std::vector<ProfilingSample> &samples)
+{
+    ERMS_ASSERT(!samples.empty());
+    trees_.clear();
+
+    std::vector<std::vector<double>> features;
+    features.reserve(samples.size());
+    for (const ProfilingSample &s : samples)
+        features.push_back(featurize(s));
+
+    base_ = 0.0;
+    for (const ProfilingSample &s : samples)
+        base_ += s.latencyMs;
+    base_ /= static_cast<double>(samples.size());
+
+    std::vector<double> residual(samples.size());
+    std::vector<double> prediction(samples.size(), base_);
+    for (int round = 0; round < config_.estimators; ++round) {
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            residual[i] = samples[i].latencyMs - prediction[i];
+        DecisionTreeRegressor tree(config_.tree);
+        tree.fit(features, residual);
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            prediction[i] +=
+                config_.learningRate * tree.predict(features[i]);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+GbdtRegressor::predict(const ProfilingSample &sample) const
+{
+    const auto features = featurize(sample);
+    double value = base_;
+    for (const DecisionTreeRegressor &tree : trees_)
+        value += config_.learningRate * tree.predict(features);
+    return value;
+}
+
+std::vector<double>
+GbdtRegressor::predictAll(const std::vector<ProfilingSample> &samples) const
+{
+    std::vector<double> out;
+    out.reserve(samples.size());
+    for (const ProfilingSample &s : samples)
+        out.push_back(predict(s));
+    return out;
+}
+
+} // namespace erms

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Gradient-boosted regression trees — the from-scratch stand-in for the
+ * XGBoost baseline of Fig. 10. Squared-loss boosting over shallow CART
+ * trees with shrinkage.
+ */
+
+#ifndef ERMS_PROFILING_GBDT_HPP
+#define ERMS_PROFILING_GBDT_HPP
+
+#include <vector>
+
+#include "profiling/decision_tree.hpp"
+#include "profiling/sample.hpp"
+
+namespace erms {
+
+/** Hyperparameters of the boosted ensemble. */
+struct GbdtConfig
+{
+    int estimators = 120;
+    double learningRate = 0.1;
+    TreeConfig tree{3, 2};
+};
+
+/** Boosted-tree latency regressor over (gamma, C, M) features. */
+class GbdtRegressor
+{
+  public:
+    explicit GbdtRegressor(GbdtConfig config = {});
+
+    void fit(const std::vector<ProfilingSample> &samples);
+
+    double predict(const ProfilingSample &sample) const;
+    std::vector<double>
+    predictAll(const std::vector<ProfilingSample> &samples) const;
+
+  private:
+    static std::vector<double> featurize(const ProfilingSample &sample);
+
+    GbdtConfig config_;
+    double base_ = 0.0;
+    std::vector<DecisionTreeRegressor> trees_;
+};
+
+} // namespace erms
+
+#endif // ERMS_PROFILING_GBDT_HPP

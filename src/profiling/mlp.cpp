@@ -1,0 +1,238 @@
+#include "mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace erms {
+
+MlpRegressor::MlpRegressor(MlpConfig config) : config_(config)
+{
+    ERMS_ASSERT(config.hiddenSize > 0 && config.epochs > 0);
+}
+
+std::vector<double>
+MlpRegressor::featurize(const ProfilingSample &s) const
+{
+    std::vector<double> x = {s.gamma, s.cpuUtil, s.memUtil};
+    for (int i = 0; i < kInputs; ++i)
+        x[static_cast<std::size_t>(i)] =
+            (x[static_cast<std::size_t>(i)] - mean_[static_cast<std::size_t>(i)]) /
+            stddev_[static_cast<std::size_t>(i)];
+    return x;
+}
+
+void
+MlpRegressor::fit(const std::vector<ProfilingSample> &samples)
+{
+    ERMS_ASSERT(!samples.empty());
+    const int h = config_.hiddenSize;
+    const std::size_t n = samples.size();
+    Rng rng(config_.seed);
+
+    // Standardization.
+    mean_.assign(kInputs, 0.0);
+    stddev_.assign(kInputs, 0.0);
+    for (const ProfilingSample &s : samples) {
+        mean_[0] += s.gamma;
+        mean_[1] += s.cpuUtil;
+        mean_[2] += s.memUtil;
+    }
+    for (double &m : mean_)
+        m /= static_cast<double>(n);
+    for (const ProfilingSample &s : samples) {
+        const double d0 = s.gamma - mean_[0];
+        const double d1 = s.cpuUtil - mean_[1];
+        const double d2 = s.memUtil - mean_[2];
+        stddev_[0] += d0 * d0;
+        stddev_[1] += d1 * d1;
+        stddev_[2] += d2 * d2;
+    }
+    for (double &sd : stddev_)
+        sd = std::max(1e-9, std::sqrt(sd / static_cast<double>(n)));
+
+    yMean_ = 0.0;
+    for (const ProfilingSample &s : samples)
+        yMean_ += s.latencyMs;
+    yMean_ /= static_cast<double>(n);
+    double yvar = 0.0;
+    for (const ProfilingSample &s : samples) {
+        const double d = s.latencyMs - yMean_;
+        yvar += d * d;
+    }
+    yStd_ = std::max(1e-9, std::sqrt(yvar / static_cast<double>(n)));
+
+    // He initialization.
+    const auto he = [&](int fan_in) {
+        return rng.normal() * std::sqrt(2.0 / fan_in);
+    };
+    const std::size_t hs = static_cast<std::size_t>(h);
+    w1_.resize(hs * kInputs);
+    b1_.assign(hs, 0.0);
+    w2_.resize(hs * hs);
+    b2_.assign(hs, 0.0);
+    w3_.resize(hs);
+    b3_ = 0.0;
+    for (double &w : w1_)
+        w = he(kInputs);
+    for (double &w : w2_)
+        w = he(h);
+    for (double &w : w3_)
+        w = he(h);
+
+    // Adam state for all parameter groups, flattened.
+    const std::size_t params = w1_.size() + b1_.size() + w2_.size() +
+                               b2_.size() + w3_.size() + 1;
+    std::vector<double> m_state(params, 0.0), v_state(params, 0.0);
+    const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    std::uint64_t step = 0;
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<double> g_w1(w1_.size()), g_b1(b1_.size());
+    std::vector<double> g_w2(w2_.size()), g_b2(b2_.size());
+    std::vector<double> g_w3(w3_.size());
+    double g_b3 = 0.0;
+    std::vector<double> z1(hs), a1(hs), z2(hs), a2(hs);
+    std::vector<double> d1(hs), d2(hs);
+
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t start = 0; start < n;
+             start += static_cast<std::size_t>(config_.batchSize)) {
+            const std::size_t end = std::min(
+                n, start + static_cast<std::size_t>(config_.batchSize));
+            std::fill(g_w1.begin(), g_w1.end(), 0.0);
+            std::fill(g_b1.begin(), g_b1.end(), 0.0);
+            std::fill(g_w2.begin(), g_w2.end(), 0.0);
+            std::fill(g_b2.begin(), g_b2.end(), 0.0);
+            std::fill(g_w3.begin(), g_w3.end(), 0.0);
+            g_b3 = 0.0;
+
+            for (std::size_t k = start; k < end; ++k) {
+                const ProfilingSample &s = samples[order[k]];
+                const auto x = featurize(s);
+                const double target = (s.latencyMs - yMean_) / yStd_;
+
+                // Forward.
+                for (std::size_t j = 0; j < hs; ++j) {
+                    double z = b1_[j];
+                    for (int i = 0; i < kInputs; ++i)
+                        z += w1_[j * kInputs + static_cast<std::size_t>(i)] *
+                             x[static_cast<std::size_t>(i)];
+                    z1[j] = z;
+                    a1[j] = z > 0.0 ? z : 0.0;
+                }
+                for (std::size_t j = 0; j < hs; ++j) {
+                    double z = b2_[j];
+                    for (std::size_t i = 0; i < hs; ++i)
+                        z += w2_[j * hs + i] * a1[i];
+                    z2[j] = z;
+                    a2[j] = z > 0.0 ? z : 0.0;
+                }
+                double out = b3_;
+                for (std::size_t j = 0; j < hs; ++j)
+                    out += w3_[j] * a2[j];
+
+                // Backward (squared loss).
+                const double dout = 2.0 * (out - target);
+                g_b3 += dout;
+                for (std::size_t j = 0; j < hs; ++j) {
+                    g_w3[j] += dout * a2[j];
+                    d2[j] = z2[j] > 0.0 ? dout * w3_[j] : 0.0;
+                }
+                for (std::size_t j = 0; j < hs; ++j) {
+                    g_b2[j] += d2[j];
+                    for (std::size_t i = 0; i < hs; ++i)
+                        g_w2[j * hs + i] += d2[j] * a1[i];
+                }
+                for (std::size_t i = 0; i < hs; ++i) {
+                    double acc = 0.0;
+                    for (std::size_t j = 0; j < hs; ++j)
+                        acc += d2[j] * w2_[j * hs + i];
+                    d1[i] = z1[i] > 0.0 ? acc : 0.0;
+                }
+                for (std::size_t j = 0; j < hs; ++j) {
+                    g_b1[j] += d1[j];
+                    for (int i = 0; i < kInputs; ++i)
+                        g_w1[j * kInputs + static_cast<std::size_t>(i)] +=
+                            d1[j] * x[static_cast<std::size_t>(i)];
+                }
+            }
+
+            // Adam update over the flattened parameter vector.
+            ++step;
+            const double batch = static_cast<double>(end - start);
+            const double bc1 =
+                1.0 - std::pow(beta1, static_cast<double>(step));
+            const double bc2 =
+                1.0 - std::pow(beta2, static_cast<double>(step));
+            std::size_t p = 0;
+            const auto adam = [&](double *param, const double *grad,
+                                  std::size_t count) {
+                for (std::size_t i = 0; i < count; ++i, ++p) {
+                    const double g = grad[i] / batch;
+                    m_state[p] = beta1 * m_state[p] + (1.0 - beta1) * g;
+                    v_state[p] = beta2 * v_state[p] + (1.0 - beta2) * g * g;
+                    const double mhat = m_state[p] / bc1;
+                    const double vhat = v_state[p] / bc2;
+                    param[i] -= config_.learningRate * mhat /
+                                (std::sqrt(vhat) + eps);
+                }
+            };
+            adam(w1_.data(), g_w1.data(), w1_.size());
+            adam(b1_.data(), g_b1.data(), b1_.size());
+            adam(w2_.data(), g_w2.data(), w2_.size());
+            adam(b2_.data(), g_b2.data(), b2_.size());
+            adam(w3_.data(), g_w3.data(), w3_.size());
+            adam(&b3_, &g_b3, 1);
+        }
+    }
+}
+
+double
+MlpRegressor::forward(const std::vector<double> &x) const
+{
+    const std::size_t hs = static_cast<std::size_t>(config_.hiddenSize);
+    std::vector<double> a1(hs), a2(hs);
+    for (std::size_t j = 0; j < hs; ++j) {
+        double z = b1_[j];
+        for (int i = 0; i < kInputs; ++i)
+            z += w1_[j * kInputs + static_cast<std::size_t>(i)] *
+                 x[static_cast<std::size_t>(i)];
+        a1[j] = z > 0.0 ? z : 0.0;
+    }
+    for (std::size_t j = 0; j < hs; ++j) {
+        double z = b2_[j];
+        for (std::size_t i = 0; i < hs; ++i)
+            z += w2_[j * hs + i] * a1[i];
+        a2[j] = z > 0.0 ? z : 0.0;
+    }
+    double out = b3_;
+    for (std::size_t j = 0; j < hs; ++j)
+        out += w3_[j] * a2[j];
+    return out;
+}
+
+double
+MlpRegressor::predict(const ProfilingSample &sample) const
+{
+    ERMS_ASSERT_MSG(!w1_.empty(), "predict before fit");
+    return forward(featurize(sample)) * yStd_ + yMean_;
+}
+
+std::vector<double>
+MlpRegressor::predictAll(const std::vector<ProfilingSample> &samples) const
+{
+    std::vector<double> out;
+    out.reserve(samples.size());
+    for (const ProfilingSample &s : samples)
+        out.push_back(predict(s));
+    return out;
+}
+
+} // namespace erms

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small multilayer perceptron — the from-scratch stand-in for the
+ * "three-layer Neural Network with 64 neurons" baseline of Fig. 10.
+ * Two hidden ReLU layers trained with Adam on standardized features.
+ */
+
+#ifndef ERMS_PROFILING_MLP_HPP
+#define ERMS_PROFILING_MLP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "profiling/sample.hpp"
+
+namespace erms {
+
+/** Hyperparameters of the MLP baseline. */
+struct MlpConfig
+{
+    int hiddenSize = 64;
+    int epochs = 200;
+    double learningRate = 1e-3;
+    int batchSize = 32;
+    std::uint64_t seed = 17;
+};
+
+/** Feed-forward latency regressor over (gamma, C, M). */
+class MlpRegressor
+{
+  public:
+    explicit MlpRegressor(MlpConfig config = {});
+
+    void fit(const std::vector<ProfilingSample> &samples);
+
+    double predict(const ProfilingSample &sample) const;
+    std::vector<double>
+    predictAll(const std::vector<ProfilingSample> &samples) const;
+
+  private:
+    static constexpr int kInputs = 3;
+
+    std::vector<double> featurize(const ProfilingSample &sample) const;
+    double forward(const std::vector<double> &input) const;
+
+    MlpConfig config_;
+    // Standardization statistics.
+    std::vector<double> mean_, stddev_;
+    double yMean_ = 0.0, yStd_ = 1.0;
+    // Parameters: two hidden layers + linear output.
+    std::vector<double> w1_, b1_, w2_, b2_, w3_;
+    double b3_ = 0.0;
+};
+
+} // namespace erms
+
+#endif // ERMS_PROFILING_MLP_HPP

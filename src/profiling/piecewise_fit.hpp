@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Erms' offline profiler (§5.2): fits the piecewise model of Eq. (15) —
+ * two interference-coupled linear intervals plus a decision-tree cutoff
+ * sigma(C, M) — from per-minute samples.
+ *
+ * Algorithm (EM-flavored, 3 rounds):
+ *  1. initialize the cutoff at the median workload;
+ *  2. assign samples to intervals by the current cutoff prediction;
+ *  3. fit each interval by least squares on features
+ *     [C*gamma, M*gamma, gamma, 1] -> (alpha, beta, c, b);
+ *  4. re-learn the cutoff: bucket samples by rounded (C, M); within each
+ *     bucket scan candidate split points and keep the one minimizing the
+ *     two-model SSE; train a decision tree on (C, M) -> best split
+ *     (weighted by bucket size); repeat from 2.
+ */
+
+#ifndef ERMS_PROFILING_PIECEWISE_FIT_HPP
+#define ERMS_PROFILING_PIECEWISE_FIT_HPP
+
+#include <memory>
+#include <vector>
+
+#include "model/latency_model.hpp"
+#include "profiling/decision_tree.hpp"
+#include "profiling/sample.hpp"
+
+namespace erms {
+
+/** Configuration of the piecewise fitter. */
+struct PiecewiseFitConfig
+{
+    int iterations = 3;
+    /** Interference bucket width for cutoff search. */
+    double bucketWidth = 0.10;
+    /** Minimum samples per interval for a stable linear fit. */
+    std::size_t minIntervalSamples = 4;
+    TreeConfig cutoffTree{3, 2};
+};
+
+/** Fitted result: the model plus training diagnostics. */
+struct PiecewiseFitResult
+{
+    PiecewiseLatencyModel model;
+    IntervalParams below;
+    IntervalParams above;
+    double trainAccuracy = 0.0;
+    /** Shared cutoff tree backing model's cutoff function. */
+    std::shared_ptr<DecisionTreeRegressor> cutoffTree;
+    /** Constant cutoff used when the tree is untrained. */
+    double cutoffFallback = 1.0;
+};
+
+/** Fit Eq. (15) from samples. Requires at least a handful of samples. */
+PiecewiseFitResult fitPiecewiseModel(const std::vector<ProfilingSample> &samples,
+                                     const PiecewiseFitConfig &config = {});
+
+/** Predict latency for each sample under a fitted model. */
+std::vector<double>
+predictAll(const PiecewiseLatencyModel &model,
+           const std::vector<ProfilingSample> &samples);
+
+} // namespace erms
+
+#endif // ERMS_PROFILING_PIECEWISE_FIT_HPP

@@ -1,0 +1,54 @@
+#include "sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+double
+profilingAccuracy(const std::vector<double> &predicted,
+                  const std::vector<double> &actual)
+{
+    ERMS_ASSERT(predicted.size() == actual.size());
+    if (predicted.empty())
+        return 0.0;
+    double error_sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double denom = std::max(std::fabs(actual[i]), 1e-9);
+        const double rel = std::fabs(predicted[i] - actual[i]) / denom;
+        error_sum += std::min(rel, 1.0);
+    }
+    return 1.0 - error_sum / static_cast<double>(predicted.size());
+}
+
+double
+fractionWithin(const std::vector<double> &predicted,
+               const std::vector<double> &actual, double tolerance)
+{
+    ERMS_ASSERT(predicted.size() == actual.size());
+    if (predicted.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double denom = std::max(std::fabs(actual[i]), 1e-9);
+        if (std::fabs(predicted[i] - actual[i]) / denom <= tolerance)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+void
+splitSamples(const std::vector<ProfilingSample> &all, double fraction,
+             std::vector<ProfilingSample> &train,
+             std::vector<ProfilingSample> &test)
+{
+    ERMS_ASSERT(fraction > 0.0 && fraction < 1.0);
+    const std::size_t cut = static_cast<std::size_t>(
+        fraction * static_cast<double>(all.size()));
+    train.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(cut));
+    test.assign(all.begin() + static_cast<std::ptrdiff_t>(cut), all.end());
+}
+
+} // namespace erms

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Profiling sample type (the paper's d_i^j = (L_i^j, gamma_i^j, C_i^j,
+ * M_i^j), §5.2) and accuracy metrics used in Fig. 10.
+ */
+
+#ifndef ERMS_PROFILING_SAMPLE_HPP
+#define ERMS_PROFILING_SAMPLE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace erms {
+
+/** One per-minute observation of one microservice. */
+struct ProfilingSample
+{
+    double latencyMs = 0.0; ///< L: tail latency within the minute
+    double gamma = 0.0;     ///< workload per container (requests/min)
+    double cpuUtil = 0.0;   ///< C: host CPU utilization
+    double memUtil = 0.0;   ///< M: host memory utilization
+};
+
+/**
+ * Profiling accuracy as used in §6.2: 1 - mean relative error, with each
+ * per-sample relative error clipped at 100% so single outliers cannot
+ * drive accuracy negative.
+ */
+double profilingAccuracy(const std::vector<double> &predicted,
+                         const std::vector<double> &actual);
+
+/** Fraction of predictions within +-tolerance (relative) of the truth. */
+double fractionWithin(const std::vector<double> &predicted,
+                      const std::vector<double> &actual, double tolerance);
+
+/** Chronological train/test split: first `fraction` for training. */
+void splitSamples(const std::vector<ProfilingSample> &all, double fraction,
+                  std::vector<ProfilingSample> &train,
+                  std::vector<ProfilingSample> &test);
+
+} // namespace erms
+
+#endif // ERMS_PROFILING_SAMPLE_HPP

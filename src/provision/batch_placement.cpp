@@ -1,0 +1,51 @@
+#include "batch_placement.hpp"
+
+#include "common/error.hpp"
+#include "provision/interference_aware.hpp"
+
+namespace erms {
+
+BatchPlacementResult
+placeBatch(const MicroserviceCatalog &catalog, std::vector<HostView> hosts,
+           const std::unordered_map<MicroserviceId, int> &deltas,
+           PlacementPolicy &policy)
+{
+    ERMS_ASSERT(!hosts.empty());
+    BatchPlacementResult result;
+    result.unbalanceBefore = InterferenceAwarePlacement::unbalance(hosts);
+
+    for (const auto &[ms, count] : deltas) {
+        if (count <= 0)
+            continue;
+        const ResourceSpec &resources = catalog.profile(ms).resources;
+        for (int k = 0; k < count; ++k) {
+            const std::size_t pick = policy.placeContainer(
+                hosts, resources.cpuCores, resources.memoryMb);
+            ERMS_ASSERT(pick < hosts.size());
+            hosts[pick].cpuAllocatedCores += resources.cpuCores;
+            hosts[pick].memAllocatedMb += resources.memoryMb;
+            result.placements.push_back(
+                PlacementAssignment{ms, hosts[pick].id});
+        }
+    }
+
+    result.unbalanceAfter = InterferenceAwarePlacement::unbalance(hosts);
+    result.hostsAfter = std::move(hosts);
+    return result;
+}
+
+std::unordered_map<MicroserviceId, int>
+scaleOutDeltas(const GlobalPlan &plan,
+               const std::unordered_map<MicroserviceId, int> &current)
+{
+    std::unordered_map<MicroserviceId, int> deltas;
+    for (const auto &[ms, target] : plan.containers) {
+        auto it = current.find(ms);
+        const int deployed = it != current.end() ? it->second : 0;
+        if (target > deployed)
+            deltas.emplace(ms, target - deployed);
+    }
+    return deltas;
+}
+
+} // namespace erms

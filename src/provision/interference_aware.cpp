@@ -1,0 +1,159 @@
+#include "interference_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+namespace {
+
+/** Predicted utilization of one host from background + allocations. */
+double
+predictedCpu(const HostView &host, double extra_cores = 0.0)
+{
+    return host.backgroundCpuUtil +
+           (host.cpuAllocatedCores + extra_cores) / host.cpuCapacityCores;
+}
+
+double
+predictedMem(const HostView &host, double extra_mb = 0.0)
+{
+    return host.backgroundMemUtil +
+           (host.memAllocatedMb + extra_mb) / host.memCapacityMb;
+}
+
+/** Unbalance of a candidate configuration over hosts [begin, end):
+ *  delta_index gets (dcpu, dmem) added. POP restricts both the
+ *  candidate set *and* the objective to one group — that locality is
+ *  what makes provisioning tractable at fleet scale (§5.4). */
+double
+unbalanceWithDelta(const std::vector<HostView> &hosts, std::size_t begin,
+                   std::size_t end, std::size_t delta_index,
+                   double dcpu_cores, double dmem_mb)
+{
+    double cpu_sum = 0.0, mem_sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+        cpu_sum += predictedCpu(hosts[i], i == delta_index ? dcpu_cores : 0.0);
+        mem_sum += predictedMem(hosts[i], i == delta_index ? dmem_mb : 0.0);
+    }
+    const double n = static_cast<double>(end - begin);
+    const double cpu_mean = cpu_sum / n;
+    const double mem_mean = mem_sum / n;
+
+    double total = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const double cpu =
+            predictedCpu(hosts[i], i == delta_index ? dcpu_cores : 0.0);
+        const double mem =
+            predictedMem(hosts[i], i == delta_index ? dmem_mb : 0.0);
+        total += std::fabs(cpu - cpu_mean) + std::fabs(mem - mem_mean);
+    }
+    return total;
+}
+
+} // namespace
+
+InterferenceAwarePlacement::InterferenceAwarePlacement(ProvisionConfig config)
+    : config_(config)
+{
+}
+
+double
+InterferenceAwarePlacement::unbalance(const std::vector<HostView> &hosts)
+{
+    ERMS_ASSERT(!hosts.empty());
+    return unbalanceWithDelta(hosts, 0, hosts.size(), hosts.size(), 0.0,
+                              0.0);
+}
+
+std::size_t
+InterferenceAwarePlacement::placeContainer(const std::vector<HostView> &hosts,
+                                           double cpu_request_cores,
+                                           double mem_request_mb)
+{
+    ERMS_ASSERT(!hosts.empty());
+
+    // POP grouping: restrict the candidate set to one static group,
+    // rotating across groups between calls.
+    std::size_t begin = 0;
+    std::size_t end = hosts.size();
+    if (config_.popGroupSize > 0 && config_.popGroupSize < hosts.size()) {
+        const std::size_t groups =
+            (hosts.size() + config_.popGroupSize - 1) / config_.popGroupSize;
+        const std::size_t group = nextGroup_++ % groups;
+        begin = group * config_.popGroupSize;
+        end = std::min(hosts.size(), begin + config_.popGroupSize);
+    }
+
+    std::size_t best = begin;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = begin; i < end; ++i) {
+        const double score = unbalanceWithDelta(
+            hosts, begin, end, i, cpu_request_cores, mem_request_mb);
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::size_t
+InterferenceAwarePlacement::evictContainer(
+    const std::vector<HostView> &hosts,
+    const std::vector<std::size_t> &candidates, double cpu_request_cores,
+    double mem_request_mb)
+{
+    ERMS_ASSERT(!candidates.empty());
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const double score = unbalanceWithDelta(
+            hosts, 0, hosts.size(), candidates[k], -cpu_request_cores,
+            -mem_request_mb);
+        if (score < best_score) {
+            best_score = score;
+            best = k;
+        }
+    }
+    return best;
+}
+
+std::size_t
+BinPackPlacementPolicy::placeContainer(const std::vector<HostView> &hosts,
+                                       double cpu_request_cores,
+                                       double mem_request_mb)
+{
+    ERMS_ASSERT(!hosts.empty());
+    std::size_t best = 0;
+    double best_alloc = -1.0;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        const HostView &host = hosts[i];
+        const bool fits =
+            host.cpuAllocatedCores + cpu_request_cores <=
+                host.cpuCapacityCores &&
+            host.memAllocatedMb + mem_request_mb <= host.memCapacityMb;
+        const double alloc = host.cpuAllocatedCores / host.cpuCapacityCores;
+        if (fits && alloc > best_alloc) {
+            best_alloc = alloc;
+            best = i;
+        }
+    }
+    if (best_alloc < 0.0)
+        return 0; // nothing fits: overflow onto host 0
+    return best;
+}
+
+std::size_t
+BinPackPlacementPolicy::evictContainer(const std::vector<HostView> &,
+                                       const std::vector<std::size_t> &candidates,
+                                       double, double)
+{
+    ERMS_ASSERT(!candidates.empty());
+    return candidates.size() - 1;
+}
+
+} // namespace erms

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interference-aware Resource Provisioning (§5.4): place or release
+ * containers so that per-host utilization stays balanced around the
+ * cluster-wide mean — resource unbalance for a host is
+ * |util_host - util_cluster|, and the policy greedily minimizes the sum
+ * over hosts (CPU and memory terms both counted).
+ *
+ * The exact formulation is a non-linear integer program (NP-hard); like
+ * the paper we make it tractable with the POP technique [31]: hosts are
+ * statically split into fixed-size groups and each decision optimizes
+ * within one group only, rotating round-robin across groups.
+ */
+
+#ifndef ERMS_PROVISION_INTERFERENCE_AWARE_HPP
+#define ERMS_PROVISION_INTERFERENCE_AWARE_HPP
+
+#include <cstddef>
+
+#include "sim/placement.hpp"
+
+namespace erms {
+
+/** Configuration of the interference-aware policy. */
+struct ProvisionConfig
+{
+    /** Hosts per POP group; 0 = single group (full optimization). */
+    std::size_t popGroupSize = 0;
+};
+
+/** The paper's placement policy (Fig. 15's "Erms" deployment). */
+class InterferenceAwarePlacement : public PlacementPolicy
+{
+  public:
+    explicit InterferenceAwarePlacement(ProvisionConfig config = {});
+
+    std::size_t placeContainer(const std::vector<HostView> &hosts,
+                               double cpu_request_cores,
+                               double mem_request_mb) override;
+    std::size_t evictContainer(const std::vector<HostView> &hosts,
+                               const std::vector<std::size_t> &candidates,
+                               double cpu_request_cores,
+                               double mem_request_mb) override;
+
+    /**
+     * Cluster unbalance score: sum over hosts of
+     * |cpu_h - mean_cpu| + |mem_h - mean_mem| using *predicted*
+     * utilization (background + allocated requests). Exposed for tests
+     * and the Fig. 15 bench.
+     */
+    static double unbalance(const std::vector<HostView> &hosts);
+
+  private:
+    ProvisionConfig config_;
+    std::size_t nextGroup_ = 0;
+};
+
+/**
+ * Bin-packing baseline: fill the most-allocated host that still fits —
+ * maximizes consolidation and therefore interference (an adversarial
+ * comparison point in the Fig. 15 bench).
+ */
+class BinPackPlacementPolicy : public PlacementPolicy
+{
+  public:
+    std::size_t placeContainer(const std::vector<HostView> &hosts,
+                               double cpu_request_cores,
+                               double mem_request_mb) override;
+    std::size_t evictContainer(const std::vector<HostView> &hosts,
+                               const std::vector<std::size_t> &candidates,
+                               double cpu_request_cores,
+                               double mem_request_mb) override;
+};
+
+} // namespace erms
+
+#endif // ERMS_PROVISION_INTERFERENCE_AWARE_HPP

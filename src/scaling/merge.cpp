@@ -1,0 +1,212 @@
+#include "merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+namespace {
+
+/** Guard against degenerate zero slopes; a tiny positive A keeps the
+ *  closed forms well defined while contributing negligible budget. */
+constexpr double kMinA = 1e-12;
+
+double
+clampA(double a)
+{
+    return a > kMinA ? a : kMinA;
+}
+
+} // namespace
+
+MergeParams
+mergeSequential(const std::vector<MergeParams> &parts)
+{
+    ERMS_ASSERT(!parts.empty());
+    double sqrt_ar = 0.0;
+    double sqrt_a_over_r = 0.0;
+    double b_sum = 0.0;
+    for (const MergeParams &p : parts) {
+        ERMS_ASSERT(p.R > 0.0);
+        const double a = clampA(p.A);
+        sqrt_ar += std::sqrt(a * p.R);
+        sqrt_a_over_r += std::sqrt(a / p.R);
+        b_sum += p.b;
+    }
+    MergeParams merged;
+    merged.A = sqrt_ar * sqrt_a_over_r;
+    merged.R = sqrt_ar / sqrt_a_over_r;
+    merged.b = b_sum;
+    return merged;
+}
+
+MergeParams
+mergeParallel(const std::vector<MergeParams> &parts)
+{
+    ERMS_ASSERT(!parts.empty());
+    double a_sum = 0.0;
+    double b_max = parts.front().b;
+    double weighted_r = 0.0;
+    for (const MergeParams &p : parts) {
+        ERMS_ASSERT(p.R > 0.0);
+        const double a = clampA(p.A);
+        a_sum += a;
+        b_max = std::max(b_max, p.b);
+        weighted_r += a * p.R;
+    }
+    MergeParams merged;
+    merged.A = a_sum;
+    merged.b = b_max;
+    merged.R = weighted_r / a_sum;
+    return merged;
+}
+
+MergeTree::MergeTree(
+    const DependencyGraph &graph,
+    const std::unordered_map<MicroserviceId, MergeParams> &params)
+{
+    root_ = mergeMicroservice(graph, graph.root(), params);
+}
+
+int
+MergeTree::addReal(MicroserviceId id, const MergeParams &params)
+{
+    MergeNode node;
+    node.kind = MergeNode::Kind::Real;
+    node.real = id;
+    node.params = params;
+    node.params.A = std::max(node.params.A, kMinA);
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+int
+MergeTree::addSequential(std::vector<int> children)
+{
+    ERMS_ASSERT(children.size() >= 2);
+    std::vector<MergeParams> parts;
+    parts.reserve(children.size());
+    for (int child : children)
+        parts.push_back(nodes_[static_cast<std::size_t>(child)].params);
+
+    MergeNode node;
+    node.kind = MergeNode::Kind::Sequential;
+    node.children = std::move(children);
+    node.params = mergeSequential(parts);
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+int
+MergeTree::addParallel(std::vector<int> children)
+{
+    ERMS_ASSERT(children.size() >= 2);
+    std::vector<MergeParams> parts;
+    parts.reserve(children.size());
+    for (int child : children)
+        parts.push_back(nodes_[static_cast<std::size_t>(child)].params);
+
+    MergeNode node;
+    node.kind = MergeNode::Kind::Parallel;
+    node.children = std::move(children);
+    node.params = mergeParallel(parts);
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+int
+MergeTree::mergeMicroservice(
+    const DependencyGraph &graph, MicroserviceId id,
+    const std::unordered_map<MicroserviceId, MergeParams> &params)
+{
+    auto it = params.find(id);
+    ERMS_ASSERT_MSG(it != params.end(),
+                    "missing merge parameters for a graph node");
+    const int self = addReal(id, it->second);
+
+    const auto stages = graph.stages(id);
+    if (stages.empty())
+        return self;
+
+    // The node's own latency plus each stage in sequence; within a stage,
+    // branches run in parallel.
+    std::vector<int> sequence;
+    sequence.push_back(self);
+    for (const auto &stage : stages) {
+        std::vector<int> branches;
+        branches.reserve(stage.size());
+        for (const DependencyGraph::Call &call : stage)
+            branches.push_back(mergeMicroservice(graph, call.callee, params));
+        if (branches.size() == 1)
+            sequence.push_back(branches.front());
+        else
+            sequence.push_back(addParallel(std::move(branches)));
+    }
+    return addSequential(std::move(sequence));
+}
+
+const MergeNode &
+MergeTree::node(int index) const
+{
+    ERMS_ASSERT(index >= 0 &&
+                static_cast<std::size_t>(index) < nodes_.size());
+    return nodes_[static_cast<std::size_t>(index)];
+}
+
+std::unordered_map<MicroserviceId, double>
+MergeTree::unfoldTargets(double total_budget_ms) const
+{
+    const MergeParams &root_params = root().params;
+    if (total_budget_ms <= root_params.b) {
+        throw InfeasibleError(
+            "latency budget " + std::to_string(total_budget_ms) +
+            "ms does not exceed the aggregate intercept " +
+            std::to_string(root_params.b) + "ms");
+    }
+
+    std::unordered_map<MicroserviceId, double> targets;
+
+    // Depth-first unfolding; each node receives its latency budget.
+    const std::function<void(int, double)> unfold = [&](int index,
+                                                        double budget) {
+        const MergeNode &n = node(index);
+        switch (n.kind) {
+          case MergeNode::Kind::Real:
+            targets[n.real] = budget;
+            break;
+          case MergeNode::Kind::Parallel:
+            // Eq. (10): parallel branches share the same target.
+            for (int child : n.children)
+                unfold(child, budget);
+            break;
+          case MergeNode::Kind::Sequential: {
+            // Eq. (5): T_j - b_j proportional to sqrt(A_j R_j) within the
+            // slack budget - sum_j b_j.
+            double b_sum = 0.0;
+            double sqrt_ar_sum = 0.0;
+            for (int child : n.children) {
+                const MergeParams &p = node(child).params;
+                b_sum += p.b;
+                sqrt_ar_sum += std::sqrt(std::max(p.A, kMinA) * p.R);
+            }
+            const double slack = budget - b_sum;
+            ERMS_ASSERT_MSG(sqrt_ar_sum > 0.0, "degenerate merge node");
+            for (int child : n.children) {
+                const MergeParams &p = node(child).params;
+                const double share =
+                    std::sqrt(std::max(p.A, kMinA) * p.R) / sqrt_ar_sum;
+                unfold(child, p.b + share * slack);
+            }
+            break;
+          }
+        }
+    };
+
+    unfold(root_, total_budget_ms);
+    return targets;
+}
+
+} // namespace erms

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Graph merge (Algorithm 1, §4.2): collapse a dependency graph with
+ * parallel structure into virtual microservices so the closed-form
+ * latency-target allocation of Eq. (5) applies.
+ *
+ * Each microservice i contributes the workload-scaled latency relation
+ * L_i = A_i / n_i + b_i with A_i = a_i * gamma_i. Merging rules:
+ *
+ *  - Sequential (Eqs. (6)-(9)): for children executing one after another,
+ *      sqrtAR   = sum_j sqrt(A_j R_j)
+ *      sqrtAoR  = sum_j sqrt(A_j / R_j)
+ *      A* = sqrtAR * sqrtAoR,  R* = sqrtAR / sqrtAoR,  b* = sum_j b_j.
+ *    (Equivalent to the paper's a*, R* with the workload folded in; the
+ *    invariant A* R* = (sum_j sqrt(A_j R_j))^2 gives the exact minimum
+ *    resource usage for any shared latency budget.)
+ *
+ *  - Parallel (Eqs. (10)-(12)): optimal targets across parallel branches
+ *    are equal, so
+ *      A** = sum_j A_j,  b** = max_j b_j,
+ *      R** = sum_j w_j R_j / sum_j w_j with w_j = A_j
+ *    (the paper weights by n_j; n_j is proportional to A_j when branch
+ *    intercepts match, which makes this the same expression without
+ *    needing the not-yet-known n_j).
+ *
+ * The merge tree also remembers its structure so computed targets can be
+ * *unfolded* back onto real microservices (Fig. 8).
+ */
+
+#ifndef ERMS_SCALING_MERGE_HPP
+#define ERMS_SCALING_MERGE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/dependency_graph.hpp"
+
+namespace erms {
+
+/** Workload-scaled latency parameters of one (real or virtual) node. */
+struct MergeParams
+{
+    double A = 0.0; ///< a_i * gamma_i (ms)
+    double b = 0.0; ///< intercept (ms)
+    double R = 0.0; ///< per-container dominant resource demand
+};
+
+/**
+ * Node of the merge tree. Leaves are real microservices; internal nodes
+ * are the virtual microservices invented by Algorithm 1.
+ */
+struct MergeNode
+{
+    enum class Kind { Real, Sequential, Parallel };
+
+    Kind kind = Kind::Real;
+    MicroserviceId real = kInvalidMicroservice; ///< valid for Kind::Real
+    std::vector<int> children;                  ///< indices into the tree
+    MergeParams params{};
+};
+
+/**
+ * Result of merging one dependency graph: an index-addressed tree whose
+ * root virtual microservice summarizes the whole service.
+ */
+class MergeTree
+{
+  public:
+    /**
+     * Build the merge tree for a graph.
+     *
+     * @param graph   the service's dependency graph
+     * @param params  per-real-microservice {A, b, R}; must contain every
+     *                node of the graph
+     */
+    MergeTree(const DependencyGraph &graph,
+              const std::unordered_map<MicroserviceId, MergeParams> &params);
+
+    const MergeNode &node(int index) const;
+    int rootIndex() const { return root_; }
+    const MergeNode &root() const { return node(root_); }
+    std::size_t size() const { return nodes_.size(); }
+
+    /**
+     * Unfold a latency budget from the root down to real microservices
+     * (Fig. 8): sequential children split the budget per Eq. (5);
+     * parallel children all inherit it.
+     *
+     * @param total_budget_ms latency budget for the root (the SLA)
+     * @return per-real-microservice latency targets (ms)
+     * @throws InfeasibleError if total_budget_ms <= the root intercept.
+     */
+    std::unordered_map<MicroserviceId, double>
+    unfoldTargets(double total_budget_ms) const;
+
+  private:
+    int mergeMicroservice(
+        const DependencyGraph &graph, MicroserviceId id,
+        const std::unordered_map<MicroserviceId, MergeParams> &params);
+
+    int addReal(MicroserviceId id, const MergeParams &params);
+    int addSequential(std::vector<int> children);
+    int addParallel(std::vector<int> children);
+
+    std::vector<MergeNode> nodes_;
+    int root_ = -1;
+};
+
+/** Sequential combination of Eqs. (7)-(9) over arbitrary arity. */
+MergeParams mergeSequential(const std::vector<MergeParams> &parts);
+
+/** Parallel combination of Eqs. (11)-(12) over arbitrary arity. */
+MergeParams mergeParallel(const std::vector<MergeParams> &parts);
+
+} // namespace erms
+
+#endif // ERMS_SCALING_MERGE_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Output types of the scaling pipeline: per-microservice latency targets
+ * and container counts for one service (ServiceAllocation) and for a set
+ * of services sharing microservices (GlobalPlan).
+ */
+
+#ifndef ERMS_SCALING_PLAN_HPP
+#define ERMS_SCALING_PLAN_HPP
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "model/latency_model.hpp"
+
+namespace erms {
+
+/** Allocation decision for one microservice within one service. */
+struct MicroserviceAllocation
+{
+    /** Latency budget assigned to this microservice (ms). */
+    double latencyTargetMs = 0.0;
+    /** Workload used for sizing (requests/minute; includes any
+     *  priority-modified share of shared traffic). */
+    double workload = 0.0;
+    /** Exact fractional container demand n = A / (T - b). */
+    double containersFractional = 0.0;
+    /** Deployed containers (rounded up, >= 1 when workload > 0). */
+    int containers = 0;
+    /** The latency band used to size this microservice. */
+    LatencyBand band{};
+    /** Which interval of the piecewise model the band came from. */
+    Interval intervalUsed = Interval::AboveCutoff;
+    /** Dominant-resource demand per container (Eq. (3)). */
+    double resourceDemand = 0.0;
+};
+
+/** Solution of the basic scaling model (Eq. (2)) for one service. */
+struct ServiceAllocation
+{
+    ServiceId service = kInvalidService;
+    double slaMs = 0.0;
+    bool feasible = false;
+    /** Human-readable reason when infeasible. */
+    std::string infeasibleReason;
+    std::unordered_map<MicroserviceId, MicroserviceAllocation> perMicroservice;
+
+    /** Objective of Eq. (2): sum over microservices of n_i * R_i. */
+    double totalResource() const;
+
+    /** Total deployed containers. */
+    int totalContainers() const;
+};
+
+/** How concurrent requests are handled at shared microservices. */
+enum class SharingPolicy
+{
+    /** Erms: priority scheduling with recomputed modified workloads. */
+    Priority,
+    /** Shared containers, FCFS queueing (min latency target wins). */
+    FcfsSharing,
+    /** Separate container partitions per service (§2.3's scheme 2). */
+    NonSharing,
+};
+
+/** Cluster-wide plan across all services. */
+struct GlobalPlan
+{
+    SharingPolicy policy = SharingPolicy::Priority;
+    bool feasible = false;
+    std::string infeasibleReason;
+
+    /** Final container count per microservice (deployed once, shared). */
+    std::unordered_map<MicroserviceId, int> containers;
+
+    /** Per-service allocations (targets, modified workloads, demands). */
+    std::vector<ServiceAllocation> services;
+
+    /**
+     * Priority order per shared microservice: services listed from
+     * highest to lowest priority (§5.3.2: lower initial latency target
+     * first).
+     */
+    std::unordered_map<MicroserviceId, std::vector<ServiceId>> priorityOrder;
+
+    /** Objective value: sum of n_i * R_i over deployed containers. */
+    double totalResource = 0.0;
+
+    /** Total deployed containers. */
+    int totalContainers = 0;
+};
+
+} // namespace erms
+
+#endif // ERMS_SCALING_PLAN_HPP

@@ -1,0 +1,219 @@
+#include "solver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "scaling/merge.hpp"
+
+namespace erms {
+
+double
+ServiceAllocation::totalResource() const
+{
+    double total = 0.0;
+    for (const auto &[id, alloc] : perMicroservice)
+        total += alloc.containers * alloc.resourceDemand;
+    return total;
+}
+
+int
+ServiceAllocation::totalContainers() const
+{
+    int total = 0;
+    for (const auto &[id, alloc] : perMicroservice)
+        total += alloc.containers;
+    return total;
+}
+
+LatencyTargetSolver::LatencyTargetSolver(const MicroserviceCatalog &catalog,
+                                         ClusterCapacity capacity,
+                                         SolverOptions options)
+    : catalog_(catalog), capacity_(capacity), options_(options)
+{
+    ERMS_ASSERT(options.maxRefinementPasses >= 1);
+    ERMS_ASSERT(options.trustLatencyFactor >= 1.0);
+    ERMS_ASSERT(options.cutoffBackstopFactor > 0.0);
+}
+
+std::unordered_map<MicroserviceId, double>
+LatencyTargetSolver::solvePass(
+    const DependencyGraph &graph,
+    const std::unordered_map<MicroserviceId, double> &workloads,
+    const std::unordered_map<MicroserviceId, BandChoice> &bands,
+    double sla_ms) const
+{
+    std::unordered_map<MicroserviceId, MergeParams> params;
+    params.reserve(graph.size());
+    for (MicroserviceId id : graph.nodes()) {
+        const BandChoice &choice = bands.at(id);
+        MergeParams p;
+        p.A = choice.band.a * workloads.at(id);
+        p.b = choice.band.b;
+        p.R = dominantShare(catalog_.profile(id).resources, capacity_);
+        params.emplace(id, p);
+    }
+    MergeTree tree(graph, params);
+    return tree.unfoldTargets(sla_ms);
+}
+
+ServiceAllocation
+LatencyTargetSolver::solve(const ServiceScalingRequest &request,
+                           const Interference &itf) const
+{
+    ERMS_ASSERT_MSG(request.graph != nullptr, "request requires a graph");
+    const DependencyGraph &graph = *request.graph;
+
+    ServiceAllocation result;
+    result.service = graph.service();
+    result.slaMs = request.slaMs;
+
+    // Per-microservice workloads: graph-derived, then overridden where the
+    // multiplexing planner injected priority-modified values.
+    auto workloads = graph.workloads(request.workload);
+    if (request.workloadOverride) {
+        for (const auto &[id, gamma] : *request.workloadOverride) {
+            if (workloads.count(id))
+                workloads[id] = gamma;
+        }
+    }
+
+    // Pass 1: the paper starts from interval-2 parameters (high-workload
+    // regime, cheaper in resources).
+    std::unordered_map<MicroserviceId, BandChoice> bands;
+    bands.reserve(graph.size());
+    for (MicroserviceId id : graph.nodes()) {
+        BandChoice choice;
+        choice.interval = Interval::AboveCutoff;
+        choice.band = catalog_.model(id).band(itf, Interval::AboveCutoff);
+        bands.emplace(id, choice);
+    }
+
+    // §5.3.1 refinement, iterated to a fixed point: after each pass, a
+    // target below a microservice's cutoff latency means it would really
+    // operate in interval 1, so its band switches and the targets are
+    // recomputed. The paper stops after two passes; we iterate until the
+    // classification stabilizes (almost always 1-2 passes) with a small
+    // cap, which also handles fitted models whose interval-2 intercepts
+    // aggregate past a tight SLA (fall back to all-interval-1).
+    std::unordered_map<MicroserviceId, double> targets;
+    bool have_targets = false;
+    for (int pass = 0; pass < options_.maxRefinementPasses; ++pass) {
+        try {
+            targets = solvePass(graph, workloads, bands, request.slaMs);
+            have_targets = true;
+        } catch (const InfeasibleError &err) {
+            bool all_below = true;
+            for (const auto &[id, choice] : bands)
+                all_below &= choice.interval == Interval::BelowCutoff;
+            if (all_below) {
+                result.feasible = false;
+                result.infeasibleReason = err.what();
+                return result;
+            }
+            // Retry at the conservative (light-load) end.
+            for (MicroserviceId id : graph.nodes()) {
+                bands[id].interval = Interval::BelowCutoff;
+                bands[id].band =
+                    catalog_.model(id).band(itf, Interval::BelowCutoff);
+            }
+            have_targets = false;
+            continue;
+        }
+        // Switching is one-directional (as in §5.3.1): a microservice
+        // whose target falls below its cutoff latency moves to the
+        // interval-1 band and stays there. This guarantees termination
+        // and avoids oscillation between band assignments.
+        bool changed = false;
+        for (MicroserviceId id : graph.nodes()) {
+            const auto &model = catalog_.model(id);
+            if (bands[id].interval == Interval::AboveCutoff &&
+                targets.at(id) < model.cutoffLatency(itf)) {
+                bands[id].interval = Interval::BelowCutoff;
+                bands[id].band = model.band(itf, Interval::BelowCutoff);
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    if (!have_targets) {
+        result.feasible = false;
+        result.infeasibleReason = "latency target computation diverged";
+        return result;
+    }
+
+    // Convert targets to container counts.
+    for (MicroserviceId id : graph.nodes()) {
+        const BandChoice &choice = bands.at(id);
+        MicroserviceAllocation alloc;
+        alloc.latencyTargetMs = targets.at(id);
+        alloc.workload = workloads.at(id);
+        alloc.band = choice.band;
+        alloc.intervalUsed = choice.interval;
+        alloc.resourceDemand =
+            dominantShare(catalog_.profile(id).resources, capacity_);
+
+        // Size containers by inverting the *piecewise* model at the
+        // target: this guarantees the target is met under the model even
+        // when the band assumed during merging disagrees with the
+        // realized operating interval (§5.3.1 stops after two passes).
+        const auto &model = catalog_.model(id);
+        double max_load = model.maxLoadForLatency(alloc.latencyTargetMs,
+                                                  itf);
+        if (max_load <= 0.0) {
+            result.feasible = false;
+            result.infeasibleReason =
+                "latency target of " +
+                std::to_string(alloc.latencyTargetMs) +
+                "ms at microservice " + catalog_.name(id) +
+                " lies below its model floor";
+            return result;
+        }
+        // Linear bands only describe the neighbourhood of the knee; a
+        // target bought far beyond it would sit past queueing saturation
+        // where no finite latency exists. Trust the fitted steep
+        // interval up to 3x the knee latency (a steep, accurate fit
+        // authorizes only slightly-past-knee loads on its own), with an
+        // absolute backstop at 1.15x the cutoff workload.
+        const double sigma = model.cutoff(itf);
+        const double trust_latency =
+            options_.trustLatencyFactor * model.cutoffLatency(itf);
+        double trust_load = model.maxLoadForLatency(trust_latency, itf);
+        if (trust_load <= 0.0)
+            trust_load = sigma;
+        max_load = std::min({max_load, trust_load,
+                             options_.cutoffBackstopFactor * sigma});
+        alloc.containersFractional = alloc.workload / max_load;
+        alloc.containers = std::max(
+            1, static_cast<int>(std::ceil(alloc.containersFractional -
+                                          1e-9)));
+        result.perMicroservice.emplace(id, alloc);
+    }
+
+    // Final validation: §5.3.1 allows at most two passes, so a very
+    // tight SLA can leave interval-2 extrapolation claiming latencies
+    // (even negative targets) no allocation can deliver. Reject the
+    // solution unless the *model-predicted* end-to-end latency at the
+    // deployed allocation meets the SLA.
+    std::unordered_map<MicroserviceId, double> predicted;
+    predicted.reserve(result.perMicroservice.size());
+    for (const auto &[id, alloc] : result.perMicroservice) {
+        const double per_container =
+            alloc.workload / std::max(1, alloc.containers);
+        predicted[id] = catalog_.model(id).latency(per_container, itf);
+    }
+    const double e2e = endToEndLatency(graph, predicted);
+    if (e2e > request.slaMs * 1.01 + 1e-9) {
+        result.feasible = false;
+        result.infeasibleReason =
+            "model-predicted end-to-end latency " + std::to_string(e2e) +
+            "ms exceeds the SLA of " + std::to_string(request.slaMs) +
+            "ms at the computed allocation";
+        return result;
+    }
+
+    result.feasible = true;
+    return result;
+}
+
+} // namespace erms

@@ -1,0 +1,111 @@
+#include "theorem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+namespace {
+
+/**
+ * Fractional container counts for a two-microservice sequential chain
+ * {x, y} with workload-scaled demands A_x = a_x * gamma_x etc. and slack
+ * D: by Eq. (5), n_x = sqrt(A_x / R_x) * (sqrt(A_x R_x) + sqrt(A_y R_y))
+ * / D.
+ */
+struct ChainSolution
+{
+    double nx = 0.0;
+    double ny = 0.0;
+};
+
+ChainSolution
+solveChain(double ax_gamma, double rx, double ay_gamma, double ry, double d)
+{
+    ERMS_ASSERT(d > 0.0);
+    const double sx = std::sqrt(ax_gamma * rx);
+    const double sy = std::sqrt(ay_gamma * ry);
+    ChainSolution sol;
+    sol.nx = std::sqrt(ax_gamma / rx) * (sx + sy) / d;
+    sol.ny = std::sqrt(ay_gamma / ry) * (sx + sy) / d;
+    return sol;
+}
+
+} // namespace
+
+bool
+TheoremScenario::equalSlack(double eps) const
+{
+    return std::fabs((sla1 - bu - bp) - (sla2 - bh - bp)) <= eps;
+}
+
+double
+ruSharingFcfs(const TheoremScenario &s)
+{
+    ERMS_ASSERT(s.slack() > 0.0);
+    // Eq. (17): both services see gamma1 + gamma2 at P; the joint KKT
+    // optimum merges U and H into an effective parallel entry tier.
+    const double entry = std::sqrt(s.au * s.gamma1 * s.Ru +
+                                   s.ah * s.gamma2 * s.Rh);
+    const double shared =
+        std::sqrt(s.ap * (s.gamma1 + s.gamma2) * s.Rp);
+    const double numerator = (entry + shared) * (entry + shared);
+    return numerator / s.slack();
+}
+
+double
+ruNonSharing(const TheoremScenario &s)
+{
+    ERMS_ASSERT(s.slack() > 0.0);
+    // Eq. (18): each service deploys its own P partition.
+    const double term1 = std::sqrt(s.au * s.Ru) + std::sqrt(s.ap * s.Rp);
+    const double term2 = std::sqrt(s.ah * s.Rh) + std::sqrt(s.ap * s.Rp);
+    return (s.gamma1 * term1 * term1 + s.gamma2 * term2 * term2) /
+           s.slack();
+}
+
+double
+ruPriorityUpperBound(const TheoremScenario &s)
+{
+    ERMS_ASSERT(s.slack() > 0.0);
+    const double d = s.slack();
+    const double svc2 = std::sqrt(s.ah * s.gamma2 * s.Rh) +
+                        std::sqrt(s.ap * (s.gamma1 + s.gamma2) * s.Rp);
+    // Trailing terms carry the 1/D denominator (see header note).
+    return (svc2 * svc2 + s.au * s.gamma1 * s.Ru +
+            std::sqrt(s.au * s.ap * s.Ru * s.Rp) * s.gamma1) /
+           d;
+}
+
+double
+ruPriorityActual(const TheoremScenario &s)
+{
+    ERMS_ASSERT(s.slack() > 0.0);
+    const double d = s.slack();
+
+    // Erms' priority rule (§5.3.2): the service with the *lower* initial
+    // latency target at the shared microservice is served first. With
+    // Eq. (5), the P-target share of service k is
+    // sqrt(A_pk R_p) / (sqrt(A_k R_k) + sqrt(A_pk R_p)).
+    const auto p_share = [&](double a_own, double r_own, double gamma) {
+        const double sp = std::sqrt(s.ap * gamma * s.Rp);
+        return sp / (std::sqrt(a_own * gamma * r_own) + sp);
+    };
+    const bool svc1_first = p_share(s.au, s.Ru, s.gamma1) <=
+                            p_share(s.ah, s.Rh, s.gamma2);
+
+    const double total_gamma = s.gamma1 + s.gamma2;
+    const double gamma1_at_p = svc1_first ? s.gamma1 : total_gamma;
+    const double gamma2_at_p = svc1_first ? total_gamma : s.gamma2;
+
+    const ChainSolution svc1 = solveChain(s.au * s.gamma1, s.Ru,
+                                          s.ap * gamma1_at_p, s.Rp, d);
+    const ChainSolution svc2 = solveChain(s.ah * s.gamma2, s.Rh,
+                                          s.ap * gamma2_at_p, s.Rp, d);
+    const double np = std::max(svc1.ny, svc2.ny);
+    return svc1.nx * s.Ru + svc2.nx * s.Rh + np * s.Rp;
+}
+
+} // namespace erms

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Discrete-event engine core: a time-ordered queue of callbacks with
+ * deterministic FIFO tie-breaking for simultaneous events.
+ */
+
+#ifndef ERMS_SIM_EVENT_QUEUE_HPP
+#define ERMS_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace erms {
+
+/** Priority queue of (time, insertion-order) tagged callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at absolute simulated time t (>= now). */
+    void schedule(SimTime t, Callback cb);
+
+    /** Schedule a callback delay microseconds from now. */
+    void scheduleAfter(SimTime delay, Callback cb);
+
+    /** Current simulated time (time of the last dispatched event). */
+    SimTime now() const { return now_; }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Dispatch events in order until the queue drains or the next event
+     * is later than horizon. Events scheduled while running are
+     * dispatched too if they fall within the horizon.
+     * @return number of events dispatched.
+     */
+    std::uint64_t runUntil(SimTime horizon);
+
+    /** Dispatch everything (no horizon). */
+    std::uint64_t runAll();
+
+  private:
+    struct Event
+    {
+        SimTime time;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace erms
+
+#endif // ERMS_SIM_EVENT_QUEUE_HPP

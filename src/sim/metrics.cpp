@@ -1,0 +1,34 @@
+#include "metrics.hpp"
+
+namespace erms {
+
+double
+SimMetrics::p95(ServiceId service) const
+{
+    auto it = endToEndMs.find(service);
+    if (it == endToEndMs.end() || it->second.empty())
+        return 0.0;
+    return it->second.p95();
+}
+
+double
+SimMetrics::violationRate(ServiceId service, double sla_ms) const
+{
+    auto it = endToEndMs.find(service);
+    if (it == endToEndMs.end() || it->second.empty())
+        return 0.0;
+    return it->second.fractionAbove(sla_ms);
+}
+
+std::vector<ProfilingRecord>
+SimMetrics::profilingFor(MicroserviceId microservice) const
+{
+    std::vector<ProfilingRecord> out;
+    for (const ProfilingRecord &record : profiling) {
+        if (record.microservice == microservice)
+            out.push_back(record);
+    }
+    return out;
+}
+
+} // namespace erms

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Metrics collected by the cluster simulator: end-to-end latency per
+ * service (total and per minute), per-microservice profiling records in
+ * exactly the shape of the paper's samples d_i^j = (L_i^j, gamma_i^j,
+ * C_i^j, M_i^j) (§5.2), and bookkeeping counters.
+ */
+
+#ifndef ERMS_SIM_METRICS_HPP
+#define ERMS_SIM_METRICS_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace erms {
+
+/**
+ * One per-minute profiling sample for one microservice: the paper's
+ * d_i^j. Latency is the P95 of all per-request microservice latencies in
+ * the minute; workload is the average calls handled per container.
+ */
+struct ProfilingRecord
+{
+    MicroserviceId microservice = kInvalidMicroservice;
+    std::uint64_t minute = 0;
+    double tailLatencyMs = 0.0;      ///< L_i^j (P95 within the minute)
+    double meanLatencyMs = 0.0;      ///< mean within the minute
+    double perContainerCalls = 0.0;  ///< gamma_i^j (requests/min/container)
+    double cpuUtil = 0.0;            ///< C_i^j (avg over hosting hosts)
+    double memUtil = 0.0;            ///< M_i^j
+    std::size_t sampleCount = 0;     ///< requests observed in the minute
+    int containers = 0;              ///< deployed containers that minute
+};
+
+/** All observable outputs of one simulation run. */
+struct SimMetrics
+{
+    /** End-to-end request latency per service (ms), post-warmup. */
+    std::unordered_map<ServiceId, SampleSet> endToEndMs;
+
+    /** End-to-end latency bucketed by simulated minute. */
+    std::unordered_map<ServiceId, WindowedSamples> endToEndByMinute;
+
+    /** Per-minute profiling samples per microservice, in minute order. */
+    std::vector<ProfilingRecord> profiling;
+
+    /** Containers deployed per microservice at each minute boundary. */
+    std::unordered_map<MicroserviceId, std::vector<std::pair<std::uint64_t, int>>>
+        containerTimeline;
+
+    std::uint64_t requestsGenerated = 0;
+    std::uint64_t requestsCompleted = 0;
+    std::uint64_t eventsDispatched = 0;
+
+    /** P95 end-to-end latency of a service; 0 when unobserved. */
+    double p95(ServiceId service) const;
+
+    /** Fraction of a service's requests exceeding the SLA threshold. */
+    double violationRate(ServiceId service, double sla_ms) const;
+
+    /** Profiling records of one microservice, minute-ordered. */
+    std::vector<ProfilingRecord>
+    profilingFor(MicroserviceId microservice) const;
+};
+
+} // namespace erms
+
+#endif // ERMS_SIM_METRICS_HPP

@@ -1,0 +1,44 @@
+#include "placement.hpp"
+
+#include "common/error.hpp"
+
+namespace erms {
+
+std::size_t
+SpreadPlacementPolicy::placeContainer(const std::vector<HostView> &hosts,
+                                      double, double)
+{
+    ERMS_ASSERT(!hosts.empty());
+    std::size_t best = 0;
+    double best_alloc = hosts[0].cpuAllocatedCores / hosts[0].cpuCapacityCores;
+    for (std::size_t i = 1; i < hosts.size(); ++i) {
+        const double alloc =
+            hosts[i].cpuAllocatedCores / hosts[i].cpuCapacityCores;
+        if (alloc < best_alloc) {
+            best_alloc = alloc;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::size_t
+SpreadPlacementPolicy::evictContainer(const std::vector<HostView> &hosts,
+                                      const std::vector<std::size_t> &candidates,
+                                      double, double)
+{
+    ERMS_ASSERT(!candidates.empty());
+    std::size_t best = 0;
+    double best_alloc = -1.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const HostView &host = hosts[candidates[i]];
+        const double alloc = host.cpuAllocatedCores / host.cpuCapacityCores;
+        if (alloc > best_alloc) {
+            best_alloc = alloc;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace erms

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Placement interface between the simulator and provisioning policies.
+ * The simulator exposes a read-only view of host load; policies pick the
+ * host for each new container and which container to evict on scale-in.
+ */
+
+#ifndef ERMS_SIM_PLACEMENT_HPP
+#define ERMS_SIM_PLACEMENT_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace erms {
+
+/** Snapshot of one host's load as seen by a placement policy. */
+struct HostView
+{
+    HostId id = kInvalidHost;
+    double cpuCapacityCores = 32.0;
+    double memCapacityMb = 64.0 * 1024.0;
+    /** Sum of CPU requests of containers currently placed here. */
+    double cpuAllocatedCores = 0.0;
+    /** Sum of memory requests of containers currently placed here. */
+    double memAllocatedMb = 0.0;
+    /** Background (batch / iBench) load, fraction of capacity. */
+    double backgroundCpuUtil = 0.0;
+    double backgroundMemUtil = 0.0;
+    /** Recent measured utilization including background (fractions). */
+    double cpuUtil = 0.0;
+    double memUtil = 0.0;
+};
+
+/** Chooses hosts for container placement and eviction. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /**
+     * Pick the host for one new container with the given resource
+     * request. Must return a valid index into hosts.
+     */
+    virtual std::size_t placeContainer(const std::vector<HostView> &hosts,
+                                       double cpu_request_cores,
+                                       double mem_request_mb) = 0;
+
+    /**
+     * Pick which of the candidate hosts (each currently running one
+     * removable container of the microservice being scaled in) should
+     * lose a container. Must return a valid index into candidates.
+     */
+    virtual std::size_t
+    evictContainer(const std::vector<HostView> &hosts,
+                   const std::vector<std::size_t> &candidates,
+                   double cpu_request_cores, double mem_request_mb) = 0;
+};
+
+/**
+ * Kubernetes-default-like policy: place on the host with the most free
+ * CPU (spread by least allocation), evict from the most loaded host.
+ * Interference-unaware — the Fig. 15 baseline.
+ */
+class SpreadPlacementPolicy : public PlacementPolicy
+{
+  public:
+    std::size_t placeContainer(const std::vector<HostView> &hosts,
+                               double cpu_request_cores,
+                               double mem_request_mb) override;
+    std::size_t evictContainer(const std::vector<HostView> &hosts,
+                               const std::vector<std::size_t> &candidates,
+                               double cpu_request_cores,
+                               double mem_request_mb) override;
+};
+
+} // namespace erms
+
+#endif // ERMS_SIM_PLACEMENT_HPP

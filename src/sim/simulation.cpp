@@ -1,0 +1,954 @@
+#include "simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace erms {
+
+namespace {
+
+constexpr SimTime kMinute = 60ULL * 1000ULL * 1000ULL; // 60 s in usec
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Internal state types
+// ---------------------------------------------------------------------
+
+struct Simulation::HostState
+{
+    HostId id = kInvalidHost;
+    double cpuCapacity = 32.0;
+    double memCapacity = 64.0 * 1024.0;
+    double bgCpu = 0.0;
+    double bgMem = 0.0;
+    double cpuAllocated = 0.0; ///< sum of container CPU requests
+    double memAllocated = 0.0; ///< sum of container memory requests
+    double busyCores = 0.0;    ///< cores actively used by busy threads
+    double busyIntegral = 0.0; ///< core-usec within the current minute
+    SimTime lastUpdate = 0;
+    int containerCount = 0;
+};
+
+struct Simulation::CallContext
+{
+    RequestState *req = nullptr;
+    MicroserviceId ms = kInvalidMicroservice;
+    CallContext *parent = nullptr;
+    int stageIdx = -1;
+    int pendingChildren = 0;
+    SimTime clientSend = 0;
+    SimTime receiveTime = 0;
+    SimTime procDone = 0;
+    ContainerState *container = nullptr;
+};
+
+struct Simulation::ContainerState
+{
+    ContainerId id = 0;
+    MicroserviceId ms = kInvalidMicroservice;
+    HostId host = kInvalidHost;
+    int threads = 1;
+    int busy = 0;
+    bool draining = false;
+    /** Simulated time at which this container starts accepting work. */
+    SimTime readyAt = 0;
+    /** Dedicated to one service under non-sharing partitions. */
+    ServiceId dedicatedService = kInvalidService;
+    std::vector<std::deque<CallContext *>> queues;
+    std::size_t queuedTotal = 0;
+    std::uint64_t callsThisMinute = 0;
+};
+
+struct Simulation::RequestState
+{
+    RequestId id = 0;
+    ServiceId service = kInvalidService;
+    std::size_t serviceIndex = 0;
+    SimTime arrival = 0;
+    bool traced = false;
+};
+
+struct Simulation::MinuteScratch
+{
+    std::unordered_map<MicroserviceId, SampleSet> msLatency;
+    std::unordered_map<ServiceId, std::uint64_t> arrivals;
+    // Stage layout cache: serviceIndex -> ms -> stages.
+    std::vector<std::unordered_map<
+        MicroserviceId, std::vector<std::vector<DependencyGraph::Call>>>>
+        stageCache;
+    // Context pools (freed wholesale on destruction).
+    std::deque<CallContext> ctxStorage;
+    std::vector<CallContext *> ctxFree;
+    std::deque<RequestState> reqStorage;
+    std::vector<RequestState *> reqFree;
+
+    CallContext *
+    acquireCtx()
+    {
+        if (!ctxFree.empty()) {
+            CallContext *ctx = ctxFree.back();
+            ctxFree.pop_back();
+            *ctx = CallContext{};
+            return ctx;
+        }
+        ctxStorage.emplace_back();
+        return &ctxStorage.back();
+    }
+
+    void releaseCtx(CallContext *ctx) { ctxFree.push_back(ctx); }
+
+    RequestState *
+    acquireReq()
+    {
+        if (!reqFree.empty()) {
+            RequestState *req = reqFree.back();
+            reqFree.pop_back();
+            *req = RequestState{};
+            return req;
+        }
+        reqStorage.emplace_back();
+        return &reqStorage.back();
+    }
+
+    void releaseReq(RequestState *req) { reqFree.push_back(req); }
+};
+
+// ---------------------------------------------------------------------
+// Construction / configuration
+// ---------------------------------------------------------------------
+
+Simulation::Simulation(const MicroserviceCatalog &catalog, SimConfig config)
+    : catalog_(catalog), config_(config), rng_(config.seed),
+      placement_(std::make_shared<SpreadPlacementPolicy>()),
+      scratch_(std::make_unique<MinuteScratch>())
+{
+    ERMS_ASSERT(config.hostCount > 0);
+    ERMS_ASSERT(config.horizonMinutes > 0);
+    ERMS_ASSERT(config.warmupMinutes >= 0);
+    hosts_.reserve(static_cast<std::size_t>(config.hostCount));
+    for (int i = 0; i < config.hostCount; ++i) {
+        auto host = std::make_unique<HostState>();
+        host->id = static_cast<HostId>(i);
+        host->cpuCapacity = config.hostCpuCores;
+        host->memCapacity = config.hostMemMb;
+        hosts_.push_back(std::move(host));
+    }
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::setBackgroundLoad(HostId host, double cpu_util, double mem_util)
+{
+    ERMS_ASSERT(host < hosts_.size());
+    hosts_[host]->bgCpu = std::clamp(cpu_util, 0.0, 1.0);
+    hosts_[host]->bgMem = std::clamp(mem_util, 0.0, 1.0);
+}
+
+void
+Simulation::setBackgroundLoadAll(double cpu_util, double mem_util)
+{
+    for (std::size_t i = 0; i < hosts_.size(); ++i)
+        setBackgroundLoad(static_cast<HostId>(i), cpu_util, mem_util);
+}
+
+void
+Simulation::setPlacementPolicy(std::shared_ptr<PlacementPolicy> policy)
+{
+    ERMS_ASSERT(policy != nullptr);
+    placement_ = std::move(policy);
+}
+
+void
+Simulation::setSchedulingDelta(double delta)
+{
+    ERMS_ASSERT(delta >= 0.0 && delta < 1.0);
+    config_.schedulingDelta = delta;
+}
+
+void
+Simulation::setSpanCollector(SpanCollector *collector)
+{
+    spans_ = collector;
+}
+
+void
+Simulation::setMinuteCallback(std::function<void(Simulation &, int)> callback)
+{
+    minuteCallback_ = std::move(callback);
+}
+
+void
+Simulation::addService(ServiceWorkload service)
+{
+    ERMS_ASSERT(service.graph != nullptr);
+    ERMS_ASSERT(service.id != kInvalidService);
+    ERMS_ASSERT_MSG(!serviceIndex_.count(service.id),
+                    "service added twice");
+    serviceIndex_.emplace(service.id, services_.size());
+
+    // Cache each node's stage layout for fast fan-out.
+    std::unordered_map<MicroserviceId,
+                       std::vector<std::vector<DependencyGraph::Call>>>
+        cache;
+    for (MicroserviceId id : service.graph->nodes())
+        cache.emplace(id, service.graph->stages(id));
+    scratch_->stageCache.push_back(std::move(cache));
+
+    services_.push_back(std::move(service));
+}
+
+// ---------------------------------------------------------------------
+// Host accounting
+// ---------------------------------------------------------------------
+
+void
+Simulation::noteBusyChange(HostState &host, double delta_cores)
+{
+    const SimTime now = events_.now();
+    host.busyIntegral +=
+        host.busyCores * static_cast<double>(now - host.lastUpdate);
+    host.lastUpdate = now;
+    host.busyCores = std::max(0.0, host.busyCores + delta_cores);
+}
+
+double
+Simulation::hostCpuUtil(const HostState &host) const
+{
+    return std::clamp(host.bgCpu + host.busyCores / host.cpuCapacity, 0.0,
+                      1.0);
+}
+
+double
+Simulation::hostMemUtil(const HostState &host) const
+{
+    return std::clamp(host.bgMem + host.memAllocated / host.memCapacity, 0.0,
+                      1.0);
+}
+
+Interference
+Simulation::hostInterference(HostId host) const
+{
+    ERMS_ASSERT(host < hosts_.size());
+    const HostState &h = *hosts_[host];
+    return Interference{hostCpuUtil(h), hostMemUtil(h)};
+}
+
+Interference
+Simulation::clusterInterference() const
+{
+    Interference avg;
+    for (const auto &host : hosts_) {
+        avg.cpuUtil += hostCpuUtil(*host);
+        avg.memUtil += hostMemUtil(*host);
+    }
+    avg.cpuUtil /= static_cast<double>(hosts_.size());
+    avg.memUtil /= static_cast<double>(hosts_.size());
+    return avg;
+}
+
+std::vector<HostView>
+Simulation::hostViews() const
+{
+    std::vector<HostView> views;
+    views.reserve(hosts_.size());
+    for (const auto &host : hosts_) {
+        HostView view;
+        view.id = host->id;
+        view.cpuCapacityCores = host->cpuCapacity;
+        view.memCapacityMb = host->memCapacity;
+        view.cpuAllocatedCores = host->cpuAllocated;
+        view.memAllocatedMb = host->memAllocated;
+        view.backgroundCpuUtil = host->bgCpu;
+        view.backgroundMemUtil = host->bgMem;
+        view.cpuUtil = hostCpuUtil(*host);
+        view.memUtil = hostMemUtil(*host);
+        views.push_back(view);
+    }
+    return views;
+}
+
+// ---------------------------------------------------------------------
+// Deployment management
+// ---------------------------------------------------------------------
+
+Simulation::ContainerState *
+Simulation::addContainer(MicroserviceId ms, ServiceId dedicated)
+{
+    const MicroserviceProfile &profile = catalog_.profile(ms);
+    const std::size_t host_index = placement_->placeContainer(
+        hostViews(), profile.resources.cpuCores, profile.resources.memoryMb);
+    ERMS_ASSERT(host_index < hosts_.size());
+    HostState &host = *hosts_[host_index];
+    host.cpuAllocated += profile.resources.cpuCores;
+    host.memAllocated += profile.resources.memoryMb;
+    ++host.containerCount;
+
+    auto container = std::make_unique<ContainerState>();
+    container->id = nextContainer_++;
+    container->ms = ms;
+    container->host = host.id;
+    container->threads = std::max(1, profile.threadsPerContainer);
+    container->queues.resize(1);
+    container->dedicatedService = dedicated;
+    container->readyAt =
+        events_.now() + toSimTime(config_.containerStartupMs);
+    ContainerState *raw = container.get();
+    deployments_[ms].push_back(std::move(container));
+    return raw;
+}
+
+void
+Simulation::reassignQueue(ContainerState &container)
+{
+    for (auto &queue : container.queues) {
+        while (!queue.empty()) {
+            CallContext *ctx = queue.front();
+            queue.pop_front();
+            --container.queuedTotal;
+            ctx->container = nullptr;
+            dispatchCall(ctx, /*count_call=*/false);
+        }
+    }
+}
+
+void
+Simulation::removeContainer(MicroserviceId ms, ServiceId dedicated)
+{
+    auto it = deployments_.find(ms);
+    ERMS_ASSERT_MSG(it != deployments_.end() && !it->second.empty(),
+                    "no container to remove");
+    auto &containers = it->second;
+
+    // Candidates: non-draining containers of the requested pool.
+    std::vector<std::size_t> candidate_hosts;
+    std::vector<std::size_t> candidate_indices;
+    for (std::size_t i = 0; i < containers.size(); ++i) {
+        if (!containers[i]->draining &&
+            containers[i]->dedicatedService == dedicated) {
+            candidate_hosts.push_back(containers[i]->host);
+            candidate_indices.push_back(i);
+        }
+    }
+    if (candidate_indices.empty())
+        return; // everything is already draining
+
+    const MicroserviceProfile &profile = catalog_.profile(ms);
+    const std::size_t pick = placement_->evictContainer(
+        hostViews(), candidate_hosts, profile.resources.cpuCores,
+        profile.resources.memoryMb);
+    ERMS_ASSERT(pick < candidate_indices.size());
+    const std::size_t index = candidate_indices[pick];
+    ContainerState &victim = *containers[index];
+
+    // Free host bookkeeping immediately (capacity is returned on drain
+    // start; busy threads finish their current jobs).
+    HostState &host = *hosts_[victim.host];
+    host.cpuAllocated -= profile.resources.cpuCores;
+    host.memAllocated -= profile.resources.memoryMb;
+    --host.containerCount;
+
+    if (victim.busy == 0 && victim.queuedTotal == 0) {
+        containers.erase(containers.begin() +
+                         static_cast<std::ptrdiff_t>(index));
+        return;
+    }
+    victim.draining = true;
+    reassignQueue(victim);
+}
+
+int
+Simulation::countPool(MicroserviceId ms, ServiceId dedicated) const
+{
+    auto it = deployments_.find(ms);
+    if (it == deployments_.end())
+        return 0;
+    int live = 0;
+    for (const auto &container : it->second) {
+        if (!container->draining &&
+            container->dedicatedService == dedicated)
+            ++live;
+    }
+    return live;
+}
+
+void
+Simulation::setContainerCount(MicroserviceId ms, int count)
+{
+    ERMS_ASSERT(count >= 0);
+    const bool scaled_out = countPool(ms, kInvalidService) < count;
+    while (countPool(ms, kInvalidService) < count)
+        addContainer(ms);
+    while (countPool(ms, kInvalidService) > count)
+        removeContainer(ms);
+
+    // After scale-out, spread backlog that accumulated in the old
+    // containers across the enlarged deployment (requests queue at the
+    // service endpoint, not at an individual replica). Drain every queue
+    // first, then redistribute, so redispatch cannot loop.
+    if (scaled_out) {
+        auto it = deployments_.find(ms);
+        if (it == deployments_.end())
+            return;
+        std::vector<CallContext *> backlog;
+        for (auto &container : it->second) {
+            for (auto &queue : container->queues) {
+                while (!queue.empty()) {
+                    backlog.push_back(queue.front());
+                    queue.pop_front();
+                    --container->queuedTotal;
+                }
+            }
+        }
+        for (CallContext *ctx : backlog) {
+            ctx->container = nullptr;
+            dispatchCall(ctx, /*count_call=*/false);
+        }
+    }
+}
+
+int
+Simulation::containerCount(MicroserviceId ms) const
+{
+    auto it = deployments_.find(ms);
+    if (it == deployments_.end())
+        return 0;
+    int live = 0;
+    for (const auto &container : it->second) {
+        if (!container->draining)
+            ++live;
+    }
+    return live;
+}
+
+void
+Simulation::setDedicatedContainerCount(MicroserviceId ms, ServiceId service,
+                                       int count)
+{
+    ERMS_ASSERT(count >= 0);
+    ERMS_ASSERT(service != kInvalidService);
+    while (countPool(ms, service) < count)
+        addContainer(ms, service);
+    while (countPool(ms, service) > count)
+        removeContainer(ms, service);
+}
+
+void
+Simulation::applyPlan(const GlobalPlan &plan)
+{
+    if (plan.policy == SharingPolicy::NonSharing &&
+        !plan.services.empty()) {
+        // Faithful §2.3 non-sharing: a dedicated partition per service
+        // at every microservice it uses, no shared pool.
+        for (const auto &alloc : plan.services) {
+            for (const auto &[ms, ms_alloc] : alloc.perMicroservice) {
+                setDedicatedContainerCount(ms, alloc.service,
+                                           ms_alloc.containers);
+            }
+        }
+        for (const auto &[ms, count] : plan.containers)
+            setContainerCount(ms, 0);
+        clearPriorities();
+        return;
+    }
+    for (const auto &[ms, count] : plan.containers)
+        setContainerCount(ms, count);
+    if (plan.policy == SharingPolicy::Priority) {
+        for (const auto &[ms, order] : plan.priorityOrder)
+            setPriorityOrder(ms, order);
+    } else {
+        clearPriorities();
+    }
+}
+
+void
+Simulation::setPriorityOrder(MicroserviceId ms,
+                             const std::vector<ServiceId> &order)
+{
+    auto &ranks = priorityRanks_[ms];
+    ranks.clear();
+    for (std::size_t i = 0; i < order.size(); ++i)
+        ranks[order[i]] = static_cast<int>(i);
+}
+
+void
+Simulation::clearPriorities()
+{
+    priorityRanks_.clear();
+}
+
+int
+Simulation::priorityRank(MicroserviceId ms, ServiceId service) const
+{
+    auto it = priorityRanks_.find(ms);
+    if (it == priorityRanks_.end())
+        return 0;
+    auto rank_it = it->second.find(service);
+    if (rank_it == it->second.end())
+        return static_cast<int>(it->second.size()); // lowest priority
+    return rank_it->second;
+}
+
+Simulation::ContainerState *
+Simulation::pickContainer(MicroserviceId ms, ServiceId service)
+{
+    auto it = deployments_.find(ms);
+    if (it == deployments_.end() || containerCount(ms) == 0) {
+        // Kubernetes keeps at least one replica; mirror that.
+        return addContainer(ms);
+    }
+    const SimTime now = events_.now();
+    // A container is eligible if it is up, started, and either shared or
+    // dedicated to this request's service.
+    const auto eligible = [&](const ContainerState &container,
+                              bool allow_starting) {
+        if (container.draining)
+            return false;
+        if (!allow_starting && container.readyAt > now)
+            return false;
+        return container.dedicatedService == kInvalidService ||
+               container.dedicatedService == service;
+    };
+
+    for (const bool allow_starting : {false, true}) {
+        if (config_.dispatch == DispatchPolicy::RoundRobin) {
+            auto &cursor = rrCursor_[ms];
+            const auto &containers = it->second;
+            for (std::size_t probe = 0; probe < containers.size();
+                 ++probe) {
+                ContainerState *candidate =
+                    containers[cursor++ % containers.size()].get();
+                if (eligible(*candidate, allow_starting))
+                    return candidate;
+            }
+        }
+        ContainerState *best = nullptr;
+        std::size_t best_load = 0;
+        for (const auto &container : it->second) {
+            if (!eligible(*container, allow_starting))
+                continue;
+            const std::size_t load =
+                static_cast<std::size_t>(container->busy) +
+                container->queuedTotal;
+            if (best == nullptr || load < best_load) {
+                best = container.get();
+                best_load = load;
+            }
+        }
+        if (best != nullptr)
+            return best;
+        // Nothing ready yet: retry allowing still-starting containers
+        // (requests queue there until startup completes).
+    }
+    // Only draining or foreign-partition containers remain: spill over.
+    return addContainer(ms);
+}
+
+// ---------------------------------------------------------------------
+// Request execution
+// ---------------------------------------------------------------------
+
+double
+Simulation::serviceRate(std::size_t service_index) const
+{
+    const ServiceWorkload &svc = services_[service_index];
+    if (!svc.rateSeries.empty()) {
+        const std::size_t minute = std::min(
+            static_cast<std::size_t>(currentMinute_),
+            svc.rateSeries.size() - 1);
+        return svc.rateSeries[minute];
+    }
+    return svc.rate;
+}
+
+void
+Simulation::scheduleArrival(std::size_t service_index)
+{
+    const double rate = serviceRate(service_index);
+    if (rate <= 0.0) {
+        // Re-check at the next minute boundary.
+        const SimTime next_minute =
+            (events_.now() / kMinute + 1) * kMinute;
+        events_.schedule(next_minute + 1, [this, service_index] {
+            scheduleArrival(service_index);
+        });
+        return;
+    }
+    const double mean_gap_us = static_cast<double>(kMinute) / rate;
+    const SimTime gap =
+        static_cast<SimTime>(std::max(1.0, rng_.exponential(mean_gap_us)));
+    events_.scheduleAfter(gap, [this, service_index] {
+        startRequest(service_index);
+        scheduleArrival(service_index);
+    });
+}
+
+void
+Simulation::startRequest(std::size_t service_index)
+{
+    const ServiceWorkload &svc = services_[service_index];
+    RequestState *req = scratch_->acquireReq();
+    req->id = nextRequest_++;
+    req->service = svc.id;
+    req->serviceIndex = service_index;
+    req->arrival = events_.now();
+    req->traced = spans_ != nullptr && spans_->sampleRequest(req->id);
+    ++metrics_.requestsGenerated;
+    ++scratch_->arrivals[svc.id];
+
+    CallContext *root = scratch_->acquireCtx();
+    root->req = req;
+    root->ms = svc.graph->root();
+    root->parent = nullptr;
+    root->clientSend = events_.now();
+
+    const SimTime network =
+        toSimTime(catalog_.profile(root->ms).networkMs);
+    events_.scheduleAfter(network, [this, root] { dispatchCall(root); });
+}
+
+void
+Simulation::dispatchCall(CallContext *ctx, bool count_call)
+{
+    ContainerState *container = pickContainer(ctx->ms, ctx->req->service);
+    ctx->container = container;
+    if (count_call) {
+        ctx->receiveTime = events_.now();
+        ++container->callsThisMinute;
+    }
+
+    if (container->readyAt > events_.now()) {
+        // Container still starting: queue the job and kick the queue
+        // once startup completes.
+        const int rank = priorityRank(ctx->ms, ctx->req->service);
+        if (static_cast<std::size_t>(rank) >= container->queues.size())
+            container->queues.resize(static_cast<std::size_t>(rank) + 1);
+        container->queues[static_cast<std::size_t>(rank)].push_back(ctx);
+        ++container->queuedTotal;
+        // Look the container up by id when the event fires: scale-in
+        // may have erased it (its queue gets reassigned on drain).
+        const MicroserviceId ms = ctx->ms;
+        const ContainerId id = container->id;
+        events_.schedule(container->readyAt, [this, ms, id] {
+            auto dep = deployments_.find(ms);
+            if (dep == deployments_.end())
+                return;
+            for (const auto &candidate : dep->second) {
+                if (candidate->id != id)
+                    continue;
+                while (candidate->busy < candidate->threads) {
+                    CallContext *next = nextQueuedJob(*candidate);
+                    if (next == nullptr)
+                        break;
+                    startJob(*candidate, next);
+                }
+                return;
+            }
+        });
+        return;
+    }
+
+    if (container->busy < container->threads) {
+        startJob(*container, ctx);
+        return;
+    }
+    const int rank = priorityRank(ctx->ms, ctx->req->service);
+    if (static_cast<std::size_t>(rank) >= container->queues.size())
+        container->queues.resize(static_cast<std::size_t>(rank) + 1);
+    container->queues[static_cast<std::size_t>(rank)].push_back(ctx);
+    ++container->queuedTotal;
+}
+
+void
+Simulation::startJob(ContainerState &container, CallContext *ctx)
+{
+    const MicroserviceProfile &profile = catalog_.profile(ctx->ms);
+    HostState &host = *hosts_[container.host];
+    ++container.busy;
+    const double per_thread_cores =
+        profile.resources.cpuCores / container.threads;
+    noteBusyChange(host, per_thread_cores);
+
+    const double cpu = hostCpuUtil(host);
+    const double mem = hostMemUtil(host);
+    const double mean_ms =
+        profile.baseServiceMs *
+        (1.0 + profile.cpuSlowdown * cpu + profile.memSlowdown * mem);
+    const double proc_ms =
+        rng_.logNormalMeanCv(mean_ms, profile.serviceCv);
+    const SimTime proc = std::max<SimTime>(1, toSimTime(proc_ms));
+    events_.scheduleAfter(proc, [this, ctx] { finishJob(ctx); });
+}
+
+Simulation::CallContext *
+Simulation::nextQueuedJob(ContainerState &container)
+{
+    if (container.queuedTotal == 0)
+        return nullptr;
+
+    // Collect the non-empty priority classes, highest priority first.
+    std::size_t last_nonempty = 0;
+    std::size_t nonempty = 0;
+    for (std::size_t rank = 0; rank < container.queues.size(); ++rank) {
+        if (!container.queues[rank].empty()) {
+            ++nonempty;
+            last_nonempty = rank;
+        }
+    }
+    ERMS_ASSERT(nonempty > 0);
+
+    std::size_t chosen = last_nonempty;
+    if (nonempty > 1) {
+        // Paper §5.3.2: the l-th highest priority class is served with
+        // probability delta^(l-1) * (1 - delta); the lowest class takes
+        // the remaining mass.
+        const double delta = config_.schedulingDelta;
+        for (std::size_t rank = 0; rank < last_nonempty; ++rank) {
+            if (container.queues[rank].empty())
+                continue;
+            if (rng_.bernoulli(1.0 - delta)) {
+                chosen = rank;
+                break;
+            }
+        }
+    }
+
+    CallContext *ctx = container.queues[chosen].front();
+    container.queues[chosen].pop_front();
+    --container.queuedTotal;
+    return ctx;
+}
+
+void
+Simulation::finishJob(CallContext *ctx)
+{
+    ContainerState &container = *ctx->container;
+    const MicroserviceProfile &profile = catalog_.profile(ctx->ms);
+    HostState &host = *hosts_[container.host];
+    --container.busy;
+    noteBusyChange(host, -profile.resources.cpuCores / container.threads);
+
+    ctx->procDone = events_.now();
+
+    // Ground-truth microservice latency sample: queueing + processing +
+    // transmission (§2.2 includes transmission in L_i).
+    const double own_ms =
+        toMillis(ctx->procDone - ctx->receiveTime) + profile.networkMs;
+    scratch_->msLatency[ctx->ms].add(own_ms);
+
+    // Give the freed thread to the next queued job (delta-priority rule).
+    if (CallContext *next = nextQueuedJob(container)) {
+        startJob(container, next);
+    } else if (container.draining && container.busy == 0 &&
+               container.queuedTotal == 0) {
+        auto &containers = deployments_[container.ms];
+        for (std::size_t i = 0; i < containers.size(); ++i) {
+            if (containers[i].get() == &container) {
+                containers.erase(containers.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+    }
+
+    ctx->stageIdx = 0;
+    launchStage(ctx);
+}
+
+void
+Simulation::launchStage(CallContext *ctx)
+{
+    const auto &stages =
+        scratch_->stageCache[ctx->req->serviceIndex].at(ctx->ms);
+
+    while (static_cast<std::size_t>(ctx->stageIdx) < stages.size()) {
+        const auto &stage = stages[static_cast<std::size_t>(ctx->stageIdx)];
+        int launched = 0;
+        for (const DependencyGraph::Call &call : stage) {
+            int copies = static_cast<int>(call.multiplicity);
+            const double frac =
+                call.multiplicity - static_cast<double>(copies);
+            if (frac > 0.0 && rng_.bernoulli(frac))
+                ++copies;
+            for (int copy = 0; copy < copies; ++copy) {
+                CallContext *child = scratch_->acquireCtx();
+                child->req = ctx->req;
+                child->ms = call.callee;
+                child->parent = ctx;
+                child->clientSend = events_.now();
+                ++launched;
+                const SimTime network =
+                    toSimTime(catalog_.profile(call.callee).networkMs);
+                events_.scheduleAfter(network, [this, child] {
+                    dispatchCall(child);
+                });
+            }
+        }
+        if (launched > 0) {
+            ctx->pendingChildren = launched;
+            return; // resume when the stage completes
+        }
+        ++ctx->stageIdx; // all multiplicities rounded to zero
+    }
+    completeContext(ctx);
+}
+
+void
+Simulation::completeContext(CallContext *ctx)
+{
+    const SimTime send_time = events_.now();
+    const MicroserviceProfile &profile = catalog_.profile(ctx->ms);
+    const SimTime network = toSimTime(profile.networkMs);
+
+    if (ctx->req->traced && spans_ != nullptr) {
+        CallSpan span;
+        span.request = ctx->req->id;
+        span.service = ctx->req->service;
+        span.caller =
+            ctx->parent ? ctx->parent->ms : kInvalidMicroservice;
+        span.callee = ctx->ms;
+        span.clientSend = ctx->clientSend;
+        span.clientReceive = send_time + network;
+        span.serverReceive = ctx->receiveTime;
+        span.serverSend = send_time;
+        spans_->record(span);
+    }
+
+    CallContext *parent = ctx->parent;
+    RequestState *req = ctx->req;
+    scratch_->releaseCtx(ctx);
+
+    if (parent != nullptr) {
+        events_.scheduleAfter(network, [this, parent] {
+            ERMS_ASSERT(parent->pendingChildren > 0);
+            if (--parent->pendingChildren == 0) {
+                ++parent->stageIdx;
+                launchStage(parent);
+            }
+        });
+    } else {
+        events_.scheduleAfter(network, [this, req] { finishRequest(req); });
+    }
+}
+
+void
+Simulation::finishRequest(RequestState *req)
+{
+    const SimTime now = events_.now();
+    const double latency_ms = toMillis(now - req->arrival);
+    const std::uint64_t minute = now / kMinute;
+    ++metrics_.requestsCompleted;
+
+    metrics_.endToEndByMinute[req->service].add(minute, latency_ms);
+    if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes))
+        metrics_.endToEndMs[req->service].add(latency_ms);
+
+    scratch_->releaseReq(req);
+}
+
+// ---------------------------------------------------------------------
+// Minute bookkeeping and the main loop
+// ---------------------------------------------------------------------
+
+void
+Simulation::onMinuteBoundary()
+{
+    const std::uint64_t minute = static_cast<std::uint64_t>(currentMinute_);
+
+    // Close the utilization integrals for the elapsed minute.
+    std::vector<double> host_cpu_avg(hosts_.size(), 0.0);
+    std::vector<double> host_mem_avg(hosts_.size(), 0.0);
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+        HostState &host = *hosts_[i];
+        noteBusyChange(host, 0.0); // flush integral to now
+        const double avg_busy =
+            host.busyIntegral / static_cast<double>(kMinute);
+        host_cpu_avg[i] =
+            std::clamp(host.bgCpu + avg_busy / host.cpuCapacity, 0.0, 1.0);
+        host_mem_avg[i] = hostMemUtil(host);
+        host.busyIntegral = 0.0;
+    }
+
+    // Emit profiling records d_i^j per microservice.
+    for (auto &[ms, deployment] : deployments_) {
+        int live = 0;
+        double cpu_sum = 0.0, mem_sum = 0.0;
+        std::uint64_t calls = 0;
+        for (const auto &container : deployment) {
+            if (container->draining)
+                continue;
+            ++live;
+            cpu_sum += host_cpu_avg[container->host];
+            mem_sum += host_mem_avg[container->host];
+            calls += container->callsThisMinute;
+            container->callsThisMinute = 0;
+        }
+        metrics_.containerTimeline[ms].emplace_back(minute, live);
+        if (live == 0)
+            continue;
+
+        auto latency_it = scratch_->msLatency.find(ms);
+        if (latency_it == scratch_->msLatency.end() ||
+            latency_it->second.empty())
+            continue;
+
+        ProfilingRecord record;
+        record.microservice = ms;
+        record.minute = minute;
+        record.tailLatencyMs = latency_it->second.p95();
+        record.meanLatencyMs = latency_it->second.mean();
+        record.sampleCount = latency_it->second.count();
+        record.perContainerCalls =
+            static_cast<double>(calls) / static_cast<double>(live);
+        record.cpuUtil = cpu_sum / live;
+        record.memUtil = mem_sum / live;
+        record.containers = live;
+        metrics_.profiling.push_back(record);
+    }
+    scratch_->msLatency.clear();
+
+    lastMinuteArrivals_.clear();
+    for (const auto &[service, count] : scratch_->arrivals)
+        lastMinuteArrivals_[service] = count;
+    scratch_->arrivals.clear();
+
+    const int ended_minute = currentMinute_;
+    ++currentMinute_;
+
+    if (minuteCallback_)
+        minuteCallback_(*this, ended_minute);
+
+    if (currentMinute_ < config_.horizonMinutes) {
+        events_.schedule(static_cast<SimTime>(currentMinute_ + 1) * kMinute,
+                         [this] { onMinuteBoundary(); });
+    }
+}
+
+double
+Simulation::observedRate(ServiceId service) const
+{
+    auto it = lastMinuteArrivals_.find(service);
+    if (it == lastMinuteArrivals_.end())
+        return 0.0;
+    return static_cast<double>(it->second);
+}
+
+void
+Simulation::run()
+{
+    ERMS_ASSERT_MSG(!ran_, "Simulation::run may only be called once");
+    ran_ = true;
+
+    for (std::size_t i = 0; i < services_.size(); ++i)
+        scheduleArrival(i);
+    events_.schedule(kMinute, [this] { onMinuteBoundary(); });
+
+    const SimTime horizon =
+        static_cast<SimTime>(config_.horizonMinutes) * kMinute;
+    metrics_.eventsDispatched = events_.runUntil(horizon);
+}
+
+} // namespace erms

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Discrete-event microservice cluster simulator — the substrate standing
+ * in for the paper's 20-host Kubernetes testbed (see DESIGN.md).
+ *
+ * The simulator models:
+ *  - physical hosts with CPU/memory capacity and background (batch /
+ *    iBench-like) load;
+ *  - containers with fixed-size thread pools; per-request service times
+ *    are log-normal with a mean inflated by the hosting host's CPU and
+ *    memory utilization (the interference coupling of Fig. 3);
+ *  - request execution along dependency graphs: a request queues at a
+ *    container, is processed by one thread, then fans out its downstream
+ *    stages (parallel within a stage, sequential across stages) and
+ *    responds when the last stage finishes;
+ *  - request scheduling at containers: FCFS, or the paper's
+ *    delta-probabilistic priority rule at shared microservices (§5.3.2);
+ *  - online scaling: container counts can change mid-run through a
+ *    PlacementPolicy, and a per-minute controller hook drives closed-loop
+ *    experiments (Fig. 13);
+ *  - tracing: client/server spans per call, emitted to a SpanCollector.
+ */
+
+#ifndef ERMS_SIM_SIMULATION_HPP
+#define ERMS_SIM_SIMULATION_HPP
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/dependency_graph.hpp"
+#include "model/catalog.hpp"
+#include "scaling/plan.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/placement.hpp"
+#include "trace/span.hpp"
+
+namespace erms {
+
+/** How arriving calls pick a container among a deployment's replicas. */
+enum class DispatchPolicy
+{
+    /** Pick the replica with the fewest outstanding jobs (an
+     *  informed/utilization-aware load balancer). */
+    LeastLoaded,
+    /** Rotate blindly across replicas — the behaviour of a default
+     *  Kubernetes Service, which ignores host interference. */
+    RoundRobin,
+};
+
+/** Static configuration of one simulation run. */
+struct SimConfig
+{
+    int hostCount = 20;
+    double hostCpuCores = 32.0;
+    double hostMemMb = 64.0 * 1024.0;
+    /** delta of the probabilistic priority rule; 0 = strict priority. */
+    double schedulingDelta = 0.05;
+    DispatchPolicy dispatch = DispatchPolicy::LeastLoaded;
+    /** Startup delay before a newly placed container accepts work
+     *  (§6.5.2: "a container usually requires several seconds to
+     *  start"). 0 keeps containers instantly available. */
+    double containerStartupMs = 0.0;
+    /** Run length in simulated minutes. */
+    int horizonMinutes = 10;
+    /** Minutes excluded from metrics at the start. */
+    int warmupMinutes = 1;
+    std::uint64_t seed = 1;
+};
+
+/** One online service attached to the simulator. */
+struct ServiceWorkload
+{
+    ServiceId id = kInvalidService;
+    const DependencyGraph *graph = nullptr;
+    double slaMs = 0.0;
+    /** Constant arrival rate (requests/minute) ... */
+    RequestsPerMinute rate = 0.0;
+    /** ... or a per-minute rate series overriding it when non-empty
+     *  (minute m uses rateSeries[min(m, size-1)]). */
+    std::vector<double> rateSeries;
+};
+
+/** The cluster simulator. */
+class Simulation
+{
+  public:
+    Simulation(const MicroserviceCatalog &catalog, SimConfig config);
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    // --- deployment control -------------------------------------------
+
+    /** Set background (iBench-like) load on one host. */
+    void setBackgroundLoad(HostId host, double cpu_util, double mem_util);
+
+    /** Set background load on every host. */
+    void setBackgroundLoadAll(double cpu_util, double mem_util);
+
+    /** Replace the placement policy (default: SpreadPlacementPolicy). */
+    void setPlacementPolicy(std::shared_ptr<PlacementPolicy> policy);
+
+    /** Scale a microservice's *shared* pool to the given container
+     *  count (>= 0). Dedicated partitions are managed separately. */
+    void setContainerCount(MicroserviceId ms, int count);
+
+    /**
+     * Scale the partition of a microservice dedicated to one service
+     * (the §2.3 non-sharing scheme): dedicated containers only accept
+     * that service's requests, and its requests prefer them.
+     */
+    void setDedicatedContainerCount(MicroserviceId ms, ServiceId service,
+                                    int count);
+
+    /** Live containers of a microservice (shared + all partitions). */
+    int containerCount(MicroserviceId ms) const;
+
+    /** Apply container counts and priority order from a global plan. */
+    void applyPlan(const GlobalPlan &plan);
+
+    /** Configure the priority order (highest first) at one microservice;
+     *  services absent from the order get the lowest priority. */
+    void setPriorityOrder(MicroserviceId ms,
+                          const std::vector<ServiceId> &order);
+
+    /** Drop all priority configuration (pure FCFS everywhere). */
+    void clearPriorities();
+
+    void setSchedulingDelta(double delta);
+
+    // --- services and tracing ------------------------------------------
+
+    void addService(ServiceWorkload service);
+
+    /** Attach a span collector (not owned; may be null). */
+    void setSpanCollector(SpanCollector *collector);
+
+    /**
+     * Controller hook invoked at every simulated minute boundary, after
+     * metrics for the elapsed minute were flushed. Drives closed-loop
+     * autoscaling experiments.
+     */
+    void setMinuteCallback(std::function<void(Simulation &, int)> callback);
+
+    // --- execution ------------------------------------------------------
+
+    /** Run the configured horizon. May be called once per Simulation. */
+    void run();
+
+    // --- observation -----------------------------------------------------
+
+    const SimMetrics &metrics() const { return metrics_; }
+    SimTime now() const { return events_.now(); }
+
+    /** Read-only load views for placement policies / provisioning. */
+    std::vector<HostView> hostViews() const;
+
+    /** Instantaneous interference on one host. */
+    Interference hostInterference(HostId host) const;
+
+    /** Cluster-average interference (what Online Scaling feeds into the
+     *  profiling model, §5.3.1). */
+    Interference clusterInterference() const;
+
+    /** Requests observed for a service in the most recent full minute,
+     *  scaled to requests/minute (workload signal for controllers). */
+    double observedRate(ServiceId service) const;
+
+  private:
+    struct HostState;
+    struct ContainerState;
+    struct RequestState;
+    struct CallContext;
+
+    // deployment internals
+    ContainerState *addContainer(MicroserviceId ms,
+                                 ServiceId dedicated = kInvalidService);
+    void removeContainer(MicroserviceId ms,
+                         ServiceId dedicated = kInvalidService);
+    int countPool(MicroserviceId ms, ServiceId dedicated) const;
+    ContainerState *pickContainer(MicroserviceId ms, ServiceId service);
+    void reassignQueue(ContainerState &container);
+
+    // request execution internals
+    void scheduleArrival(std::size_t service_index);
+    void startRequest(std::size_t service_index);
+    void dispatchCall(CallContext *ctx, bool count_call = true);
+    void startJob(ContainerState &container, CallContext *ctx);
+    void finishJob(CallContext *ctx);
+    void launchStage(CallContext *ctx);
+    void completeContext(CallContext *ctx);
+    void finishRequest(RequestState *req);
+    CallContext *nextQueuedJob(ContainerState &container);
+    int priorityRank(MicroserviceId ms, ServiceId service) const;
+
+    // time bookkeeping
+    void onMinuteBoundary();
+    void noteBusyChange(HostState &host, double delta_cores);
+    double hostCpuUtil(const HostState &host) const;
+    double hostMemUtil(const HostState &host) const;
+    double serviceRate(std::size_t service_index) const;
+
+    const MicroserviceCatalog &catalog_;
+    SimConfig config_;
+    EventQueue events_;
+    Rng rng_;
+    std::shared_ptr<PlacementPolicy> placement_;
+    SpanCollector *spans_ = nullptr;
+    std::function<void(Simulation &, int)> minuteCallback_;
+
+    std::vector<std::unique_ptr<HostState>> hosts_;
+    std::unordered_map<MicroserviceId,
+                       std::vector<std::unique_ptr<ContainerState>>>
+        deployments_;
+    std::vector<ServiceWorkload> services_;
+    std::unordered_map<ServiceId, std::size_t> serviceIndex_;
+    std::unordered_map<MicroserviceId,
+                       std::unordered_map<ServiceId, int>>
+        priorityRanks_;
+
+    std::unordered_map<MicroserviceId, std::size_t> rrCursor_;
+    SimMetrics metrics_;
+    // per-minute scratch accumulators
+    struct MinuteScratch;
+    std::unique_ptr<MinuteScratch> scratch_;
+    std::unordered_map<ServiceId, std::uint64_t> lastMinuteArrivals_;
+
+    RequestId nextRequest_ = 1;
+    ContainerId nextContainer_ = 1;
+    int currentMinute_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace erms
+
+#endif // ERMS_SIM_SIMULATION_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tracing Coordinator (§5.1): buffers sampled spans (the Jaeger role),
+ * reconstructs per-service dependency graphs — marking calls whose
+ * client spans overlap as parallel — and extracts individual
+ * microservice latency via Eq. (1):
+ *
+ *   L_i = (S_i - R_i) - f({S_d - R_d : d downstream}),
+ *
+ * where sequential downstream response times are summed and parallel
+ * ones contribute only their maximum.
+ */
+
+#ifndef ERMS_TRACE_COORDINATOR_HPP
+#define ERMS_TRACE_COORDINATOR_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/dependency_graph.hpp"
+#include "trace/span.hpp"
+
+namespace erms {
+
+/**
+ * Head-sampling in-memory span store. Jaeger's default sampling of 10%
+ * (§5.1) is the default rate.
+ */
+class InMemorySpanCollector : public SpanCollector
+{
+  public:
+    explicit InMemorySpanCollector(double sampling_rate = 0.10,
+                                   std::uint64_t seed = 42);
+
+    bool sampleRequest(RequestId request) override;
+    void record(const CallSpan &span) override;
+
+    const std::vector<CallSpan> &spans() const { return spans_; }
+    void clear();
+
+  private:
+    double rate_;
+    Rng rng_;
+    std::vector<CallSpan> spans_;
+};
+
+/** One extracted microservice latency observation. */
+struct LatencyObservation
+{
+    ServiceId service = kInvalidService;
+    MicroserviceId microservice = kInvalidMicroservice;
+    RequestId request = 0;
+    SimTime serverReceive = 0; ///< when the observation happened
+    Millis latencyMs = 0.0;    ///< Eq. (1) latency incl. transmission
+};
+
+/**
+ * Rebuilds structure and latency data from raw spans.
+ */
+class TracingCoordinator
+{
+  public:
+    /**
+     * Reconstruct the dependency graph of one service from its spans.
+     * Calls whose client spans overlap in time are placed in the same
+     * (parallel) stage; non-overlapping calls go to consecutive stages.
+     * @throws GraphError when the spans are inconsistent (no root, etc.).
+     */
+    static DependencyGraph
+    extractGraph(ServiceId service, const std::vector<CallSpan> &spans);
+
+    /**
+     * Extract per-microservice latencies via Eq. (1) for every traced
+     * request of every service present in the span set.
+     */
+    static std::vector<LatencyObservation>
+    extractLatencies(const std::vector<CallSpan> &spans);
+
+    /**
+     * Per-microservice per-minute call counts, scaled by the inverse
+     * sampling rate — the gamma_i^j workload signal of §5.2 as the
+     * Tracing Coordinator derives it from sampled spans. Key: minute
+     * index (by server receive time); value: estimated calls.
+     */
+    static std::unordered_map<MicroserviceId,
+                              std::unordered_map<std::uint64_t, double>>
+    extractWorkloads(const std::vector<CallSpan> &spans,
+                     double sampling_rate);
+};
+
+} // namespace erms
+
+#endif // ERMS_TRACE_COORDINATOR_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Span model mirroring the Jaeger setup of §5.1: every call between a
+ * pair of microservices produces two spans — a client span (client sends
+ * the request .. client receives the response) and a server span (server
+ * receives the request .. server sends the response). The tracing
+ * coordinator reconstructs dependency graphs and per-microservice
+ * latencies (Eq. (1)) from these records.
+ */
+
+#ifndef ERMS_TRACE_SPAN_HPP
+#define ERMS_TRACE_SPAN_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace erms {
+
+/** One call record carrying both its client and server spans. */
+struct CallSpan
+{
+    RequestId request = 0;
+    ServiceId service = kInvalidService;
+
+    /** Caller microservice; kInvalidMicroservice for the user-facing
+     *  entry call into the root. */
+    MicroserviceId caller = kInvalidMicroservice;
+    MicroserviceId callee = kInvalidMicroservice;
+
+    // Client span (at the caller).
+    SimTime clientSend = 0;    ///< caller sent the request
+    SimTime clientReceive = 0; ///< caller received the response
+
+    // Server span (at the callee).
+    SimTime serverReceive = 0; ///< callee received the request (R_i)
+    SimTime serverSend = 0;    ///< callee sent the response (S_i)
+};
+
+/** Server-side response time S - R of a call. */
+inline SimTime
+serverResponseTime(const CallSpan &span)
+{
+    return span.serverSend - span.serverReceive;
+}
+
+/**
+ * Sink for spans emitted by the cluster simulator. Implementations decide
+ * about sampling and storage.
+ */
+class SpanCollector
+{
+  public:
+    virtual ~SpanCollector() = default;
+
+    /** Should this request be traced at all? Called once per request so
+     *  a request's spans are kept or dropped together (head sampling). */
+    virtual bool sampleRequest(RequestId request) = 0;
+
+    /** Record one completed call. */
+    virtual void record(const CallSpan &span) = 0;
+};
+
+} // namespace erms
+
+#endif // ERMS_TRACE_SPAN_HPP

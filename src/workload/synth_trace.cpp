@@ -1,0 +1,160 @@
+#include "synth_trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace erms {
+
+namespace {
+
+/** Randomized microservice profile + synthetic latency model. */
+void
+populateMicroservice(MicroserviceCatalog &catalog, int index, Rng &rng)
+{
+    MicroserviceProfile profile;
+    profile.name = "ms_" + std::to_string(index);
+    profile.resources = ResourceSpec{0.1, 200.0};
+    profile.threadsPerContainer = static_cast<int>(rng.uniformInt(2, 8));
+    profile.baseServiceMs = rng.uniform(0.5, 6.0);
+    profile.serviceCv = rng.uniform(0.3, 0.9);
+    profile.cpuSlowdown = rng.uniform(0.5, 2.5);
+    profile.memSlowdown = rng.uniform(0.8, 3.0);
+    profile.networkMs = rng.uniform(0.05, 0.4);
+    const MicroserviceId id = catalog.add(profile);
+
+    SyntheticModelConfig model;
+    model.baseLatencyMs = profile.baseServiceMs * rng.uniform(1.0, 1.6);
+    model.slope1 = rng.uniform(0.0005, 0.004);
+    model.slope2 = model.slope1 * rng.uniform(4.0, 12.0);
+    model.cpuSensitivity = profile.cpuSlowdown;
+    model.memSensitivity = profile.memSlowdown;
+    model.cutoffAtZero = rng.uniform(2000.0, 8000.0);
+    model.cutoffCpuShift = model.cutoffAtZero * rng.uniform(0.3, 0.6);
+    model.cutoffMemShift = model.cutoffAtZero * rng.uniform(0.4, 0.7);
+    model.cutoffFloor = 150.0;
+    catalog.setModel(id, makeSyntheticModel(model));
+}
+
+} // namespace
+
+std::vector<int>
+SynthTrace::sharingDegrees() const
+{
+    std::unordered_map<MicroserviceId, std::unordered_set<ServiceId>> users;
+    for (const DependencyGraph &graph : graphs) {
+        for (MicroserviceId id : graph.nodes())
+            users[id].insert(graph.service());
+    }
+    std::vector<int> degrees;
+    degrees.reserve(users.size());
+    for (const auto &[id, services] : users)
+        degrees.push_back(static_cast<int>(services.size()));
+    return degrees;
+}
+
+std::size_t
+SynthTrace::sharedMicroserviceCount() const
+{
+    std::size_t shared = 0;
+    for (int degree : sharingDegrees()) {
+        if (degree >= 2)
+            ++shared;
+    }
+    return shared;
+}
+
+SynthTrace
+makeSynthTrace(const SynthTraceConfig &config)
+{
+    ERMS_ASSERT(config.microserviceCount > 1);
+    ERMS_ASSERT(config.serviceCount > 0);
+    ERMS_ASSERT(config.minGraphSize >= 1 &&
+                config.maxGraphSize >= config.minGraphSize);
+    ERMS_ASSERT(config.maxGraphSize <= config.microserviceCount);
+
+    Rng rng(config.seed);
+    SynthTrace trace;
+
+    for (int i = 0; i < config.microserviceCount; ++i)
+        populateMicroservice(trace.catalog, i, rng);
+
+    // Popularity permutation: zipf ranks drawn over a shuffled id list so
+    // popular microservices are spread across the id space.
+    std::vector<MicroserviceId> by_popularity(
+        static_cast<std::size_t>(config.microserviceCount));
+    for (int i = 0; i < config.microserviceCount; ++i)
+        by_popularity[static_cast<std::size_t>(i)] =
+            static_cast<MicroserviceId>(i);
+    rng.shuffle(by_popularity);
+
+    const auto draw_microservice = [&]() {
+        const std::uint64_t rank = rng.zipf(
+            static_cast<std::uint64_t>(config.microserviceCount),
+            1.0 + config.popularitySkew);
+        return by_popularity[static_cast<std::size_t>(rank - 1)];
+    };
+
+    for (int s = 0; s < config.serviceCount; ++s) {
+        const int size = static_cast<int>(
+            rng.uniformInt(config.minGraphSize, config.maxGraphSize));
+
+        // Draw `size` distinct microservices.
+        std::unordered_set<MicroserviceId> chosen;
+        std::vector<MicroserviceId> members;
+        members.reserve(static_cast<std::size_t>(size));
+        while (static_cast<int>(members.size()) < size) {
+            const MicroserviceId id = draw_microservice();
+            if (chosen.insert(id).second)
+                members.push_back(id);
+        }
+
+        // Random tree: each subsequent member attaches under a random
+        // earlier member; stage layout decides parallel vs sequential.
+        DependencyGraph graph(static_cast<ServiceId>(s), members[0]);
+        std::unordered_map<MicroserviceId, int> last_stage;
+        for (std::size_t i = 1; i < members.size(); ++i) {
+            const MicroserviceId parent = members[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(i) - 1))];
+            int stage = 0;
+            auto it = last_stage.find(parent);
+            if (it != last_stage.end()) {
+                stage = it->second;
+                if (!rng.bernoulli(config.parallelProbability))
+                    ++stage; // advance to a new sequential stage
+            }
+            last_stage[parent] = stage;
+            // Most calls are conditional (cache hits, feature flags,
+            // A/B paths): per-request call probability below one, with
+            // occasional fan-out above one. This keeps the workload at
+            // deeply-shared microservices proportional to a *fraction*
+            // of upstream traffic, as in production call graphs.
+            const double multiplicity =
+                rng.bernoulli(0.12) ? rng.uniform(1.0, 2.0)
+                                    : rng.uniform(0.15, 0.9);
+            graph.addCall(parent, members[i], stage, multiplicity);
+        }
+        graph.validate();
+        double sla = rng.uniform(config.slaLowMs, config.slaHighMs);
+        if (config.slaRelativeToKnee) {
+            const Interference ref{0.30, 0.30};
+            std::unordered_map<MicroserviceId, double> knee_latency;
+            for (MicroserviceId id : graph.nodes())
+                knee_latency[id] =
+                    trace.catalog.model(id).cutoffLatency(ref);
+            sla = endToEndLatency(graph, knee_latency) *
+                  rng.uniform(config.slaKneeLow, config.slaKneeHigh);
+        }
+        trace.graphs.push_back(std::move(graph));
+        trace.slaMs.push_back(sla);
+        trace.workloads.push_back(
+            rng.uniform(config.workloadLow, config.workloadHigh));
+    }
+
+    return trace;
+}
+
+} // namespace erms

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic Alibaba-like microservice trace generator — the stand-in for
+ * the cluster-trace-microservices-v2021 dataset (see DESIGN.md). It
+ * produces a population of services whose *shape statistics* match what
+ * the paper reports about the traces:
+ *
+ *  - tree-like dependency graphs (§5.3.3) of ~50 microservices for the
+ *    Taobao-scale experiments (§6.5),
+ *  - heavy-tailed microservice sharing: with the default skew, a large
+ *    fraction of microservices serve many services (Fig. 2 shows ~40%
+ *    of microservices shared by >100 of 1000+ services),
+ *  - mixed sequential/parallel call structure,
+ *  - heterogeneous latency sensitivity: per-microservice synthetic
+ *    piecewise models with randomized slopes/intercepts/cutoffs.
+ */
+
+#ifndef ERMS_WORKLOAD_SYNTH_TRACE_HPP
+#define ERMS_WORKLOAD_SYNTH_TRACE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "graph/dependency_graph.hpp"
+#include "model/catalog.hpp"
+
+namespace erms {
+
+/** Knobs of the synthetic trace generator. */
+struct SynthTraceConfig
+{
+    int microserviceCount = 2000;
+    int serviceCount = 200;
+    int minGraphSize = 10;
+    int maxGraphSize = 90;
+    /** Zipf exponent of microservice popularity (sharing skew). */
+    double popularitySkew = 0.75;
+    /** Probability that a call joins the previous (parallel) stage. */
+    double parallelProbability = 0.4;
+    double slaLowMs = 50.0;
+    double slaHighMs = 200.0;
+    /**
+     * When true, each service's SLA is drawn relative to its own graph's
+     * end-to-end knee latency (uniform in [slaKneeLow, slaKneeHigh]
+     * times that latency, evaluated at 30%/30% interference) — the way
+     * operators actually set SLAs, against observed latency. slaLowMs /
+     * slaHighMs are ignored in that mode.
+     */
+    bool slaRelativeToKnee = false;
+    double slaKneeLow = 1.2;
+    double slaKneeHigh = 2.2;
+    double workloadLow = 600.0;
+    double workloadHigh = 20000.0;
+    std::uint64_t seed = 7;
+};
+
+/** Generated trace population. */
+struct SynthTrace
+{
+    MicroserviceCatalog catalog;
+    std::vector<DependencyGraph> graphs; ///< one per service
+    std::vector<double> slaMs;           ///< per service
+    std::vector<double> workloads;       ///< per service (requests/min)
+
+    /** Number of distinct services using each microservice (only ids
+     *  that appear in at least one graph). */
+    std::vector<int> sharingDegrees() const;
+
+    /** Microservices used by >= 2 services. */
+    std::size_t sharedMicroserviceCount() const;
+};
+
+/** Generate a synthetic trace population. */
+SynthTrace makeSynthTrace(const SynthTraceConfig &config);
+
+} // namespace erms
+
+#endif // ERMS_WORKLOAD_SYNTH_TRACE_HPP

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the DeathStarBench-like application catalog: the §6.1 shape
+ * constraints (microservice counts, service counts, shared-microservice
+ * counts), graph validity, and model attachment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/applications.hpp"
+
+namespace erms {
+namespace {
+
+TEST(Applications, SocialNetworkShape)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeSocialNetwork(catalog, 0);
+    EXPECT_EQ(app.uniqueMicroservices(), 36u);
+    EXPECT_EQ(app.graphs.size(), 3u);
+    EXPECT_EQ(app.sharedMicroservices().size(), 3u);
+    for (const auto &g : app.graphs)
+        EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Applications, SocialNetworkSharedAreTheExpectedOnes)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeSocialNetwork(catalog, 0);
+    auto shared = app.sharedMicroservices();
+    std::vector<std::string> names;
+    for (MicroserviceId id : shared)
+        names.push_back(catalog.name(id));
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names, (std::vector<std::string>{
+                         "post-storage", "social-graph", "user-service"}));
+}
+
+TEST(Applications, MediaServiceShape)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeMediaService(catalog, 0);
+    EXPECT_EQ(app.uniqueMicroservices(), 38u);
+    EXPECT_EQ(app.graphs.size(), 1u);
+    EXPECT_TRUE(app.sharedMicroservices().empty());
+    EXPECT_NO_THROW(app.graphs[0].validate());
+}
+
+TEST(Applications, HotelReservationShape)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    EXPECT_EQ(app.uniqueMicroservices(), 15u);
+    EXPECT_EQ(app.graphs.size(), 4u);
+    EXPECT_EQ(app.sharedMicroservices().size(), 3u);
+}
+
+TEST(Applications, HotelProfileSharedByAllFourServices)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    const auto profile = catalog.findByName("profile-hotel");
+    ASSERT_NE(profile, kInvalidMicroservice);
+    for (const auto &g : app.graphs)
+        EXPECT_TRUE(g.contains(profile));
+}
+
+TEST(Applications, ServiceIdsAreSequentialFromBase)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 10);
+    for (std::size_t i = 0; i < app.graphs.size(); ++i)
+        EXPECT_EQ(app.graphs[i].service(), 10u + i);
+}
+
+TEST(Applications, AllMicroservicesHaveModels)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeSocialNetwork(catalog, 0);
+    for (const auto &g : app.graphs) {
+        for (MicroserviceId id : g.nodes())
+            EXPECT_TRUE(catalog.hasModel(id)) << catalog.name(id);
+    }
+}
+
+TEST(Applications, CoexistInOneCatalog)
+{
+    MicroserviceCatalog catalog;
+    const Application social = makeSocialNetwork(catalog, 0);
+    const Application media = makeMediaService(catalog, 3);
+    const Application hotel = makeHotelReservation(catalog, 4);
+    EXPECT_EQ(catalog.size(), 36u + 38u + 15u);
+    // No id overlap between apps.
+    for (const auto &g : social.graphs) {
+        for (MicroserviceId id : g.nodes())
+            EXPECT_FALSE(media.graphs[0].contains(id));
+    }
+    (void)hotel;
+}
+
+TEST(Applications, MotivationChainSensitivityOrdering)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeMotivationChain(catalog, 0);
+    ASSERT_EQ(app.graphs.size(), 1u);
+    const auto u = catalog.findByName("mot-user-timeline");
+    const auto p = catalog.findByName("mot-post-storage");
+    // U's latency grows faster with per-container workload than P's:
+    // compare slopes of the queueing interval at equal interference.
+    const Interference itf{0.3, 0.3};
+    EXPECT_GT(catalog.model(u).band(itf, Interval::AboveCutoff).a,
+              catalog.model(p).band(itf, Interval::AboveCutoff).a);
+    // And its knee arrives earlier.
+    EXPECT_LT(catalog.model(u).cutoff(itf), catalog.model(p).cutoff(itf));
+}
+
+TEST(Applications, MotivationSharedHasSingleSharedP)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeMotivationShared(catalog, 0);
+    const auto shared = app.sharedMicroservices();
+    ASSERT_EQ(shared.size(), 1u);
+    EXPECT_EQ(catalog.name(shared[0]), "shr-post-storage");
+}
+
+TEST(Applications, DefaultSlasPositive)
+{
+    MicroserviceCatalog catalog;
+    for (const Application &app :
+         {makeSocialNetwork(catalog, 0), makeMediaService(catalog, 3),
+          makeHotelReservation(catalog, 4)}) {
+        ASSERT_EQ(app.defaultSlaMs.size(), app.graphs.size());
+        for (double sla : app.defaultSlaMs)
+            EXPECT_GT(sla, 0.0);
+    }
+}
+
+} // namespace
+} // namespace erms

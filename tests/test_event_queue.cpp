@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the discrete-event engine: ordering, FIFO tie-breaking,
+ * horizon semantics, and scheduling from within callbacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/event_queue.hpp"
+
+namespace erms {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.runAll(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowTracksDispatchedEvent)
+{
+    EventQueue q;
+    SimTime seen = 0;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.runAll();
+    EXPECT_EQ(seen, 42u);
+    EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u); // advanced to the horizon
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, HorizonInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(20, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 5)
+            q.scheduleAfter(10, step);
+    };
+    q.schedule(0, step);
+    q.runAll();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, EventsBeyondHorizonScheduledDuringRunStay)
+{
+    EventQueue q;
+    int late = 0;
+    q.schedule(5, [&] { q.schedule(100, [&] { ++late; }); });
+    q.runUntil(50);
+    EXPECT_EQ(late, 0);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runAll();
+    EXPECT_EQ(late, 1);
+}
+
+TEST(EventQueue, SchedulingInThePastIsInternalError)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runAll();
+    EXPECT_THROW(q.schedule(50, [] {}), std::logic_error);
+}
+
+} // namespace
+} // namespace erms

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for persistence: fitted-model round-trips (including the cutoff
+ * decision tree), plan round-trips, malformed-input rejection, and the
+ * CSV rate-series loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "io/serialization.hpp"
+#include "workload/generators.hpp"
+
+namespace erms {
+namespace {
+
+/** A fitted model with a trained cutoff tree. */
+PiecewiseFitResult
+makeFit()
+{
+    SyntheticModelConfig config;
+    config.baseLatencyMs = 6.0;
+    config.slope1 = 0.002;
+    config.slope2 = 0.02;
+    config.cpuSensitivity = 1.5;
+    config.memSensitivity = 2.0;
+    config.cutoffAtZero = 3000.0;
+    config.cutoffCpuShift = 1200.0;
+    config.cutoffMemShift = 1500.0;
+    const auto truth = makeSyntheticModel(config);
+
+    Rng rng(4);
+    std::vector<ProfilingSample> samples;
+    const std::vector<std::pair<double, double>> levels{
+        {0.05, 0.10}, {0.25, 0.20}, {0.45, 0.35}, {0.60, 0.55}};
+    for (int i = 0; i < 400; ++i) {
+        const auto &[c, m] =
+            levels[static_cast<std::size_t>(rng.uniformInt(0, 3))];
+        ProfilingSample s;
+        s.cpuUtil = c;
+        s.memUtil = m;
+        const double sigma = truth.cutoff({c, m});
+        s.gamma = rng.uniform(0.05 * sigma, 2.0 * sigma);
+        s.latencyMs = truth.latency(s.gamma, {c, m});
+        samples.push_back(s);
+    }
+    return fitPiecewiseModel(samples);
+}
+
+TEST(ModelSerialization, RoundTripPreservesPredictions)
+{
+    const PiecewiseFitResult fit = makeFit();
+    std::unordered_map<MicroserviceId, StoredModel> models;
+    models.emplace(3, storedFromFit(fit));
+
+    std::stringstream buffer;
+    writeModels(buffer, models);
+    const auto loaded = readModels(buffer);
+    ASSERT_EQ(loaded.size(), 1u);
+    ASSERT_TRUE(loaded.count(3));
+
+    const PiecewiseLatencyModel restored = loaded.at(3).toModel();
+    for (double c : {0.05, 0.3, 0.6}) {
+        for (double m : {0.1, 0.35, 0.55}) {
+            const Interference itf{c, m};
+            EXPECT_NEAR(restored.cutoff(itf), fit.model.cutoff(itf), 1e-9);
+            for (double load : {200.0, 1500.0, 3000.0, 5000.0}) {
+                EXPECT_NEAR(restored.latency(load, itf),
+                            fit.model.latency(load, itf), 1e-9);
+            }
+        }
+    }
+}
+
+TEST(ModelSerialization, UntrainedTreeUsesFallback)
+{
+    StoredModel stored;
+    stored.below = IntervalParams{0.0, 0.0, 0.001, 5.0};
+    stored.above = IntervalParams{0.0, 0.0, 0.01, 2.0};
+    stored.cutoffFallback = 1234.0;
+    std::stringstream buffer;
+    writeModels(buffer, {{7, stored}});
+    const auto loaded = readModels(buffer);
+    EXPECT_DOUBLE_EQ(loaded.at(7).cutoffAt({0.5, 0.5}), 1234.0);
+}
+
+TEST(ModelSerialization, AttachToCatalog)
+{
+    MicroserviceCatalog catalog;
+    MicroserviceProfile profile;
+    profile.name = "ms";
+    const auto id = catalog.add(profile);
+
+    StoredModel stored;
+    stored.below = IntervalParams{0.0, 0.0, 0.001, 5.0};
+    stored.above = IntervalParams{0.0, 0.0, 0.01, 2.0};
+    stored.cutoffFallback = 500.0;
+    attachModels(catalog, {{id, stored}});
+    ASSERT_TRUE(catalog.hasModel(id));
+    EXPECT_DOUBLE_EQ(catalog.model(id).cutoff({0.0, 0.0}), 500.0);
+}
+
+TEST(ModelSerialization, RejectsBadHeaderAndTruncation)
+{
+    {
+        std::stringstream buffer("not-a-header\n");
+        EXPECT_THROW(readModels(buffer), ErmsError);
+    }
+    {
+        std::stringstream buffer("erms-models v1\nmodel 1\nbelow 0 0 1 "
+                                 "2\n"); // truncated
+        EXPECT_THROW(readModels(buffer), ErmsError);
+    }
+}
+
+TEST(ModelSerialization, IgnoresCommentsAndBlankLines)
+{
+    StoredModel stored;
+    stored.cutoffFallback = 42.0;
+    std::stringstream buffer;
+    writeModels(buffer, {{1, stored}});
+    std::string text = "# leading comment\n\n" + buffer.str();
+    std::stringstream spiked(text);
+    EXPECT_EQ(readModels(spiked).size(), 1u);
+}
+
+TEST(PlanSerialization, RoundTrip)
+{
+    GlobalPlan plan;
+    plan.policy = SharingPolicy::Priority;
+    plan.feasible = true;
+    plan.containers[4] = 12;
+    plan.containers[9] = 3;
+    plan.priorityOrder[4] = {2, 0, 1};
+    plan.totalContainers = 15;
+
+    std::stringstream buffer;
+    writePlan(buffer, plan);
+    const GlobalPlan loaded = readPlan(buffer);
+    EXPECT_EQ(loaded.policy, SharingPolicy::Priority);
+    EXPECT_TRUE(loaded.feasible);
+    EXPECT_EQ(loaded.containers.at(4), 12);
+    EXPECT_EQ(loaded.containers.at(9), 3);
+    EXPECT_EQ(loaded.priorityOrder.at(4),
+              (std::vector<ServiceId>{2, 0, 1}));
+    EXPECT_EQ(loaded.totalContainers, 15);
+}
+
+TEST(PlanSerialization, AllPoliciesRoundTrip)
+{
+    for (const auto policy :
+         {SharingPolicy::Priority, SharingPolicy::FcfsSharing,
+          SharingPolicy::NonSharing}) {
+        GlobalPlan plan;
+        plan.policy = policy;
+        std::stringstream buffer;
+        writePlan(buffer, plan);
+        EXPECT_EQ(readPlan(buffer).policy, policy);
+    }
+}
+
+TEST(PlanSerialization, RejectsGarbage)
+{
+    {
+        std::stringstream buffer("erms-plan v1\nbogus 1 2\nend\n");
+        EXPECT_THROW(readPlan(buffer), ErmsError);
+    }
+    {
+        std::stringstream buffer("erms-plan v1\npolicy priority\n");
+        EXPECT_THROW(readPlan(buffer), ErmsError); // missing end
+    }
+}
+
+TEST(CsvRates, ParsesValuesCommentsAndSecondColumns)
+{
+    std::stringstream csv("# minute,rate\n1000\n2000, extra\n\n 3000\n");
+    const auto series = rateSeriesFromCsv(csv);
+    EXPECT_EQ(series, (std::vector<double>{1000.0, 2000.0, 3000.0}));
+}
+
+TEST(CsvRates, RejectsNegativeAndNonNumeric)
+{
+    {
+        std::stringstream csv("100\n-5\n");
+        EXPECT_THROW(rateSeriesFromCsv(csv), ErmsError);
+    }
+    {
+        std::stringstream csv("abc\n");
+        EXPECT_THROW(rateSeriesFromCsv(csv), ErmsError);
+    }
+}
+
+TEST(CsvRates, EmptyInputGivesEmptySeries)
+{
+    std::stringstream csv("# nothing\n\n");
+    EXPECT_TRUE(rateSeriesFromCsv(csv).empty());
+}
+
+} // namespace
+} // namespace erms

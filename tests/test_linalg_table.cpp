@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the dense linear-algebra helpers and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace erms {
+namespace {
+
+TEST(LinearSystem, SolvesKnownSystem)
+{
+    // 2x + y = 5; x - y = 1  => x = 2, y = 1.
+    const auto x = solveLinearSystem({2, 1, 1, -1}, {5, 1});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LinearSystem, SingularReturnsEmpty)
+{
+    const auto x = solveLinearSystem({1, 2, 2, 4}, {3, 6});
+    EXPECT_TRUE(x.empty());
+}
+
+TEST(LinearSystem, RequiresPivoting)
+{
+    // Zero on the initial pivot position.
+    const auto x = solveLinearSystem({0, 1, 1, 0}, {3, 7});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, RecoversExactLinearModel)
+{
+    // y = 3*a - 2*b + 1 over a small grid.
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int a = 0; a < 5; ++a) {
+        for (int b = 0; b < 5; ++b) {
+            x.push_back(a);
+            x.push_back(b);
+            x.push_back(1.0);
+            y.push_back(3.0 * a - 2.0 * b + 1.0);
+        }
+    }
+    const auto w = leastSquares(x, y, 3);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_NEAR(w[0], 3.0, 1e-6);
+    EXPECT_NEAR(w[1], -2.0, 1e-6);
+    EXPECT_NEAR(w[2], 1.0, 1e-6);
+    EXPECT_NEAR(residualSumOfSquares(x, y, 3, w), 0.0, 1e-9);
+}
+
+TEST(LeastSquares, NoisyFitIsClose)
+{
+    Rng rng(3);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 500; ++i) {
+        const double a = rng.uniform(0.0, 10.0);
+        x.push_back(a);
+        x.push_back(1.0);
+        y.push_back(2.5 * a + 4.0 + rng.normal(0.0, 0.1));
+    }
+    const auto w = leastSquares(x, y, 2);
+    EXPECT_NEAR(w[0], 2.5, 0.05);
+    EXPECT_NEAR(w[1], 4.0, 0.1);
+}
+
+TEST(LeastSquares, EmptyRowsGiveZeros)
+{
+    const auto w = leastSquares({}, {}, 3);
+    ASSERT_EQ(w.size(), 3u);
+    for (double v : w)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(TextTable, AlignsColumnsAndFormats)
+{
+    TextTable table({"name", "value"});
+    table.row().cell("alpha").cell(1.5, 2);
+    table.row().cell("b").cell(std::size_t{42});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, BannerContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "My Section");
+    EXPECT_NE(os.str().find("My Section"), std::string::npos);
+}
+
+} // namespace
+} // namespace erms

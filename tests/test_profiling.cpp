@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the offline profiler stack: accuracy metrics, the CART
+ * regressor, the piecewise fitter (recovering known Eq. (15) models),
+ * and the GBDT/MLP baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "profiling/gbdt.hpp"
+#include "profiling/mlp.hpp"
+#include "profiling/piecewise_fit.hpp"
+
+namespace erms {
+namespace {
+
+TEST(Accuracy, PerfectPredictionIsOne)
+{
+    EXPECT_DOUBLE_EQ(profilingAccuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(Accuracy, ErrorsClippedAtFull)
+{
+    // One catastrophic prediction cannot push accuracy below 0 for the
+    // whole set.
+    const double acc = profilingAccuracy({1000.0, 2.0}, {1.0, 2.0});
+    EXPECT_NEAR(acc, 0.5, 1e-9);
+}
+
+TEST(Accuracy, FractionWithinTolerance)
+{
+    EXPECT_DOUBLE_EQ(fractionWithin({1.0, 2.2, 3.0}, {1.0, 2.0, 4.0}, 0.15),
+                     2.0 / 3.0);
+}
+
+TEST(Accuracy, SplitIsChronological)
+{
+    std::vector<ProfilingSample> all(10);
+    for (int i = 0; i < 10; ++i)
+        all[static_cast<std::size_t>(i)].latencyMs = i;
+    std::vector<ProfilingSample> train, test;
+    splitSamples(all, 0.7, train, test);
+    EXPECT_EQ(train.size(), 7u);
+    EXPECT_EQ(test.size(), 3u);
+    EXPECT_DOUBLE_EQ(test.front().latencyMs, 7.0);
+}
+
+TEST(DecisionTree, FitsPiecewiseConstant)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (double v = 0.0; v < 1.0; v += 0.02) {
+        x.push_back({v});
+        y.push_back(v < 0.5 ? 10.0 : 30.0);
+    }
+    DecisionTreeRegressor tree(TreeConfig{3, 2});
+    tree.fit(x, y);
+    EXPECT_NEAR(tree.predict({0.2}), 10.0, 0.5);
+    EXPECT_NEAR(tree.predict({0.8}), 30.0, 0.5);
+}
+
+TEST(DecisionTree, RespectsMaxDepthZero)
+{
+    DecisionTreeRegressor tree(TreeConfig{0, 1});
+    tree.fit({{0.0}, {1.0}}, {5.0, 15.0});
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_NEAR(tree.predict({0.0}), 10.0, 1e-9);
+}
+
+TEST(DecisionTree, UsesMostInformativeFeature)
+{
+    // Target depends only on feature 1.
+    Rng rng(6);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        const double noise = rng.uniform();
+        const double signal = rng.uniform();
+        x.push_back({noise, signal});
+        y.push_back(signal > 0.5 ? 1.0 : 0.0);
+    }
+    DecisionTreeRegressor tree(TreeConfig{2, 5});
+    tree.fit(x, y);
+    EXPECT_NEAR(tree.predict({0.1, 0.9}), 1.0, 0.2);
+    EXPECT_NEAR(tree.predict({0.9, 0.1}), 0.0, 0.2);
+}
+
+TEST(DecisionTree, WeightedSamplesShiftLeaves)
+{
+    // Two clusters with equal counts but unequal weights.
+    std::vector<std::vector<double>> x{{0.0}, {0.0}, {1.0}, {1.0}};
+    std::vector<double> y{0.0, 10.0, 0.0, 10.0};
+    DecisionTreeRegressor tree(TreeConfig{0, 1}); // single leaf
+    tree.fit(x, y, {1.0, 3.0, 1.0, 3.0});
+    EXPECT_NEAR(tree.predict({0.5}), 7.5, 1e-9);
+}
+
+/** Generate samples from a known Eq. (15) model with mild noise. */
+std::vector<ProfilingSample>
+samplesFromModel(const PiecewiseLatencyModel &model, std::uint64_t seed,
+                 int count = 400, double noise_cv = 0.03)
+{
+    Rng rng(seed);
+    std::vector<ProfilingSample> samples;
+    const std::vector<std::pair<double, double>> levels{
+        {0.05, 0.10}, {0.25, 0.20}, {0.45, 0.35}, {0.60, 0.55}};
+    for (int i = 0; i < count; ++i) {
+        const auto &[c, m] = levels[static_cast<std::size_t>(
+            rng.uniformInt(0, 3))];
+        ProfilingSample s;
+        s.cpuUtil = c;
+        s.memUtil = m;
+        const double sigma = model.cutoff({c, m});
+        s.gamma = rng.uniform(0.05 * sigma, 2.0 * sigma);
+        s.latencyMs = model.latency(s.gamma, {c, m}) *
+                      rng.logNormalMeanCv(1.0, noise_cv);
+        samples.push_back(s);
+    }
+    return samples;
+}
+
+PiecewiseLatencyModel
+knownModel()
+{
+    SyntheticModelConfig config;
+    config.baseLatencyMs = 8.0;
+    config.slope1 = 0.002;
+    config.slope2 = 0.02;
+    config.cpuSensitivity = 1.5;
+    config.memSensitivity = 2.0;
+    config.cutoffAtZero = 3000.0;
+    config.cutoffCpuShift = 1200.0;
+    config.cutoffMemShift = 1500.0;
+    return makeSyntheticModel(config);
+}
+
+TEST(PiecewiseFit, RecoversKnownModelAccurately)
+{
+    const auto truth = knownModel();
+    const auto train = samplesFromModel(truth, 1);
+    const auto result = fitPiecewiseModel(train);
+    EXPECT_GT(result.trainAccuracy, 0.82);
+
+    // Held-out accuracy on fresh samples.
+    const auto test = samplesFromModel(truth, 99);
+    std::vector<double> actual;
+    for (const auto &s : test)
+        actual.push_back(s.latencyMs);
+    const double acc =
+        profilingAccuracy(predictAll(result.model, test), actual);
+    EXPECT_GT(acc, 0.80);
+}
+
+TEST(PiecewiseFit, LearnsInterferenceDependentCutoff)
+{
+    const auto truth = knownModel();
+    const auto train = samplesFromModel(truth, 2, 800);
+    const auto result = fitPiecewiseModel(train);
+    const double calm = result.model.cutoff({0.05, 0.10});
+    const double busy = result.model.cutoff({0.60, 0.55});
+    EXPECT_GT(calm, busy); // cutoff moves forward with interference
+    // Within a factor of the truth on both ends.
+    EXPECT_NEAR(calm, truth.cutoff({0.05, 0.10}),
+                0.4 * truth.cutoff({0.05, 0.10}));
+    EXPECT_NEAR(busy, truth.cutoff({0.60, 0.55}),
+                0.4 * truth.cutoff({0.60, 0.55}));
+}
+
+TEST(PiecewiseFit, SecondIntervalSteeper)
+{
+    const auto truth = knownModel();
+    const auto result = fitPiecewiseModel(samplesFromModel(truth, 3, 600));
+    const Interference itf{0.3, 0.3};
+    EXPECT_GT(result.model.band(itf, Interval::AboveCutoff).a,
+              result.model.band(itf, Interval::BelowCutoff).a);
+}
+
+TEST(PiecewiseFit, TooFewSamplesIsError)
+{
+    std::vector<ProfilingSample> tiny(3);
+    EXPECT_THROW(fitPiecewiseModel(tiny), std::logic_error);
+}
+
+TEST(Gbdt, FitsNonlinearLatencySurface)
+{
+    const auto truth = knownModel();
+    const auto train = samplesFromModel(truth, 4, 600);
+    const auto test = samplesFromModel(truth, 5, 200);
+    GbdtRegressor gbdt;
+    gbdt.fit(train);
+    std::vector<double> actual;
+    for (const auto &s : test)
+        actual.push_back(s.latencyMs);
+    EXPECT_GT(profilingAccuracy(gbdt.predictAll(test), actual), 0.75);
+}
+
+TEST(Gbdt, MoreEstimatorsImproveTrainingFit)
+{
+    const auto truth = knownModel();
+    const auto train = samplesFromModel(truth, 6, 300);
+    std::vector<double> actual;
+    for (const auto &s : train)
+        actual.push_back(s.latencyMs);
+
+    GbdtRegressor small(GbdtConfig{5, 0.1, TreeConfig{3, 2}});
+    small.fit(train);
+    GbdtRegressor large(GbdtConfig{120, 0.1, TreeConfig{3, 2}});
+    large.fit(train);
+    EXPECT_GT(profilingAccuracy(large.predictAll(train), actual),
+              profilingAccuracy(small.predictAll(train), actual));
+}
+
+TEST(Mlp, LearnsLatencySurface)
+{
+    const auto truth = knownModel();
+    const auto train = samplesFromModel(truth, 7, 800);
+    const auto test = samplesFromModel(truth, 8, 200);
+    MlpConfig config;
+    config.epochs = 120;
+    MlpRegressor mlp(config);
+    mlp.fit(train);
+    std::vector<double> actual;
+    for (const auto &s : test)
+        actual.push_back(s.latencyMs);
+    EXPECT_GT(profilingAccuracy(mlp.predictAll(test), actual), 0.6);
+}
+
+TEST(Mlp, DegradesWithTinyTrainingSet)
+{
+    // Fig. 10(b): the NN needs far more data than the piecewise fit.
+    const auto truth = knownModel();
+    const auto tiny = samplesFromModel(truth, 9, 30);
+    const auto test = samplesFromModel(truth, 10, 200);
+    std::vector<double> actual;
+    for (const auto &s : test)
+        actual.push_back(s.latencyMs);
+
+    MlpConfig config;
+    config.epochs = 120;
+    MlpRegressor mlp(config);
+    mlp.fit(tiny);
+    const double nn_acc = profilingAccuracy(mlp.predictAll(test), actual);
+
+    const auto pw = fitPiecewiseModel(tiny);
+    const double pw_acc =
+        profilingAccuracy(predictAll(pw.model, test), actual);
+    EXPECT_GT(pw_acc, nn_acc);
+}
+
+} // namespace
+} // namespace erms

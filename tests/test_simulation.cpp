@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the cluster simulator: deployment management, request
+ * execution through dependency graphs, queueing behaviour vs container
+ * counts, interference coupling, priority scheduling, per-minute
+ * profiling records, and dynamic scaling hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/applications.hpp"
+#include "model/catalog.hpp"
+#include "sim/simulation.hpp"
+
+namespace erms {
+namespace {
+
+MicroserviceId
+addSimpleMs(MicroserviceCatalog &catalog, const std::string &name,
+            double base_ms = 5.0, int threads = 4)
+{
+    MicroserviceProfile profile;
+    profile.name = name;
+    profile.baseServiceMs = base_ms;
+    profile.threadsPerContainer = threads;
+    profile.serviceCv = 0.3;
+    profile.cpuSlowdown = 1.0;
+    profile.memSlowdown = 1.0;
+    profile.networkMs = 0.1;
+    return catalog.add(profile);
+}
+
+TEST(Simulation, CompletesRequestsOnSingleMicroservice)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "solo");
+    DependencyGraph g(0, ms);
+
+    SimConfig config;
+    config.horizonMinutes = 3;
+    config.warmupMinutes = 0;
+    Simulation sim(catalog, config);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rate = 600.0;
+    sim.addService(svc);
+    sim.setContainerCount(ms, 2);
+    sim.run();
+
+    const auto &m = sim.metrics();
+    EXPECT_GT(m.requestsCompleted, 1000u);
+    EXPECT_GT(m.p95(0), 0.0);
+    // Light load: latency close to the service time.
+    EXPECT_LT(m.p95(0), 30.0);
+}
+
+TEST(Simulation, EndToEndCoversChainAndParallelStages)
+{
+    MicroserviceCatalog catalog;
+    const auto root = addSimpleMs(catalog, "root", 4.0);
+    const auto a = addSimpleMs(catalog, "a", 6.0);
+    const auto b = addSimpleMs(catalog, "b", 8.0);
+    const auto tail = addSimpleMs(catalog, "tail", 3.0);
+    DependencyGraph g(0, root);
+    g.addCall(root, a, 0);
+    g.addCall(root, b, 0); // parallel with a
+    g.addCall(root, tail, 1);
+
+    SimConfig config;
+    config.horizonMinutes = 3;
+    config.warmupMinutes = 1;
+    Simulation sim(catalog, config);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rate = 1200.0;
+    sim.addService(svc);
+    for (MicroserviceId id : g.nodes())
+        sim.setContainerCount(id, 2);
+    sim.run();
+
+    // e2e >= root + max(a, b) + tail service times (roughly).
+    const double p50 = sim.metrics().endToEndMs.at(0).p50();
+    EXPECT_GT(p50, 4.0 + 8.0 + 3.0 - 2.0);
+    // Parallel: much less than the sequential sum of everything.
+    EXPECT_LT(p50, 60.0);
+}
+
+TEST(Simulation, MoreContainersReduceLatencyUnderLoad)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "hot", 20.0, 2);
+    DependencyGraph g(0, ms);
+
+    auto run_with = [&](int containers) {
+        SimConfig config;
+        config.horizonMinutes = 4;
+        config.warmupMinutes = 1;
+        config.seed = 3;
+        Simulation sim(catalog, config);
+        ServiceWorkload svc;
+        svc.id = 0;
+        svc.graph = &g;
+        svc.rate = 9000.0; // ~1.5x one container's capacity
+        sim.addService(svc);
+        sim.setContainerCount(ms, containers);
+        sim.run();
+        return sim.metrics().p95(0);
+    };
+
+    const double scarce = run_with(2);
+    const double ample = run_with(6);
+    EXPECT_GT(scarce, ample * 1.3);
+}
+
+TEST(Simulation, InterferenceInflatesLatency)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "itf", 10.0);
+    DependencyGraph g(0, ms);
+
+    auto run_with = [&](double bg) {
+        SimConfig config;
+        config.horizonMinutes = 3;
+        config.warmupMinutes = 1;
+        Simulation sim(catalog, config);
+        sim.setBackgroundLoadAll(bg, bg);
+        ServiceWorkload svc;
+        svc.id = 0;
+        svc.graph = &g;
+        svc.rate = 1000.0;
+        sim.addService(svc);
+        sim.setContainerCount(ms, 3);
+        sim.run();
+        return sim.metrics().p95(0);
+    };
+
+    EXPECT_GT(run_with(0.6), run_with(0.0) * 1.5);
+}
+
+TEST(Simulation, ProfilingRecordsMatchConfiguredLoad)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "prof");
+    DependencyGraph g(0, ms);
+
+    SimConfig config;
+    config.horizonMinutes = 4;
+    Simulation sim(catalog, config);
+    sim.setBackgroundLoadAll(0.3, 0.4);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rate = 3000.0;
+    sim.addService(svc);
+    sim.setContainerCount(ms, 3);
+    sim.run();
+
+    const auto records = sim.metrics().profilingFor(ms);
+    ASSERT_GE(records.size(), 3u);
+    for (const auto &record : records) {
+        if (record.minute == 0)
+            continue;
+        EXPECT_EQ(record.containers, 3);
+        // gamma per container ~ rate / containers (Poisson noise).
+        EXPECT_NEAR(record.perContainerCalls, 1000.0, 200.0);
+        EXPECT_GE(record.cpuUtil, 0.3);
+        EXPECT_GE(record.memUtil, 0.4);
+        EXPECT_GT(record.tailLatencyMs, 0.0);
+        EXPECT_GE(record.tailLatencyMs, record.meanLatencyMs);
+    }
+}
+
+TEST(Simulation, PriorityProtectsHighPriorityService)
+{
+    // Two services share one overloaded microservice; under priority
+    // scheduling the high-priority service's latency must be clearly
+    // lower than the low-priority one's.
+    MicroserviceCatalog catalog;
+    const auto shared = addSimpleMs(catalog, "shared", 20.0, 2);
+    DependencyGraph g1(0, shared);
+    DependencyGraph g2(1, shared);
+
+    SimConfig config;
+    config.horizonMinutes = 4;
+    config.warmupMinutes = 1;
+    Simulation sim(catalog, config);
+    for (auto *g : {&g1, &g2}) {
+        ServiceWorkload svc;
+        svc.id = g->service();
+        svc.graph = g;
+        svc.rate = 4000.0;
+        sim.addService(svc);
+    }
+    sim.setContainerCount(shared, 2); // capacity ~ 2*2*3000 = 12000 < 8000?
+    sim.setPriorityOrder(shared, {0, 1});
+    sim.setSchedulingDelta(0.05);
+    sim.run();
+
+    const double high = sim.metrics().p95(0);
+    const double low = sim.metrics().p95(1);
+    EXPECT_LT(high, low);
+}
+
+TEST(Simulation, FcfsTreatsServicesEqually)
+{
+    MicroserviceCatalog catalog;
+    const auto shared = addSimpleMs(catalog, "shared-fcfs", 20.0, 2);
+    DependencyGraph g1(0, shared);
+    DependencyGraph g2(1, shared);
+
+    SimConfig config;
+    config.horizonMinutes = 4;
+    config.warmupMinutes = 1;
+    Simulation sim(catalog, config);
+    for (auto *g : {&g1, &g2}) {
+        ServiceWorkload svc;
+        svc.id = g->service();
+        svc.graph = g;
+        svc.rate = 4000.0;
+        sim.addService(svc);
+    }
+    sim.setContainerCount(shared, 2);
+    sim.run();
+
+    const double a = sim.metrics().p95(0);
+    const double b = sim.metrics().p95(1);
+    EXPECT_NEAR(a / b, 1.0, 0.35);
+}
+
+TEST(Simulation, ScaleInAndOutDuringRun)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "elastic", 10.0);
+    DependencyGraph g(0, ms);
+
+    SimConfig config;
+    config.horizonMinutes = 6;
+    Simulation sim(catalog, config);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rate = 2000.0;
+    sim.addService(svc);
+    sim.setContainerCount(ms, 4);
+    sim.setMinuteCallback([&](Simulation &s, int minute) {
+        if (minute == 2)
+            s.setContainerCount(ms, 1);
+        if (minute == 4)
+            s.setContainerCount(ms, 5);
+    });
+    sim.run();
+
+    EXPECT_EQ(sim.containerCount(ms), 5);
+    // Timeline recorded the changes.
+    const auto &timeline = sim.metrics().containerTimeline.at(ms);
+    ASSERT_GE(timeline.size(), 5u);
+    EXPECT_GT(sim.metrics().requestsCompleted, 5000u);
+}
+
+TEST(Simulation, RateSeriesFollowsSchedule)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "dyn");
+    DependencyGraph g(0, ms);
+
+    SimConfig config;
+    config.horizonMinutes = 4;
+    Simulation sim(catalog, config);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &g;
+    svc.rateSeries = {600.0, 600.0, 3000.0, 3000.0};
+    sim.addService(svc);
+    sim.setContainerCount(ms, 4);
+
+    std::vector<double> observed;
+    sim.setMinuteCallback([&](Simulation &s, int) {
+        observed.push_back(s.observedRate(0));
+    });
+    sim.run();
+
+    ASSERT_GE(observed.size(), 4u);
+    EXPECT_NEAR(observed[0], 600.0, 200.0);
+    EXPECT_NEAR(observed[2], 3000.0, 500.0);
+}
+
+TEST(Simulation, AppliesGlobalPlan)
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeMotivationShared(catalog, 0);
+    GlobalPlan plan;
+    plan.policy = SharingPolicy::Priority;
+    plan.feasible = true;
+    const auto idP = catalog.findByName("shr-post-storage");
+    const auto idU = catalog.findByName("shr-user-timeline");
+    plan.containers[idP] = 5;
+    plan.containers[idU] = 7;
+    plan.priorityOrder[idP] = {0, 1};
+
+    SimConfig config;
+    Simulation sim(catalog, config);
+    sim.applyPlan(plan);
+    EXPECT_EQ(sim.containerCount(idP), 5);
+    EXPECT_EQ(sim.containerCount(idU), 7);
+}
+
+TEST(Simulation, HostViewsReflectDeployment)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "placed");
+    SimConfig config;
+    config.hostCount = 4;
+    Simulation sim(catalog, config);
+    sim.setContainerCount(ms, 8);
+    const auto views = sim.hostViews();
+    ASSERT_EQ(views.size(), 4u);
+    double total_cpu = 0.0;
+    for (const auto &view : views)
+        total_cpu += view.cpuAllocatedCores;
+    EXPECT_NEAR(total_cpu, 8 * 0.1, 1e-9);
+    // Spread policy balances: every host got 2 containers worth.
+    for (const auto &view : views)
+        EXPECT_NEAR(view.cpuAllocatedCores, 0.2, 1e-9);
+}
+
+TEST(Simulation, ClusterInterferenceAveragesBackground)
+{
+    MicroserviceCatalog catalog;
+    SimConfig config;
+    config.hostCount = 2;
+    Simulation sim(catalog, config);
+    sim.setBackgroundLoad(0, 0.2, 0.4);
+    sim.setBackgroundLoad(1, 0.6, 0.0);
+    const Interference itf = sim.clusterInterference();
+    EXPECT_NEAR(itf.cpuUtil, 0.4, 1e-9);
+    EXPECT_NEAR(itf.memUtil, 0.2, 1e-9);
+}
+
+TEST(Simulation, DeterministicWithSameSeed)
+{
+    MicroserviceCatalog catalog;
+    const auto ms = addSimpleMs(catalog, "seeded");
+    DependencyGraph g(0, ms);
+    auto run_once = [&] {
+        SimConfig config;
+        config.horizonMinutes = 2;
+        config.seed = 77;
+        Simulation sim(catalog, config);
+        ServiceWorkload svc;
+        svc.id = 0;
+        svc.graph = &g;
+        svc.rate = 1000.0;
+        sim.addService(svc);
+        sim.setContainerCount(ms, 2);
+        sim.run();
+        return sim.metrics().requestsCompleted;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace erms

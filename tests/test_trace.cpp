@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the tracing substrate: span collection with head sampling,
+ * dependency-graph reconstruction (overlap => parallel, §5.1), and
+ * microservice latency extraction via Eq. (1) — including the
+ * closed-loop check against the simulator's ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/catalog.hpp"
+#include "sim/simulation.hpp"
+#include "trace/coordinator.hpp"
+
+namespace erms {
+namespace {
+
+CallSpan
+makeSpan(ServiceId service, RequestId request, MicroserviceId caller,
+         MicroserviceId callee, SimTime client_send, SimTime client_recv,
+         SimTime server_recv, SimTime server_send)
+{
+    CallSpan span;
+    span.service = service;
+    span.request = request;
+    span.caller = caller;
+    span.callee = callee;
+    span.clientSend = client_send;
+    span.clientReceive = client_recv;
+    span.serverReceive = server_recv;
+    span.serverSend = server_send;
+    return span;
+}
+
+TEST(SpanCollector, SamplingRateRoughlyHonored)
+{
+    InMemorySpanCollector collector(0.10, 5);
+    int sampled = 0;
+    for (RequestId r = 0; r < 10000; ++r)
+        sampled += collector.sampleRequest(r);
+    EXPECT_NEAR(sampled / 10000.0, 0.10, 0.02);
+}
+
+TEST(SpanCollector, FullSamplingKeepsEverything)
+{
+    InMemorySpanCollector collector(1.0);
+    for (RequestId r = 0; r < 100; ++r)
+        EXPECT_TRUE(collector.sampleRequest(r));
+}
+
+TEST(SpanCollector, RecordsAndClears)
+{
+    InMemorySpanCollector collector(1.0);
+    collector.record(makeSpan(0, 1, kInvalidMicroservice, 0, 0, 10, 1, 9));
+    EXPECT_EQ(collector.spans().size(), 1u);
+    collector.clear();
+    EXPECT_TRUE(collector.spans().empty());
+}
+
+TEST(TracingCoordinator, ReconstructsSequentialChain)
+{
+    // root(0) -> a(1) -> b(2), all sequential.
+    std::vector<CallSpan> spans{
+        makeSpan(0, 1, kInvalidMicroservice, 0, 0, 100, 2, 98),
+        makeSpan(0, 1, 0, 1, 10, 90, 12, 88),
+        makeSpan(0, 1, 1, 2, 20, 80, 22, 78),
+    };
+    const DependencyGraph g = TracingCoordinator::extractGraph(0, spans);
+    EXPECT_EQ(g.root(), 0u);
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.parent(1), 0u);
+    EXPECT_EQ(g.parent(2), 1u);
+}
+
+TEST(TracingCoordinator, OverlappingClientSpansAreParallel)
+{
+    // root calls a and b with overlapping client spans, then c after.
+    std::vector<CallSpan> spans{
+        makeSpan(0, 1, kInvalidMicroservice, 0, 0, 200, 1, 199),
+        makeSpan(0, 1, 0, 1, 10, 60, 11, 59),
+        makeSpan(0, 1, 0, 2, 15, 70, 16, 69), // overlaps call to 1
+        makeSpan(0, 1, 0, 3, 80, 120, 81, 119), // starts after both
+    };
+    const DependencyGraph g = TracingCoordinator::extractGraph(0, spans);
+    const auto stages = g.stages(0);
+    ASSERT_EQ(stages.size(), 2u);
+    EXPECT_EQ(stages[0].size(), 2u);
+    EXPECT_EQ(stages[1].size(), 1u);
+    EXPECT_EQ(stages[1][0].callee, 3u);
+}
+
+TEST(TracingCoordinator, MergesStructureAcrossRequests)
+{
+    // Request 1 only exercises the a-branch; request 2 adds b.
+    std::vector<CallSpan> spans{
+        makeSpan(0, 1, kInvalidMicroservice, 0, 0, 100, 1, 99),
+        makeSpan(0, 1, 0, 1, 10, 50, 11, 49),
+        makeSpan(0, 2, kInvalidMicroservice, 0, 0, 100, 1, 99),
+        makeSpan(0, 2, 0, 2, 10, 50, 11, 49),
+    };
+    const DependencyGraph g = TracingCoordinator::extractGraph(0, spans);
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_TRUE(g.contains(1));
+    EXPECT_TRUE(g.contains(2));
+}
+
+TEST(TracingCoordinator, NoSpansThrows)
+{
+    std::vector<CallSpan> spans;
+    EXPECT_THROW(TracingCoordinator::extractGraph(0, spans), GraphError);
+}
+
+TEST(TracingCoordinator, WrongServiceFiltered)
+{
+    std::vector<CallSpan> spans{
+        makeSpan(7, 1, kInvalidMicroservice, 0, 0, 100, 1, 99)};
+    EXPECT_THROW(TracingCoordinator::extractGraph(0, spans), GraphError);
+}
+
+TEST(TracingCoordinator, Eq1SubtractsSequentialChildren)
+{
+    // Parent busy 0..100 (server), child server span 30..70: parent's own
+    // latency = 100 - 40 = 60 (in ms after conversion).
+    std::vector<CallSpan> spans{
+        makeSpan(0, 1, kInvalidMicroservice, 0, 0, 110000, 5000, 105000),
+        makeSpan(0, 1, 0, 1, 10000, 80000, 30000, 70000),
+    };
+    const auto obs = TracingCoordinator::extractLatencies(spans);
+    double parent_latency = -1.0;
+    for (const auto &o : obs) {
+        if (o.microservice == 0)
+            parent_latency = o.latencyMs;
+    }
+    EXPECT_NEAR(parent_latency, (100000 - 40000) / 1000.0, 1e-9);
+}
+
+TEST(TracingCoordinator, Eq1TakesMaxOverParallelChildren)
+{
+    // Two overlapping children with server times 40ms and 20ms: subtract
+    // only the max (40), not the sum.
+    std::vector<CallSpan> spans{
+        makeSpan(0, 1, kInvalidMicroservice, 0, 0, 110000, 5000, 105000),
+        makeSpan(0, 1, 0, 1, 10000, 60000, 12000, 52000), // 40 ms
+        makeSpan(0, 1, 0, 2, 11000, 40000, 13000, 33000), // 20 ms
+    };
+    const auto obs = TracingCoordinator::extractLatencies(spans);
+    for (const auto &o : obs) {
+        if (o.microservice == 0) {
+            EXPECT_NEAR(o.latencyMs, 100.0 - 40.0, 1e-9);
+        }
+    }
+}
+
+TEST(TracingCoordinator, LeafLatencyIsFullServerSpan)
+{
+    std::vector<CallSpan> spans{
+        makeSpan(0, 1, kInvalidMicroservice, 0, 0, 50000, 1000, 46000)};
+    const auto obs = TracingCoordinator::extractLatencies(spans);
+    ASSERT_EQ(obs.size(), 1u);
+    EXPECT_NEAR(obs[0].latencyMs, 45.0, 1e-9);
+}
+
+TEST(TracingCoordinator, ClosedLoopAgainstSimulator)
+{
+    // Build a graph, run the simulator with full tracing, and verify the
+    // coordinator reconstructs the exact structure.
+    MicroserviceCatalog catalog;
+    MicroserviceProfile profile;
+    profile.baseServiceMs = 5.0;
+    profile.threadsPerContainer = 4;
+    profile.serviceCv = 0.3;
+    profile.networkMs = 0.1;
+    profile.name = "root";
+    const auto root = catalog.add(profile);
+    profile.name = "par-a";
+    const auto par_a = catalog.add(profile);
+    profile.name = "par-b";
+    const auto par_b = catalog.add(profile);
+    profile.name = "seq-c";
+    const auto seq_c = catalog.add(profile);
+
+    DependencyGraph g(3, root);
+    g.addCall(root, par_a, 0);
+    g.addCall(root, par_b, 0);
+    g.addCall(root, seq_c, 1);
+
+    InMemorySpanCollector collector(1.0);
+    SimConfig config;
+    config.horizonMinutes = 2;
+    Simulation sim(catalog, config);
+    sim.setSpanCollector(&collector);
+    ServiceWorkload svc;
+    svc.id = 3;
+    svc.graph = &g;
+    svc.rate = 600.0;
+    sim.addService(svc);
+    for (MicroserviceId id : g.nodes())
+        sim.setContainerCount(id, 2);
+    sim.run();
+
+    ASSERT_GT(collector.spans().size(), 100u);
+    const DependencyGraph rebuilt =
+        TracingCoordinator::extractGraph(3, collector.spans());
+    EXPECT_EQ(rebuilt.root(), root);
+    EXPECT_EQ(rebuilt.size(), 4u);
+    EXPECT_EQ(rebuilt.parent(par_a), root);
+    EXPECT_EQ(rebuilt.parent(par_b), root);
+    EXPECT_EQ(rebuilt.parent(seq_c), root);
+    // a and b parallel (same stage), c sequential after them.
+    const auto stages = rebuilt.stages(root);
+    ASSERT_EQ(stages.size(), 2u);
+    EXPECT_EQ(stages[0].size(), 2u);
+
+    // Latency extraction: the root's own latency should hover near its
+    // service time (5 ms) rather than the full end-to-end time.
+    const auto obs = TracingCoordinator::extractLatencies(collector.spans());
+    SampleSet root_latency;
+    for (const auto &o : obs) {
+        if (o.microservice == root)
+            root_latency.add(o.latencyMs);
+    }
+    ASSERT_GT(root_latency.count(), 50u);
+    EXPECT_LT(root_latency.p50(), 12.0);
+    EXPECT_GT(root_latency.p50(), 3.0);
+}
+
+} // namespace
+} // namespace erms

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for dynamic dependency-graph handling (§7): variant merging
+ * (complete and frequency-weighted), structural distance, and variant
+ * clustering (§9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/variants.hpp"
+
+namespace erms {
+namespace {
+
+/** Full graph: 0 -> {1, 2} parallel, 1 -> 3. */
+DependencyGraph
+fullGraph()
+{
+    DependencyGraph g(7, 0);
+    g.addCall(0, 1, 0);
+    g.addCall(0, 2, 0);
+    g.addCall(1, 3, 0, 2.0);
+    return g;
+}
+
+/** Variant without node 3. */
+DependencyGraph
+variantA()
+{
+    DependencyGraph g(7, 0);
+    g.addCall(0, 1, 0);
+    g.addCall(0, 2, 0);
+    return g;
+}
+
+/** Variant without node 2. */
+DependencyGraph
+variantB()
+{
+    DependencyGraph g(7, 0);
+    g.addCall(0, 1, 0);
+    g.addCall(1, 3, 0, 2.0);
+    return g;
+}
+
+TEST(Variants, CompleteMergeIsUnionOfNodes)
+{
+    const DependencyGraph a = variantA();
+    const DependencyGraph b = variantB();
+    const DependencyGraph merged = mergeGraphVariants({&a, &b});
+    EXPECT_EQ(merged.size(), 4u);
+    for (MicroserviceId id : {0u, 1u, 2u, 3u})
+        EXPECT_TRUE(merged.contains(id));
+    // Placements preserved from first appearance.
+    EXPECT_EQ(merged.parent(1), 0u);
+    EXPECT_EQ(merged.parent(3), 1u);
+}
+
+TEST(Variants, CompleteMergeKeepsAverageMultiplicity)
+{
+    const DependencyGraph a = variantB(); // has 3 with multiplicity 2
+    const DependencyGraph b = variantB();
+    const DependencyGraph merged = mergeGraphVariants({&a, &b});
+    for (const DependencyGraph::Call &call : merged.calls(1)) {
+        if (call.callee == 3) {
+            EXPECT_DOUBLE_EQ(call.multiplicity, 2.0);
+        }
+    }
+}
+
+TEST(Variants, FrequencyWeightingScalesRareBranches)
+{
+    // Node 3 appears in 1 of 4 variants: its expected calls per request
+    // are a quarter of its in-variant multiplicity.
+    const DependencyGraph a = variantA();
+    const DependencyGraph b = variantB();
+    const DependencyGraph merged = mergeGraphVariants(
+        {&a, &a, &a, &b}, VariantMergePolicy::FrequencyWeighted);
+    double mult3 = 0.0, mult1 = 0.0;
+    for (const DependencyGraph::Call &call : merged.calls(1)) {
+        if (call.callee == 3)
+            mult3 = call.multiplicity;
+    }
+    for (const DependencyGraph::Call &call : merged.calls(0)) {
+        if (call.callee == 1)
+            mult1 = call.multiplicity;
+    }
+    EXPECT_DOUBLE_EQ(mult3, 2.0 * 0.25);
+    EXPECT_DOUBLE_EQ(mult1, 1.0); // present in every variant
+}
+
+TEST(Variants, FrequencyWeightingReducesWorkloads)
+{
+    const DependencyGraph a = variantA();
+    const DependencyGraph b = variantB();
+    const DependencyGraph complete = mergeGraphVariants({&a, &b});
+    const DependencyGraph weighted = mergeGraphVariants(
+        {&a, &b}, VariantMergePolicy::FrequencyWeighted);
+    const auto full_loads = complete.workloads(1000.0);
+    const auto weighted_loads = weighted.workloads(1000.0);
+    EXPECT_LT(weighted_loads.at(3), full_loads.at(3));
+    EXPECT_DOUBLE_EQ(weighted_loads.at(0), full_loads.at(0)); // root
+}
+
+TEST(Variants, MergeRejectsMismatchedVariants)
+{
+    const DependencyGraph a = variantA();
+    DependencyGraph other_service(8, 0);
+    DependencyGraph other_root(7, 5);
+    EXPECT_THROW(mergeGraphVariants({}), GraphError);
+    EXPECT_THROW(mergeGraphVariants({&a, &other_service}), GraphError);
+    EXPECT_THROW(mergeGraphVariants({&a, &other_root}), GraphError);
+}
+
+TEST(Variants, SingleVariantMergesToItself)
+{
+    const DependencyGraph full = fullGraph();
+    const DependencyGraph merged = mergeGraphVariants({&full});
+    EXPECT_EQ(merged.size(), full.size());
+    EXPECT_NO_THROW(merged.validate());
+}
+
+TEST(Variants, GraphDistanceProperties)
+{
+    const DependencyGraph a = variantA();
+    const DependencyGraph b = variantB();
+    const DependencyGraph full = fullGraph();
+    EXPECT_DOUBLE_EQ(graphDistance(a, a), 0.0);
+    EXPECT_GT(graphDistance(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(graphDistance(a, b), graphDistance(b, a));
+    // a = {0,1,2}, full = {0,1,2,3}: Jaccard distance 1 - 3/4.
+    EXPECT_NEAR(graphDistance(a, full), 0.25, 1e-12);
+}
+
+TEST(Variants, ClusteringGroupsSimilarVariants)
+{
+    const DependencyGraph a1 = variantA();
+    const DependencyGraph a2 = variantA();
+    const DependencyGraph b = variantB();
+    const auto clusters = clusterGraphVariants({&a1, &a2, &b}, 0.1);
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_EQ(clusters[0], (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(clusters[1], (std::vector<std::size_t>{2}));
+}
+
+TEST(Variants, ClusteringWithFullToleranceIsOneCluster)
+{
+    const DependencyGraph a = variantA();
+    const DependencyGraph b = variantB();
+    const DependencyGraph full = fullGraph();
+    const auto clusters = clusterGraphVariants({&a, &b, &full}, 1.0);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(Variants, EveryVariantAssignedExactlyOnce)
+{
+    const DependencyGraph a = variantA();
+    const DependencyGraph b = variantB();
+    const DependencyGraph full = fullGraph();
+    const auto clusters = clusterGraphVariants({&a, &b, &full}, 0.3);
+    std::vector<bool> seen(3, false);
+    for (const auto &cluster : clusters) {
+        for (std::size_t index : cluster) {
+            EXPECT_FALSE(seen[index]);
+            seen[index] = true;
+        }
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+} // namespace
+} // namespace erms

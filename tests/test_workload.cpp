@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for workload generators and the synthetic Alibaba-like trace
+ * population (sharing CDF shape, tree validity, reproducibility).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/generators.hpp"
+#include "workload/synth_trace.hpp"
+
+namespace erms {
+namespace {
+
+TEST(Generators, ConstantSeries)
+{
+    const auto s = constantSeries(5, 100.0);
+    ASSERT_EQ(s.size(), 5u);
+    for (double v : s)
+        EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(Generators, DiurnalOscillatesBetweenBaseAndPeak)
+{
+    const auto s = diurnalSeries(120, 1000.0, 5000.0, 120.0, 0.0, 1);
+    ASSERT_EQ(s.size(), 120u);
+    const double lo = *std::min_element(s.begin(), s.end());
+    const double hi = *std::max_element(s.begin(), s.end());
+    EXPECT_NEAR(lo, 1000.0, 50.0);
+    EXPECT_NEAR(hi, 5000.0, 50.0);
+    // Starts at the trough (cosine phase).
+    EXPECT_NEAR(s[0], 1000.0, 50.0);
+    EXPECT_NEAR(s[60], 5000.0, 50.0);
+}
+
+TEST(Generators, NoiseKeepsSeriesNonNegative)
+{
+    const auto s = diurnalSeries(500, 10.0, 50.0, 100.0, 1.0, 2);
+    for (double v : s)
+        EXPECT_GE(v, 0.0);
+}
+
+TEST(Generators, DiurnalDeterministicPerSeed)
+{
+    EXPECT_EQ(diurnalSeries(50, 10, 100, 30, 0.3, 9),
+              diurnalSeries(50, 10, 100, 30, 0.3, 9));
+    EXPECT_NE(diurnalSeries(50, 10, 100, 30, 0.3, 9),
+              diurnalSeries(50, 10, 100, 30, 0.3, 10));
+}
+
+TEST(Generators, BurstsAmplifyRates)
+{
+    const auto base = diurnalSeries(300, 1000, 2000, 100, 0.0, 3);
+    const auto bursty =
+        alibabaLikeSeries(300, 1000, 2000, 100, 0.0, 0.05, 3.0, 2, 3);
+    ASSERT_EQ(base.size(), bursty.size());
+    int amplified = 0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_GE(bursty[i], base[i] - 1e-9);
+        amplified += bursty[i] > base[i] * 1.5;
+    }
+    EXPECT_GT(amplified, 3);
+    EXPECT_LT(amplified, 150);
+}
+
+TEST(Generators, StepSeriesSwitches)
+{
+    const auto s = stepSeries(10, 100.0, 500.0, 4);
+    EXPECT_DOUBLE_EQ(s[3], 100.0);
+    EXPECT_DOUBLE_EQ(s[4], 500.0);
+    EXPECT_DOUBLE_EQ(s[9], 500.0);
+}
+
+class SynthTraceTest : public ::testing::Test
+{
+  protected:
+    static SynthTraceConfig
+    smallConfig()
+    {
+        SynthTraceConfig config;
+        config.microserviceCount = 300;
+        config.serviceCount = 60;
+        config.minGraphSize = 5;
+        config.maxGraphSize = 30;
+        config.seed = 5;
+        return config;
+    }
+};
+
+TEST_F(SynthTraceTest, PopulationDimensions)
+{
+    const SynthTrace trace = makeSynthTrace(smallConfig());
+    EXPECT_EQ(trace.catalog.size(), 300u);
+    EXPECT_EQ(trace.graphs.size(), 60u);
+    EXPECT_EQ(trace.slaMs.size(), 60u);
+    EXPECT_EQ(trace.workloads.size(), 60u);
+    for (std::size_t i = 0; i < trace.graphs.size(); ++i) {
+        EXPECT_EQ(trace.graphs[i].service(), static_cast<ServiceId>(i));
+        EXPECT_GE(trace.graphs[i].size(), 5u);
+        EXPECT_LE(trace.graphs[i].size(), 30u);
+        EXPECT_NO_THROW(trace.graphs[i].validate());
+    }
+}
+
+TEST_F(SynthTraceTest, EveryMicroserviceHasModel)
+{
+    const SynthTrace trace = makeSynthTrace(smallConfig());
+    for (const DependencyGraph &g : trace.graphs) {
+        for (MicroserviceId id : g.nodes())
+            EXPECT_TRUE(trace.catalog.hasModel(id));
+    }
+}
+
+TEST_F(SynthTraceTest, SharingIsHeavyTailed)
+{
+    const SynthTrace trace = makeSynthTrace(smallConfig());
+    const auto degrees = trace.sharingDegrees();
+    ASSERT_FALSE(degrees.empty());
+    const int max_degree = *std::max_element(degrees.begin(), degrees.end());
+    // Popular microservices serve a large fraction of the services.
+    EXPECT_GT(max_degree, 60 / 4);
+    EXPECT_GT(trace.sharedMicroserviceCount(), 20u);
+}
+
+TEST_F(SynthTraceTest, SlaAndWorkloadWithinConfiguredRanges)
+{
+    const auto config = smallConfig();
+    const SynthTrace trace = makeSynthTrace(config);
+    for (std::size_t i = 0; i < trace.graphs.size(); ++i) {
+        EXPECT_GE(trace.slaMs[i], config.slaLowMs);
+        EXPECT_LE(trace.slaMs[i], config.slaHighMs);
+        EXPECT_GE(trace.workloads[i], config.workloadLow);
+        EXPECT_LE(trace.workloads[i], config.workloadHigh);
+    }
+}
+
+TEST_F(SynthTraceTest, DeterministicPerSeed)
+{
+    const SynthTrace a = makeSynthTrace(smallConfig());
+    const SynthTrace b = makeSynthTrace(smallConfig());
+    ASSERT_EQ(a.graphs.size(), b.graphs.size());
+    for (std::size_t i = 0; i < a.graphs.size(); ++i)
+        EXPECT_EQ(a.graphs[i].nodes(), b.graphs[i].nodes());
+}
+
+} // namespace
+} // namespace erms

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_motivation_targets.dir/bench_fig04_motivation_targets.cpp.o"
+  "CMakeFiles/bench_fig04_motivation_targets.dir/bench_fig04_motivation_targets.cpp.o.d"
+  "bench_fig04_motivation_targets"
+  "bench_fig04_motivation_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_motivation_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

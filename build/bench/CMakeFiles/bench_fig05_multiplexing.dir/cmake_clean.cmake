@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_multiplexing.dir/bench_fig05_multiplexing.cpp.o"
+  "CMakeFiles/bench_fig05_multiplexing.dir/bench_fig05_multiplexing.cpp.o.d"
+  "bench_fig05_multiplexing"
+  "bench_fig05_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_static_containers.dir/bench_fig11_static_containers.cpp.o"
+  "CMakeFiles/bench_fig11_static_containers.dir/bench_fig11_static_containers.cpp.o.d"
+  "bench_fig11_static_containers"
+  "bench_fig11_static_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_static_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sla_violation.dir/bench_fig12_sla_violation.cpp.o"
+  "CMakeFiles/bench_fig12_sla_violation.dir/bench_fig12_sla_violation.cpp.o.d"
+  "bench_fig12_sla_violation"
+  "bench_fig12_sla_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sla_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_provisioning.cpp" "bench/CMakeFiles/bench_fig15_provisioning.dir/bench_fig15_provisioning.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_provisioning.dir/bench_fig15_provisioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/erms_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/erms_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/erms_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/provision/CMakeFiles/erms_provision.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/erms_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/erms_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/erms_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/erms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

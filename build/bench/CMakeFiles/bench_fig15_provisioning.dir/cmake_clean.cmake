@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_provisioning.dir/bench_fig15_provisioning.cpp.o"
+  "CMakeFiles/bench_fig15_provisioning.dir/bench_fig15_provisioning.cpp.o.d"
+  "bench_fig15_provisioning"
+  "bench_fig15_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

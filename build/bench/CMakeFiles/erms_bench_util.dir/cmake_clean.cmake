@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/erms_bench_util.dir/bench_util.cpp.o.d"
+  "liberms_bench_util.a"
+  "liberms_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_cli.dir/erms_cli.cpp.o"
+  "CMakeFiles/erms_cli.dir/erms_cli.cpp.o.d"
+  "erms_cli"
+  "erms_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

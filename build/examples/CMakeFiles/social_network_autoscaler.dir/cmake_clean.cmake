@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_autoscaler.dir/social_network_autoscaler.cpp.o"
+  "CMakeFiles/social_network_autoscaler.dir/social_network_autoscaler.cpp.o.d"
+  "social_network_autoscaler"
+  "social_network_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

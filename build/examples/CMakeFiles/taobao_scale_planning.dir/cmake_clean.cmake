@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taobao_scale_planning.dir/taobao_scale_planning.cpp.o"
+  "CMakeFiles/taobao_scale_planning.dir/taobao_scale_planning.cpp.o.d"
+  "taobao_scale_planning"
+  "taobao_scale_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taobao_scale_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

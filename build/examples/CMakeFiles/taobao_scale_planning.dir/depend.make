@@ -1,0 +1,2 @@
+# Empty dependencies file for taobao_scale_planning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("model")
+subdirs("graph")
+subdirs("scaling")
+subdirs("sim")
+subdirs("trace")
+subdirs("workload")
+subdirs("apps")
+subdirs("profiling")
+subdirs("baselines")
+subdirs("provision")
+subdirs("io")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_apps.dir/applications.cpp.o"
+  "CMakeFiles/erms_apps.dir/applications.cpp.o.d"
+  "liberms_apps.a"
+  "liberms_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/allocators.cpp" "src/baselines/CMakeFiles/erms_baselines.dir/allocators.cpp.o" "gcc" "src/baselines/CMakeFiles/erms_baselines.dir/allocators.cpp.o.d"
+  "/root/repo/src/baselines/stats.cpp" "src/baselines/CMakeFiles/erms_baselines.dir/stats.cpp.o" "gcc" "src/baselines/CMakeFiles/erms_baselines.dir/stats.cpp.o.d"
+  "/root/repo/src/baselines/targets.cpp" "src/baselines/CMakeFiles/erms_baselines.dir/targets.cpp.o" "gcc" "src/baselines/CMakeFiles/erms_baselines.dir/targets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/erms_scaling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

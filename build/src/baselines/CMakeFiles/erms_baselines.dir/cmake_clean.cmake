@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_baselines.dir/allocators.cpp.o"
+  "CMakeFiles/erms_baselines.dir/allocators.cpp.o.d"
+  "CMakeFiles/erms_baselines.dir/stats.cpp.o"
+  "CMakeFiles/erms_baselines.dir/stats.cpp.o.d"
+  "CMakeFiles/erms_baselines.dir/targets.cpp.o"
+  "CMakeFiles/erms_baselines.dir/targets.cpp.o.d"
+  "liberms_baselines.a"
+  "liberms_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_common.dir/linalg.cpp.o"
+  "CMakeFiles/erms_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/erms_common.dir/rng.cpp.o"
+  "CMakeFiles/erms_common.dir/rng.cpp.o.d"
+  "CMakeFiles/erms_common.dir/stats.cpp.o"
+  "CMakeFiles/erms_common.dir/stats.cpp.o.d"
+  "CMakeFiles/erms_common.dir/table.cpp.o"
+  "CMakeFiles/erms_common.dir/table.cpp.o.d"
+  "liberms_common.a"
+  "liberms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_core.dir/controllers.cpp.o"
+  "CMakeFiles/erms_core.dir/controllers.cpp.o.d"
+  "CMakeFiles/erms_core.dir/erms.cpp.o"
+  "CMakeFiles/erms_core.dir/erms.cpp.o.d"
+  "CMakeFiles/erms_core.dir/profiling_pipeline.cpp.o"
+  "CMakeFiles/erms_core.dir/profiling_pipeline.cpp.o.d"
+  "liberms_core.a"
+  "liberms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

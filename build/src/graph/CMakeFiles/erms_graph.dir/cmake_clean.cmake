@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_graph.dir/dependency_graph.cpp.o"
+  "CMakeFiles/erms_graph.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/erms_graph.dir/variants.cpp.o"
+  "CMakeFiles/erms_graph.dir/variants.cpp.o.d"
+  "liberms_graph.a"
+  "liberms_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/serialization.cpp" "src/io/CMakeFiles/erms_io.dir/serialization.cpp.o" "gcc" "src/io/CMakeFiles/erms_io.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/erms_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/erms_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

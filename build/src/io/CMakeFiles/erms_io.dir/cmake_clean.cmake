@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_io.dir/serialization.cpp.o"
+  "CMakeFiles/erms_io.dir/serialization.cpp.o.d"
+  "liberms_io.a"
+  "liberms_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/catalog.cpp" "src/model/CMakeFiles/erms_model.dir/catalog.cpp.o" "gcc" "src/model/CMakeFiles/erms_model.dir/catalog.cpp.o.d"
+  "/root/repo/src/model/latency_model.cpp" "src/model/CMakeFiles/erms_model.dir/latency_model.cpp.o" "gcc" "src/model/CMakeFiles/erms_model.dir/latency_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

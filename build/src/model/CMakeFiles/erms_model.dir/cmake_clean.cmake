@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_model.dir/catalog.cpp.o"
+  "CMakeFiles/erms_model.dir/catalog.cpp.o.d"
+  "CMakeFiles/erms_model.dir/latency_model.cpp.o"
+  "CMakeFiles/erms_model.dir/latency_model.cpp.o.d"
+  "liberms_model.a"
+  "liberms_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

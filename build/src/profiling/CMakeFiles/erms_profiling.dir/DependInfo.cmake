@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/decision_tree.cpp" "src/profiling/CMakeFiles/erms_profiling.dir/decision_tree.cpp.o" "gcc" "src/profiling/CMakeFiles/erms_profiling.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/profiling/gbdt.cpp" "src/profiling/CMakeFiles/erms_profiling.dir/gbdt.cpp.o" "gcc" "src/profiling/CMakeFiles/erms_profiling.dir/gbdt.cpp.o.d"
+  "/root/repo/src/profiling/mlp.cpp" "src/profiling/CMakeFiles/erms_profiling.dir/mlp.cpp.o" "gcc" "src/profiling/CMakeFiles/erms_profiling.dir/mlp.cpp.o.d"
+  "/root/repo/src/profiling/piecewise_fit.cpp" "src/profiling/CMakeFiles/erms_profiling.dir/piecewise_fit.cpp.o" "gcc" "src/profiling/CMakeFiles/erms_profiling.dir/piecewise_fit.cpp.o.d"
+  "/root/repo/src/profiling/sample.cpp" "src/profiling/CMakeFiles/erms_profiling.dir/sample.cpp.o" "gcc" "src/profiling/CMakeFiles/erms_profiling.dir/sample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_profiling.dir/decision_tree.cpp.o"
+  "CMakeFiles/erms_profiling.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/erms_profiling.dir/gbdt.cpp.o"
+  "CMakeFiles/erms_profiling.dir/gbdt.cpp.o.d"
+  "CMakeFiles/erms_profiling.dir/mlp.cpp.o"
+  "CMakeFiles/erms_profiling.dir/mlp.cpp.o.d"
+  "CMakeFiles/erms_profiling.dir/piecewise_fit.cpp.o"
+  "CMakeFiles/erms_profiling.dir/piecewise_fit.cpp.o.d"
+  "CMakeFiles/erms_profiling.dir/sample.cpp.o"
+  "CMakeFiles/erms_profiling.dir/sample.cpp.o.d"
+  "liberms_profiling.a"
+  "liberms_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

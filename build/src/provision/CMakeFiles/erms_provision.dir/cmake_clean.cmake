@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_provision.dir/batch_placement.cpp.o"
+  "CMakeFiles/erms_provision.dir/batch_placement.cpp.o.d"
+  "CMakeFiles/erms_provision.dir/interference_aware.cpp.o"
+  "CMakeFiles/erms_provision.dir/interference_aware.cpp.o.d"
+  "liberms_provision.a"
+  "liberms_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

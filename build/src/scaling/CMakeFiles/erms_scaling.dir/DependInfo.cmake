@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/merge.cpp" "src/scaling/CMakeFiles/erms_scaling.dir/merge.cpp.o" "gcc" "src/scaling/CMakeFiles/erms_scaling.dir/merge.cpp.o.d"
+  "/root/repo/src/scaling/multiplexing.cpp" "src/scaling/CMakeFiles/erms_scaling.dir/multiplexing.cpp.o" "gcc" "src/scaling/CMakeFiles/erms_scaling.dir/multiplexing.cpp.o.d"
+  "/root/repo/src/scaling/solver.cpp" "src/scaling/CMakeFiles/erms_scaling.dir/solver.cpp.o" "gcc" "src/scaling/CMakeFiles/erms_scaling.dir/solver.cpp.o.d"
+  "/root/repo/src/scaling/theorem.cpp" "src/scaling/CMakeFiles/erms_scaling.dir/theorem.cpp.o" "gcc" "src/scaling/CMakeFiles/erms_scaling.dir/theorem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

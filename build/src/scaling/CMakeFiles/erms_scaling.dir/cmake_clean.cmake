@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_scaling.dir/merge.cpp.o"
+  "CMakeFiles/erms_scaling.dir/merge.cpp.o.d"
+  "CMakeFiles/erms_scaling.dir/multiplexing.cpp.o"
+  "CMakeFiles/erms_scaling.dir/multiplexing.cpp.o.d"
+  "CMakeFiles/erms_scaling.dir/solver.cpp.o"
+  "CMakeFiles/erms_scaling.dir/solver.cpp.o.d"
+  "CMakeFiles/erms_scaling.dir/theorem.cpp.o"
+  "CMakeFiles/erms_scaling.dir/theorem.cpp.o.d"
+  "liberms_scaling.a"
+  "liberms_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

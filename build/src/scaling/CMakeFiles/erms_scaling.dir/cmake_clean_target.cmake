@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberms_scaling.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_trace.dir/coordinator.cpp.o"
+  "CMakeFiles/erms_trace.dir/coordinator.cpp.o.d"
+  "liberms_trace.a"
+  "liberms_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dependency_graph.cpp" "tests/CMakeFiles/erms_tests_foundation.dir/test_dependency_graph.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_foundation.dir/test_dependency_graph.cpp.o.d"
+  "/root/repo/tests/test_latency_model.cpp" "tests/CMakeFiles/erms_tests_foundation.dir/test_latency_model.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_foundation.dir/test_latency_model.cpp.o.d"
+  "/root/repo/tests/test_linalg_table.cpp" "tests/CMakeFiles/erms_tests_foundation.dir/test_linalg_table.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_foundation.dir/test_linalg_table.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/erms_tests_foundation.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_foundation.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/erms_tests_foundation.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_foundation.dir/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

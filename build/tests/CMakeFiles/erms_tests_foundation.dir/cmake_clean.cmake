@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_tests_foundation.dir/test_dependency_graph.cpp.o"
+  "CMakeFiles/erms_tests_foundation.dir/test_dependency_graph.cpp.o.d"
+  "CMakeFiles/erms_tests_foundation.dir/test_latency_model.cpp.o"
+  "CMakeFiles/erms_tests_foundation.dir/test_latency_model.cpp.o.d"
+  "CMakeFiles/erms_tests_foundation.dir/test_linalg_table.cpp.o"
+  "CMakeFiles/erms_tests_foundation.dir/test_linalg_table.cpp.o.d"
+  "CMakeFiles/erms_tests_foundation.dir/test_rng.cpp.o"
+  "CMakeFiles/erms_tests_foundation.dir/test_rng.cpp.o.d"
+  "CMakeFiles/erms_tests_foundation.dir/test_stats.cpp.o"
+  "CMakeFiles/erms_tests_foundation.dir/test_stats.cpp.o.d"
+  "erms_tests_foundation"
+  "erms_tests_foundation.pdb"
+  "erms_tests_foundation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_tests_foundation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

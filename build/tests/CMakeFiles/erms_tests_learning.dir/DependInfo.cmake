@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_profiling.cpp" "tests/CMakeFiles/erms_tests_learning.dir/test_profiling.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_learning.dir/test_profiling.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/erms_tests_learning.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_learning.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/erms_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/erms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_tests_learning.dir/test_profiling.cpp.o"
+  "CMakeFiles/erms_tests_learning.dir/test_profiling.cpp.o.d"
+  "CMakeFiles/erms_tests_learning.dir/test_workload.cpp.o"
+  "CMakeFiles/erms_tests_learning.dir/test_workload.cpp.o.d"
+  "erms_tests_learning"
+  "erms_tests_learning.pdb"
+  "erms_tests_learning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_tests_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

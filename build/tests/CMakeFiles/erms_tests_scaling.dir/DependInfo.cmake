@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_merge.cpp" "tests/CMakeFiles/erms_tests_scaling.dir/test_merge.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_scaling.dir/test_merge.cpp.o.d"
+  "/root/repo/tests/test_multiplexing.cpp" "tests/CMakeFiles/erms_tests_scaling.dir/test_multiplexing.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_scaling.dir/test_multiplexing.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/erms_tests_scaling.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_scaling.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_theorem.cpp" "tests/CMakeFiles/erms_tests_scaling.dir/test_theorem.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_scaling.dir/test_theorem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scaling/CMakeFiles/erms_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/erms_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_tests_scaling.dir/test_merge.cpp.o"
+  "CMakeFiles/erms_tests_scaling.dir/test_merge.cpp.o.d"
+  "CMakeFiles/erms_tests_scaling.dir/test_multiplexing.cpp.o"
+  "CMakeFiles/erms_tests_scaling.dir/test_multiplexing.cpp.o.d"
+  "CMakeFiles/erms_tests_scaling.dir/test_solver.cpp.o"
+  "CMakeFiles/erms_tests_scaling.dir/test_solver.cpp.o.d"
+  "CMakeFiles/erms_tests_scaling.dir/test_theorem.cpp.o"
+  "CMakeFiles/erms_tests_scaling.dir/test_theorem.cpp.o.d"
+  "erms_tests_scaling"
+  "erms_tests_scaling.pdb"
+  "erms_tests_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_tests_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

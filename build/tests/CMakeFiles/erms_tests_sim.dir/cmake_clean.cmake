@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_tests_sim.dir/test_event_queue.cpp.o"
+  "CMakeFiles/erms_tests_sim.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/erms_tests_sim.dir/test_sim_features.cpp.o"
+  "CMakeFiles/erms_tests_sim.dir/test_sim_features.cpp.o.d"
+  "CMakeFiles/erms_tests_sim.dir/test_simulation.cpp.o"
+  "CMakeFiles/erms_tests_sim.dir/test_simulation.cpp.o.d"
+  "CMakeFiles/erms_tests_sim.dir/test_trace.cpp.o"
+  "CMakeFiles/erms_tests_sim.dir/test_trace.cpp.o.d"
+  "erms_tests_sim"
+  "erms_tests_sim.pdb"
+  "erms_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

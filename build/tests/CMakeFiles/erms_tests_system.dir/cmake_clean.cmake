@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_tests_system.dir/test_applications.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_applications.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_baselines.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_core.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_core.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_extensions.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_integration.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_integration.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_io.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_io.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_properties.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_properties.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_provision.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_provision.cpp.o.d"
+  "CMakeFiles/erms_tests_system.dir/test_variants.cpp.o"
+  "CMakeFiles/erms_tests_system.dir/test_variants.cpp.o.d"
+  "erms_tests_system"
+  "erms_tests_system.pdb"
+  "erms_tests_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_tests_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/erms_tests_foundation[1]_include.cmake")
+include("/root/repo/build/tests/erms_tests_scaling[1]_include.cmake")
+include("/root/repo/build/tests/erms_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/erms_tests_learning[1]_include.cmake")
+include("/root/repo/build/tests/erms_tests_system[1]_include.cmake")

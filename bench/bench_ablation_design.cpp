@@ -67,24 +67,49 @@ main()
     printBanner(std::cout, "Ablation 1 — interval refinement: literal "
                            "two-pass (§5.3.1) vs fixed-point iteration");
     {
-        TextTable table({"refinement", "feasible settings (of 8)",
-                         "mean containers (feasible)"});
-        for (const auto &[label, passes] :
-             std::vector<std::pair<std::string, int>>{
-                 {"two passes (paper)", 2}, {"fixed point (ours)", 8}}) {
-            ErmsConfig config;
-            config.solver.maxRefinementPasses = passes;
-            ErmsController controller(catalog, config);
-            int feasible = 0;
-            StreamingStats containers;
-            for (double workload : {8000.0, 16000.0}) {
-                for (double sla : {140.0, 150.0, 160.0, 175.0}) {
+        const std::vector<std::pair<std::string, int>> modes{
+            {"two passes (paper)", 2}, {"fixed point (ours)", 8}};
+        std::vector<std::pair<double, double>> settings;
+        for (double workload : {8000.0, 16000.0})
+            for (double sla : {140.0, 150.0, 160.0, 175.0})
+                settings.emplace_back(workload, sla);
+
+        struct PlanResult
+        {
+            bool feasible = false;
+            double containers = 0.0;
+        };
+        // One task per (refinement mode, setting) pair.
+        std::vector<std::function<PlanResult()>> tasks;
+        for (const auto &[label, passes] : modes) {
+            for (const auto &[workload, sla] : settings) {
+                tasks.push_back([&, passes = passes, workload = workload,
+                                 sla = sla] {
+                    ErmsConfig config;
+                    config.solver.maxRefinementPasses = passes;
+                    ErmsController controller(catalog, config);
                     const auto services = makeServices(app, sla, workload);
                     const GlobalPlan plan = controller.plan(services, itf);
-                    if (plan.feasible) {
-                        ++feasible;
-                        containers.add(plan.totalContainers);
-                    }
+                    return PlanResult{
+                        plan.feasible,
+                        static_cast<double>(plan.totalContainers)};
+                });
+            }
+        }
+        const auto results =
+            bench::runSweep("ablation1", std::move(tasks));
+
+        TextTable table({"refinement", "feasible settings (of 8)",
+                         "mean containers (feasible)"});
+        std::size_t next = 0;
+        for (const auto &[label, passes] : modes) {
+            int feasible = 0;
+            StreamingStats containers;
+            for (std::size_t i = 0; i < settings.size(); ++i) {
+                const PlanResult &result = results[next++];
+                if (result.feasible) {
+                    ++feasible;
+                    containers.add(result.containers);
                 }
             }
             table.row()
@@ -99,21 +124,41 @@ main()
     printBanner(std::cout, "Ablation 2 — saturation backstop sweep "
                            "(SLA 170 ms, 16k req/min/service)");
     {
+        const auto services = makeServices(app, 170.0, 16000.0);
+        const std::vector<double> backstops{1.0, 1.15, 1.3, 1.5};
+
+        struct BackstopResult
+        {
+            int containers = 0;
+            double maxP95 = 0.0;
+            double violation = 0.0;
+        };
+        std::vector<std::function<BackstopResult()>> tasks;
+        for (std::size_t run = 0; run < backstops.size(); ++run) {
+            tasks.push_back([&, run, backstop = backstops[run]] {
+                ErmsConfig config;
+                config.solver.cutoffBackstopFactor = backstop;
+                ErmsController controller(catalog, config);
+                const GlobalPlan plan = controller.plan(services, itf);
+                const ValidationResult result =
+                    validatePlan(catalog, services, plan, itf, 4,
+                                 deriveRunSeed(42, run));
+                return BackstopResult{plan.totalContainers,
+                                      result.maxP95(),
+                                      result.meanViolationRate()};
+            });
+        }
+        const auto results =
+            bench::runSweep("ablation2", std::move(tasks));
+
         TextTable table({"backstop (x cutoff)", "containers",
                          "worst P95 (ms)", "mean violation %"});
-        const auto services = makeServices(app, 170.0, 16000.0);
-        for (double backstop : {1.0, 1.15, 1.3, 1.5}) {
-            ErmsConfig config;
-            config.solver.cutoffBackstopFactor = backstop;
-            ErmsController controller(catalog, config);
-            const GlobalPlan plan = controller.plan(services, itf);
-            const ValidationResult result =
-                validatePlan(catalog, services, plan, itf, 4);
+        for (std::size_t run = 0; run < backstops.size(); ++run) {
             table.row()
-                .cell(backstop, 2)
-                .cell(plan.totalContainers)
-                .cell(result.maxP95(), 1)
-                .cell(100.0 * result.meanViolationRate(), 2);
+                .cell(backstops[run], 2)
+                .cell(results[run].containers)
+                .cell(results[run].maxP95, 1)
+                .cell(100.0 * results[run].violation, 2);
         }
         table.print(std::cout);
         std::cout << "lower backstops buy safety with containers; beyond "

@@ -9,8 +9,11 @@
  * delta = 0.05.
  */
 
+#include <functional>
 #include <iostream>
 
+#include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "graph/dependency_graph.hpp"
 #include "model/catalog.hpp"
@@ -38,42 +41,50 @@ main()
     DependencyGraph g1(0, shared);
     DependencyGraph g2(1, shared);
 
+    struct DeltaResult
+    {
+        double high = 0.0;
+        double low = 0.0;
+    };
+    const std::vector<double> deltas{0.0, 0.01, 0.05, 0.10, 0.20};
+    std::vector<std::function<DeltaResult()>> tasks;
+    for (std::size_t run = 0; run < deltas.size(); ++run) {
+        tasks.push_back([&, run, delta = deltas[run]] {
+            SimConfig config;
+            config.horizonMinutes = 7;
+            config.warmupMinutes = 1;
+            config.seed = deriveRunSeed(7, run);
+            config.schedulingDelta = delta;
+            Simulation sim(catalog, config);
+            sim.setBackgroundLoadAll(0.2, 0.2);
+            for (auto *graph : {&g1, &g2}) {
+                ServiceWorkload svc;
+                svc.id = graph->service();
+                svc.graph = graph;
+                // Combined load ~0.95x capacity of 7 containers: a hot
+                // shared tier where scheduling order matters.
+                svc.rate = 18400.0;
+                sim.addService(svc);
+            }
+            sim.setContainerCount(shared, 7);
+            sim.setPriorityOrder(shared, {0, 1});
+            sim.run();
+            return DeltaResult{sim.metrics().p95(0), sim.metrics().p95(1)};
+        });
+    }
+    const auto results = bench::runSweep("fig09", std::move(tasks));
+
     TextTable table({"delta", "high-prio P95 (ms)", "low-prio P95 (ms)",
                      "high vs delta=0", "low vs delta=0"});
-    double high0 = 0.0, low0 = 0.0;
-    for (double delta : {0.0, 0.01, 0.05, 0.10, 0.20}) {
-        SimConfig config;
-        config.horizonMinutes = 7;
-        config.warmupMinutes = 1;
-        config.seed = 7;
-        config.schedulingDelta = delta;
-        Simulation sim(catalog, config);
-        sim.setBackgroundLoadAll(0.2, 0.2);
-        for (auto *graph : {&g1, &g2}) {
-            ServiceWorkload svc;
-            svc.id = graph->service();
-            svc.graph = graph;
-            // Combined load ~0.95x capacity of 7 containers: a hot
-            // shared tier where scheduling order matters.
-            svc.rate = 18400.0;
-            sim.addService(svc);
-        }
-        sim.setContainerCount(shared, 7);
-        sim.setPriorityOrder(shared, {0, 1});
-        sim.run();
-
-        const double high = sim.metrics().p95(0);
-        const double low = sim.metrics().p95(1);
-        if (delta == 0.0) {
-            high0 = high;
-            low0 = low;
-        }
+    const double high0 = results.front().high;
+    const double low0 = results.front().low;
+    for (std::size_t run = 0; run < deltas.size(); ++run) {
         table.row()
-            .cell(delta, 2)
-            .cell(high, 1)
-            .cell(low, 1)
-            .cell(high / high0, 3)
-            .cell(low / low0, 3);
+            .cell(deltas[run], 2)
+            .cell(results[run].high, 1)
+            .cell(results[run].low, 1)
+            .cell(results[run].high / high0, 3)
+            .cell(results[run].low / low0, 3);
     }
     table.print(std::cout);
 

@@ -10,6 +10,8 @@
  * Firm has the longest tail.
  */
 
+#include <array>
+#include <functional>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -30,15 +32,6 @@ main()
     profileApplication(catalog, app);
     const Interference itf{0.30, 0.25};
 
-    BaselineContext context;
-    context.catalog = &catalog;
-    context.interference = itf;
-
-    ErmsController erms(catalog, {});
-    FirmAllocator firm(0.0, 1);
-    GrandSlamAllocator grandslam;
-    RhythmAllocator rhythm;
-
     const std::vector<double> workloads{4000, 8000, 14000, 20000, 28000};
     const std::vector<double> slas{150, 160, 175, 190};
 
@@ -55,8 +48,24 @@ main()
     schemes[2].name = "GrandSLAm";
     schemes[3].name = "Rhythm";
 
-    for (double workload : workloads) {
-        for (double sla : slas) {
+    // One task per (workload, SLA) setting; the baseline allocators keep
+    // mutable state, so each task constructs its own set.
+    std::vector<std::pair<double, double>> settings;
+    for (double workload : workloads)
+        for (double sla : slas)
+            settings.emplace_back(workload, sla);
+
+    std::vector<std::function<std::array<double, 4>()>> tasks;
+    for (const auto &[workload, sla] : settings) {
+        tasks.push_back([&, workload = workload, sla = sla] {
+            BaselineContext context;
+            context.catalog = &catalog;
+            context.interference = itf;
+            ErmsController erms(catalog, {});
+            FirmAllocator firm(0.0, 1);
+            GrandSlamAllocator grandslam;
+            RhythmAllocator rhythm;
+
             const auto services = makeServices(app, sla, workload);
             const GlobalPlan plans[4] = {
                 erms.plan(services, itf),
@@ -64,13 +73,21 @@ main()
                 grandslam.allocate(services, context),
                 rhythm.allocate(services, context),
             };
-            for (int k = 0; k < 4; ++k) {
-                const double total =
-                    static_cast<double>(plans[k].totalContainers);
-                schemes[k].containers.add(total);
-                schemes[k].byWorkload[workload].add(total);
-                schemes[k].bySla[sla].add(total);
-            }
+            std::array<double, 4> totals{};
+            for (int k = 0; k < 4; ++k)
+                totals[k] = static_cast<double>(plans[k].totalContainers);
+            return totals;
+        });
+    }
+    const auto results = bench::runSweep("fig11", std::move(tasks));
+
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+        const auto &[workload, sla] = settings[i];
+        for (int k = 0; k < 4; ++k) {
+            const double total = results[i][k];
+            schemes[k].containers.add(total);
+            schemes[k].byWorkload[workload].add(total);
+            schemes[k].bySla[sla].add(total);
         }
     }
 

@@ -8,9 +8,12 @@
  * latency sits closer to (but below) the SLA.
  */
 
+#include <array>
+#include <functional>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -27,15 +30,6 @@ main()
     const Application app = makeHotelReservation(catalog, 0);
     profileApplication(catalog, app);
     const Interference itf{0.30, 0.25};
-
-    BaselineContext context;
-    context.catalog = &catalog;
-    context.interference = itf;
-
-    ErmsController erms(catalog, {});
-    FirmAllocator firm(0.0, 1);
-    GrandSlamAllocator grandslam;
-    RhythmAllocator rhythm;
 
     struct Agg
     {
@@ -54,29 +48,64 @@ main()
         {6000, 160}, {12000, 160}, {20000, 160},
         {12000, 150}, {12000, 175}, {20000, 175}};
 
+    struct SchemeRow
+    {
+        int containers = 0;
+        double maxP95 = 0.0;
+        double meanViolation = 0.0;
+    };
+    // One task per (workload, SLA) setting: plan under all four schemes,
+    // then replay each plan in the simulator. Validation seeds derive
+    // from the setting index so results match serial execution exactly.
+    std::vector<std::function<std::array<SchemeRow, 4>()>> tasks;
+    for (std::size_t run = 0; run < settings.size(); ++run) {
+        tasks.push_back([&, run, workload = settings[run].first,
+                         sla = settings[run].second] {
+            BaselineContext context;
+            context.catalog = &catalog;
+            context.interference = itf;
+            ErmsController erms(catalog, {});
+            FirmAllocator firm(0.0, 1);
+            GrandSlamAllocator grandslam;
+            RhythmAllocator rhythm;
+
+            const auto services = makeServices(app, sla, workload);
+            const GlobalPlan plans[4] = {
+                erms.plan(services, itf),
+                firm.allocate(services, context),
+                grandslam.allocate(services, context),
+                rhythm.allocate(services, context),
+            };
+            std::array<SchemeRow, 4> rows{};
+            for (int k = 0; k < 4; ++k) {
+                const ValidationResult result =
+                    validatePlan(catalog, services, plans[k], itf, 4,
+                                 deriveRunSeed(42, run * 4 + k));
+                rows[k].containers = plans[k].totalContainers;
+                rows[k].maxP95 = result.maxP95();
+                rows[k].meanViolation = result.meanViolationRate();
+            }
+            return rows;
+        });
+    }
+    const auto results = bench::runSweep("fig12", std::move(tasks));
+
     TextTable detail({"workload", "SLA", "scheme", "containers",
                       "worst P95 (ms)", "mean violation %"});
-    for (const auto &[workload, sla] : settings) {
-        const auto services = makeServices(app, sla, workload);
-        const GlobalPlan plans[4] = {
-            erms.plan(services, itf),
-            firm.allocate(services, context),
-            grandslam.allocate(services, context),
-            rhythm.allocate(services, context),
-        };
+    for (std::size_t run = 0; run < settings.size(); ++run) {
+        const auto &[workload, sla] = settings[run];
         for (int k = 0; k < 4; ++k) {
-            const ValidationResult result =
-                validatePlan(catalog, services, plans[k], itf, 4);
-            aggregates[k].violations.add(result.meanViolationRate());
-            aggregates[k].latencyRatio.add(result.maxP95() / sla);
-            aggregates[k].containers.add(plans[k].totalContainers);
+            const SchemeRow &row = results[run][k];
+            aggregates[k].violations.add(row.meanViolation);
+            aggregates[k].latencyRatio.add(row.maxP95 / sla);
+            aggregates[k].containers.add(row.containers);
             detail.row()
                 .cell(workload, 0)
                 .cell(sla, 0)
                 .cell(aggregates[k].name)
-                .cell(plans[k].totalContainers)
-                .cell(result.maxP95(), 1)
-                .cell(100.0 * result.meanViolationRate(), 2);
+                .cell(row.containers)
+                .cell(row.maxP95, 1)
+                .cell(100.0 * row.meanViolation, 2);
         }
     }
     detail.print(std::cout);

@@ -10,9 +10,12 @@
  *      targets never adapt to the modified workloads).
  */
 
+#include <array>
+#include <functional>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -33,20 +36,6 @@ main()
     profileApplication(catalog, app);
     const Interference itf{0.30, 0.25};
 
-    BaselineContext context;
-    context.catalog = &catalog;
-    context.interference = itf;
-
-    ErmsConfig fcfs_config;
-    fcfs_config.policy = SharingPolicy::FcfsSharing;
-    ErmsController erms_fcfs(catalog, fcfs_config);
-    ErmsController erms_priority(catalog, {});
-    FirmAllocator firm(0.0, 1);
-    GrandSlamAllocator grandslam;
-    GrandSlamAllocator grandslam_priority(true);
-    RhythmAllocator rhythm;
-    RhythmAllocator rhythm_priority(true);
-
     const std::vector<std::pair<double, double>> settings{
         {8000, 145}, {16000, 145}, {24000, 145},
         {8000, 160}, {16000, 160}};
@@ -55,38 +44,79 @@ main()
     StreamingStats ltc_violation[4];
     StreamingStats with_prio[3], without_prio[3]; // Erms, GS, Rhythm
 
-    for (const auto &[workload, sla] : settings) {
-        const auto services = makeServices(app, sla, workload);
+    struct SettingResult
+    {
+        std::array<double, 4> ltcContainers{};
+        std::array<double, 4> ltcViolation{};
+        std::array<double, 3> withPrio{};
+        std::array<double, 3> withoutPrio{};
+    };
+    // One task per (workload, SLA) setting: both ablation parts for that
+    // setting. Allocators are stateful, so each task builds its own.
+    std::vector<std::function<SettingResult()>> tasks;
+    for (std::size_t run = 0; run < settings.size(); ++run) {
+        tasks.push_back([&, run, workload = settings[run].first,
+                         sla = settings[run].second] {
+            BaselineContext context;
+            context.catalog = &catalog;
+            context.interference = itf;
+            ErmsConfig fcfs_config;
+            fcfs_config.policy = SharingPolicy::FcfsSharing;
+            ErmsController erms_fcfs(catalog, fcfs_config);
+            ErmsController erms_priority(catalog, {});
+            FirmAllocator firm(0.0, 1);
+            GrandSlamAllocator grandslam;
+            GrandSlamAllocator grandslam_priority(true);
+            RhythmAllocator rhythm;
+            RhythmAllocator rhythm_priority(true);
 
-        // (a) Latency Target Computation alone (FCFS at shared ms),
-        // with simulated validation so schemes that quietly give up on
-        // the SLA (Firm's RL ceiling) are visible.
-        const GlobalPlan ltc_plans[4] = {
-            erms_fcfs.plan(services, itf),
-            firm.allocate(services, context),
-            grandslam.allocate(services, context),
-            rhythm.allocate(services, context),
-        };
+            const auto services = makeServices(app, sla, workload);
+            SettingResult result;
+
+            // (a) Latency Target Computation alone (FCFS at shared ms),
+            // with simulated validation so schemes that quietly give up
+            // on the SLA (Firm's RL ceiling) are visible.
+            const GlobalPlan ltc_plans[4] = {
+                erms_fcfs.plan(services, itf),
+                firm.allocate(services, context),
+                grandslam.allocate(services, context),
+                rhythm.allocate(services, context),
+            };
+            for (int k = 0; k < 4; ++k) {
+                result.ltcContainers[k] = ltc_plans[k].totalContainers;
+                result.ltcViolation[k] =
+                    validatePlan(catalog, services, ltc_plans[k], itf, 4,
+                                 deriveRunSeed(42, run * 4 + k))
+                        .meanViolationRate();
+            }
+
+            // (b) priority scheduling on/off.
+            result.withoutPrio[0] =
+                erms_fcfs.plan(services, itf).totalContainers;
+            result.withPrio[0] =
+                erms_priority.plan(services, itf).totalContainers;
+            result.withoutPrio[1] =
+                grandslam.allocate(services, context).totalContainers;
+            result.withPrio[1] =
+                grandslam_priority.allocate(services, context)
+                    .totalContainers;
+            result.withoutPrio[2] =
+                rhythm.allocate(services, context).totalContainers;
+            result.withPrio[2] =
+                rhythm_priority.allocate(services, context).totalContainers;
+            return result;
+        });
+    }
+    for (const SettingResult &result :
+         bench::runSweep("fig14", std::move(tasks))) {
         for (int k = 0; k < 4; ++k) {
-            ltc[k].add(ltc_plans[k].totalContainers);
-            ltc_violation[k].add(
-                validatePlan(catalog, services, ltc_plans[k], itf, 4)
-                    .meanViolationRate());
+            ltc[k].add(result.ltcContainers[k]);
+            ltc_violation[k].add(result.ltcViolation[k]);
         }
-
-        // (b) priority scheduling on/off.
-        without_prio[0].add(
-            erms_fcfs.plan(services, itf).totalContainers);
-        with_prio[0].add(
-            erms_priority.plan(services, itf).totalContainers);
-        without_prio[1].add(
-            grandslam.allocate(services, context).totalContainers);
-        with_prio[1].add(
-            grandslam_priority.allocate(services, context).totalContainers);
-        without_prio[2].add(
-            rhythm.allocate(services, context).totalContainers);
-        with_prio[2].add(
-            rhythm_priority.allocate(services, context).totalContainers);
+        for (int k = 0; k < 3; ++k) {
+            without_prio[k].add(result.withoutPrio[k]);
+            with_prio[k].add(result.withPrio[k]);
+        }
     }
 
     printBanner(std::cout, "(a) Latency Target Computation alone "
@@ -137,40 +167,59 @@ main()
         MicroserviceCatalog social_catalog;
         const Application social = makeSocialNetwork(social_catalog, 0);
         profileApplication(social_catalog, social);
-        BaselineContext social_context;
-        social_context.catalog = &social_catalog;
-        social_context.interference = itf;
 
-        ErmsConfig social_fcfs_config;
-        social_fcfs_config.policy = SharingPolicy::FcfsSharing;
-        ErmsController social_fcfs(social_catalog, social_fcfs_config);
-        ErmsController social_priority(social_catalog, {});
-        GrandSlamAllocator social_gs;
-        GrandSlamAllocator social_gs_prio(true);
-        RhythmAllocator social_rh;
-        RhythmAllocator social_rh_prio(true);
+        struct PrioResult
+        {
+            std::array<double, 3> withPrio{};
+            std::array<double, 3> withoutPrio{};
+        };
+        const std::vector<std::pair<double, double>> social_settings{
+            {8000, 230}, {16000, 230}, {16000, 240}};
+        std::vector<std::function<PrioResult()>> social_tasks;
+        for (const auto &[workload, sla] : social_settings) {
+            social_tasks.push_back([&, workload = workload, sla = sla] {
+                BaselineContext social_context;
+                social_context.catalog = &social_catalog;
+                social_context.interference = itf;
+                ErmsConfig social_fcfs_config;
+                social_fcfs_config.policy = SharingPolicy::FcfsSharing;
+                ErmsController social_fcfs(social_catalog,
+                                           social_fcfs_config);
+                ErmsController social_priority(social_catalog, {});
+                GrandSlamAllocator social_gs;
+                GrandSlamAllocator social_gs_prio(true);
+                RhythmAllocator social_rh;
+                RhythmAllocator social_rh_prio(true);
+
+                const auto services = makeServices(social, sla, workload);
+                PrioResult result;
+                result.withoutPrio[0] =
+                    social_fcfs.plan(services, itf).totalContainers;
+                result.withPrio[0] =
+                    social_priority.plan(services, itf).totalContainers;
+                result.withoutPrio[1] =
+                    social_gs.allocate(services, social_context)
+                        .totalContainers;
+                result.withPrio[1] =
+                    social_gs_prio.allocate(services, social_context)
+                        .totalContainers;
+                result.withoutPrio[2] =
+                    social_rh.allocate(services, social_context)
+                        .totalContainers;
+                result.withPrio[2] =
+                    social_rh_prio.allocate(services, social_context)
+                        .totalContainers;
+                return result;
+            });
+        }
 
         StreamingStats sn_with[3], sn_without[3];
-        for (const auto &[workload, sla] :
-             std::vector<std::pair<double, double>>{
-                 {8000, 230}, {16000, 230}, {16000, 240}}) {
-            const auto services = makeServices(social, sla, workload);
-            sn_without[0].add(
-                social_fcfs.plan(services, itf).totalContainers);
-            sn_with[0].add(
-                social_priority.plan(services, itf).totalContainers);
-            sn_without[1].add(
-                social_gs.allocate(services, social_context)
-                    .totalContainers);
-            sn_with[1].add(
-                social_gs_prio.allocate(services, social_context)
-                    .totalContainers);
-            sn_without[2].add(
-                social_rh.allocate(services, social_context)
-                    .totalContainers);
-            sn_with[2].add(
-                social_rh_prio.allocate(services, social_context)
-                    .totalContainers);
+        for (const PrioResult &result :
+             bench::runSweep("fig14-social", std::move(social_tasks))) {
+            for (int k = 0; k < 3; ++k) {
+                sn_without[k].add(result.withoutPrio[k]);
+                sn_with[k].add(result.withPrio[k]);
+            }
         }
         TextTable table({"scheme", "without priority", "with priority",
                          "saving"});

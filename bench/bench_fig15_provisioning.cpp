@@ -108,47 +108,64 @@ main()
     const std::vector<std::pair<std::string, double>> interference_levels{
         {"medium interference (55%/45% on half the hosts)", 0.55},
         {"high interference (70%/60% on half the hosts)", 0.70}};
+    const std::vector<std::pair<
+        std::string, std::function<std::shared_ptr<PlacementPolicy>()>>>
+        policies{
+            {"Erms interference-aware",
+             [] { return std::make_shared<InterferenceAwarePlacement>(); }},
+            {"k8s default (spread)",
+             [] { return std::make_shared<SpreadPlacementPolicy>(); }},
+            {"bin-packing",
+             [] { return std::make_shared<BinPackPlacementPolicy>(); }}};
 
+    struct PolicyResult
+    {
+        PolicyRun base;
+        double needed = -1.0;
+    };
+    // One task per (interference level, placement policy): the base run
+    // plus the scale sweep for that policy. The sweep stays serial
+    // inside the task because it early-exits at the first passing scale.
+    std::vector<std::function<PolicyResult()>> tasks;
     for (const auto &[label, hot_cpu] : interference_levels) {
-        const double hot_mem = hot_cpu - 0.10;
-        printBanner(std::cout, label);
+        for (const auto &[name, make_policy] : policies) {
+            tasks.push_back([&, hot_cpu = hot_cpu,
+                             make_policy = make_policy] {
+                const double hot_mem = hot_cpu - 0.10;
+                PolicyResult result;
+                result.base = runWithPolicy(catalog, services, plan, 1.0,
+                                            make_policy(), hot_cpu,
+                                            hot_mem);
+                for (double scale :
+                     {1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}) {
+                    const PolicyRun run = runWithPolicy(
+                        catalog, services, plan, scale, make_policy(),
+                        hot_cpu, hot_mem);
+                    if (run.worstP95 <= sla) {
+                        result.needed = scale;
+                        break;
+                    }
+                }
+                return result;
+            });
+        }
+    }
+    const auto results = bench::runSweep("fig15", std::move(tasks));
 
+    std::size_t next = 0;
+    for (const auto &[label, hot_cpu] : interference_levels) {
+        printBanner(std::cout, label);
         TextTable table({"placement", "x1.0 P95 (ms)", "x1.0 violation %",
                          "containers multiplier to meet SLA"});
-        for (const auto &[name, make_policy] :
-             std::vector<std::pair<
-                 std::string,
-                 std::function<std::shared_ptr<PlacementPolicy>()>>>{
-                 {"Erms interference-aware",
-                  [] {
-                      return std::make_shared<InterferenceAwarePlacement>();
-                  }},
-                 {"k8s default (spread)",
-                  [] { return std::make_shared<SpreadPlacementPolicy>(); }},
-                 {"bin-packing",
-                  [] {
-                      return std::make_shared<BinPackPlacementPolicy>();
-                  }}}) {
-            const PolicyRun base = runWithPolicy(
-                catalog, services, plan, 1.0, make_policy(), hot_cpu,
-                hot_mem);
-
-            double needed = -1.0;
-            for (double scale : {1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}) {
-                const PolicyRun run = runWithPolicy(
-                    catalog, services, plan, scale, make_policy(), hot_cpu,
-                    hot_mem);
-                if (run.worstP95 <= sla) {
-                    needed = scale;
-                    break;
-                }
-            }
+        for (const auto &[name, make_policy] : policies) {
+            const PolicyResult &result = results[next++];
             table.row()
                 .cell(name)
-                .cell(base.worstP95, 1)
-                .cell(100.0 * base.violation, 2)
-                .cell(needed > 0 ? std::to_string(needed).substr(0, 4)
-                                 : ">3.0");
+                .cell(result.base.worstP95, 1)
+                .cell(100.0 * result.base.violation, 2)
+                .cell(result.needed > 0
+                          ? std::to_string(result.needed).substr(0, 4)
+                          : ">3.0");
         }
         table.print(std::cout);
     }

@@ -12,9 +12,11 @@
  * ~1.2x and priority scheduling contributing a further large cut.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "baselines/baseline.hpp"
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/erms.hpp"
@@ -86,13 +88,38 @@ main()
               << " shared microservices\n";
 
     const Interference itf{0.35, 0.30};
-    BaselineContext context;
-    context.catalog = &trace.catalog;
-    context.interference = itf;
 
-    MultiplexingPlanner planner(trace.catalog, ClusterCapacity{});
-    GrandSlamAllocator grandslam;
-    RhythmAllocator rhythm;
+    // The planner's plan() is const and shared across tasks; the
+    // baseline allocators keep state, so those tasks build their own.
+    const MultiplexingPlanner planner(trace.catalog, ClusterCapacity{});
+    const std::vector<std::string> scheme_names{
+        "Erms (priority)", "Erms (LTC only, FCFS)", "non-sharing",
+        "GrandSLAm", "Rhythm"};
+    std::vector<std::function<GlobalPlan()>> tasks;
+    tasks.push_back([&] {
+        return planner.plan(services, itf, SharingPolicy::Priority);
+    });
+    tasks.push_back([&] {
+        return planner.plan(services, itf, SharingPolicy::FcfsSharing);
+    });
+    tasks.push_back([&] {
+        return planner.plan(services, itf, SharingPolicy::NonSharing);
+    });
+    tasks.push_back([&] {
+        BaselineContext context;
+        context.catalog = &trace.catalog;
+        context.interference = itf;
+        GrandSlamAllocator grandslam;
+        return grandslam.allocate(services, context);
+    });
+    tasks.push_back([&] {
+        BaselineContext context;
+        context.catalog = &trace.catalog;
+        context.interference = itf;
+        RhythmAllocator rhythm;
+        return rhythm.allocate(services, context);
+    });
+    const auto plans = bench::runSweep("fig16", std::move(tasks));
 
     struct Entry
     {
@@ -100,17 +127,8 @@ main()
         GlobalPlan plan;
     };
     std::vector<Entry> entries;
-    entries.push_back(
-        {"Erms (priority)",
-         planner.plan(services, itf, SharingPolicy::Priority)});
-    entries.push_back(
-        {"Erms (LTC only, FCFS)",
-         planner.plan(services, itf, SharingPolicy::FcfsSharing)});
-    entries.push_back(
-        {"non-sharing",
-         planner.plan(services, itf, SharingPolicy::NonSharing)});
-    entries.push_back({"GrandSLAm", grandslam.allocate(services, context)});
-    entries.push_back({"Rhythm", rhythm.allocate(services, context)});
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        entries.push_back({scheme_names[i], plans[i]});
 
     printBanner(std::cout, "(a) per-service container distribution");
     TextTable dist({"scheme", "P20", "P50", "P80", "P95"});

@@ -11,11 +11,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "common/rng.hpp"
+#include "graph/dependency_graph.hpp"
 #include "model/catalog.hpp"
 #include "provision/batch_placement.hpp"
 #include "provision/interference_aware.hpp"
+#include "runner/parallel_runner.hpp"
 #include "scaling/multiplexing.hpp"
+#include "sim/simulation.hpp"
 #include "workload/synth_trace.hpp"
 
 using namespace erms;
@@ -165,6 +170,55 @@ BENCHMARK(BM_BatchProvisioning)
     ->Arg(100)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelSimulationSweep(benchmark::State &state)
+{
+    // Speedup of the experiment runner itself: a fixed 8-run simulation
+    // sweep executed with 1..N workers. Per-run seeds derive from the
+    // run index, so every worker count produces identical metrics.
+    const int workers = static_cast<int>(state.range(0));
+    MicroserviceCatalog catalog;
+    MicroserviceProfile profile;
+    profile.name = "sweep-ms";
+    profile.baseServiceMs = 10.0;
+    profile.threadsPerContainer = 2;
+    profile.serviceCv = 0.4;
+    const MicroserviceId ms = catalog.add(profile);
+    const DependencyGraph graph(0, ms);
+
+    for (auto _ : state) {
+        RunnerOptions options;
+        options.workers = workers;
+        ParallelRunner runner(options);
+        std::vector<std::function<double()>> tasks;
+        for (std::uint64_t run = 0; run < 8; ++run) {
+            tasks.push_back([&, run] {
+                SimConfig config;
+                config.horizonMinutes = 2;
+                config.seed = deriveRunSeed(101, run);
+                Simulation sim(catalog, config);
+                ServiceWorkload svc;
+                svc.id = 0;
+                svc.graph = &graph;
+                svc.rate = 4000.0 + 500.0 * static_cast<double>(run);
+                sim.addService(svc);
+                sim.setContainerCount(ms, 4);
+                sim.run();
+                return sim.metrics().p95(0);
+            });
+        }
+        auto results = runner.runAll(std::move(tasks));
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetLabel(std::to_string(workers) + " workers / 8 runs");
+}
+BENCHMARK(BM_ParallelSimulationSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

@@ -1,10 +1,29 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.hpp"
 
 namespace erms::bench {
+
+ProgressPrinter::ProgressPrinter(std::string label, int workers)
+    : label_(std::move(label)), workers_(workers)
+{
+}
+
+void
+ProgressPrinter::onRunFinished(std::size_t index, std::size_t total,
+                               double wall_seconds)
+{
+    ++finished_;
+    totalWallSeconds_ += wall_seconds;
+    std::fprintf(stderr,
+                 "[%s] run %zu finished in %.2fs (%zu/%zu done, "
+                 "%d workers, %.1fs cpu total)\n",
+                 label_.c_str(), index, wall_seconds, finished_, total,
+                 workers_, totalWallSeconds_);
+}
 
 std::vector<ServiceSpec>
 makeServices(const Application &app, double sla_ms, double workload)

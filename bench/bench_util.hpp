@@ -11,15 +11,56 @@
 #ifndef ERMS_BENCH_BENCH_UTIL_HPP
 #define ERMS_BENCH_BENCH_UTIL_HPP
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/applications.hpp"
 #include "baselines/baseline.hpp"
 #include "core/erms.hpp"
 #include "core/profiling_pipeline.hpp"
+#include "runner/parallel_runner.hpp"
 
 namespace erms::bench {
+
+/**
+ * Progress observer for bench sweeps: one stderr line per finished run
+ * with its task index and wall time (stdout stays reserved for the
+ * paper's tables). Callbacks are serialized by ParallelRunner.
+ */
+class ProgressPrinter : public RunObserver
+{
+  public:
+    ProgressPrinter(std::string label, int workers);
+
+    void onRunFinished(std::size_t index, std::size_t total,
+                       double wall_seconds) override;
+
+  private:
+    std::string label_;
+    int workers_;
+    std::size_t finished_ = 0;
+    double totalWallSeconds_ = 0.0;
+};
+
+/**
+ * Run a sweep of independent experiment tasks through ParallelRunner
+ * (worker count from ERMS_RUNNER_THREADS or the hardware; set
+ * ERMS_RUNNER_THREADS=1 for the serial baseline) with per-run progress
+ * on stderr. Results come back in task order, so the printed tables are
+ * identical however many workers execute the sweep.
+ */
+template <typename Result>
+std::vector<Result>
+runSweep(const std::string &label,
+         std::vector<std::function<Result()>> tasks)
+{
+    ParallelRunner runner;
+    ProgressPrinter progress(label, runner.workerCount());
+    runner.setObserver(&progress);
+    return runner.runAll(std::move(tasks));
+}
 
 /** Service specs for an application at uniform SLA/workload. */
 std::vector<ServiceSpec> makeServices(const Application &app, double sla_ms,

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/erms_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/erms_runner.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
   )
 

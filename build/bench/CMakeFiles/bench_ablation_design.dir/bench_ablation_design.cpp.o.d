@@ -154,12 +154,8 @@ bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_util.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/apps/applications.hpp \
- /root/repo/src/graph/dependency_graph.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -168,12 +164,19 @@ bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/apps/applications.hpp \
+ /root/repo/src/graph/dependency_graph.hpp \
  /root/repo/src/common/types.hpp /usr/include/c++/12/limits \
  /root/repo/src/model/catalog.hpp /usr/include/c++/12/optional \
  /root/repo/src/model/latency_model.hpp \
@@ -230,10 +233,10 @@ bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o: \
  /root/repo/src/common/rng.hpp /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/metrics.hpp /root/repo/src/common/stats.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/placement.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/sim/placement.hpp \
  /root/repo/src/trace/span.hpp /root/repo/src/core/profiling_pipeline.hpp \
  /root/repo/src/profiling/piecewise_fit.hpp \
  /root/repo/src/profiling/decision_tree.hpp \
- /root/repo/src/profiling/sample.hpp /root/repo/src/common/table.hpp \
- /root/repo/src/graph/variants.hpp
+ /root/repo/src/profiling/sample.hpp \
+ /root/repo/src/runner/parallel_runner.hpp \
+ /root/repo/src/common/table.hpp /root/repo/src/graph/variants.hpp

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/erms_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/provision/CMakeFiles/erms_provision.dir/DependInfo.cmake"
   "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/erms_runner.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/erms_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"

@@ -183,14 +183,14 @@ bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/rng.hpp /root/repo/src/model/catalog.hpp \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/types.hpp \
- /root/repo/src/model/latency_model.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/common/rng.hpp /root/repo/src/graph/dependency_graph.hpp \
+ /root/repo/src/common/types.hpp /root/repo/src/model/catalog.hpp \
+ /usr/include/c++/12/optional /root/repo/src/model/latency_model.hpp \
  /root/repo/src/model/interference.hpp \
  /root/repo/src/model/microservice_profile.hpp \
  /root/repo/src/model/resource.hpp /root/repo/src/common/error.hpp \
@@ -216,10 +216,7 @@ bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o: \
  /root/repo/src/provision/batch_placement.hpp \
  /root/repo/src/scaling/plan.hpp /root/repo/src/sim/placement.hpp \
  /root/repo/src/provision/interference_aware.hpp \
- /root/repo/src/scaling/multiplexing.hpp \
- /root/repo/src/scaling/solver.hpp \
- /root/repo/src/graph/dependency_graph.hpp \
- /root/repo/src/workload/synth_trace.hpp /usr/include/c++/12/memory \
+ /root/repo/src/runner/parallel_runner.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -231,4 +228,11 @@ bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/scaling/multiplexing.hpp \
+ /root/repo/src/scaling/solver.hpp /root/repo/src/sim/simulation.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/metrics.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/trace/span.hpp /root/repo/src/workload/synth_trace.hpp

@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/erms_core.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/erms_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/erms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/erms_runner.dir/DependInfo.cmake"
   "/root/repo/build/src/profiling/CMakeFiles/erms_profiling.dir/DependInfo.cmake"
   "/root/repo/build/src/baselines/CMakeFiles/erms_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/provision/CMakeFiles/erms_provision.dir/DependInfo.cmake"

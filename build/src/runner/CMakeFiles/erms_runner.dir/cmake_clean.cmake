@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_runner.dir/parallel_runner.cpp.o"
+  "CMakeFiles/erms_runner.dir/parallel_runner.cpp.o.d"
+  "CMakeFiles/erms_runner.dir/thread_pool.cpp.o"
+  "CMakeFiles/erms_runner.dir/thread_pool.cpp.o.d"
+  "liberms_runner.a"
+  "liberms_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

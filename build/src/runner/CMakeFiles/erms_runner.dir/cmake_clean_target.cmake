@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberms_runner.a"
+)

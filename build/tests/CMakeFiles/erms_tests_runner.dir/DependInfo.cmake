@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/erms_tests_runner.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_runner.dir/test_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/erms_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/erms_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/erms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/erms_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/erms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

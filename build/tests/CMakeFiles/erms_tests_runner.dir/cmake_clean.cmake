@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_tests_runner.dir/test_runner.cpp.o"
+  "CMakeFiles/erms_tests_runner.dir/test_runner.cpp.o.d"
+  "erms_tests_runner"
+  "erms_tests_runner.pdb"
+  "erms_tests_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_tests_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

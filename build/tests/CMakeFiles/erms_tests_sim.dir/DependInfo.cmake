@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/erms_tests_sim.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_sim.dir/test_event_queue.cpp.o.d"
   "/root/repo/tests/test_sim_features.cpp" "tests/CMakeFiles/erms_tests_sim.dir/test_sim_features.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_sim.dir/test_sim_features.cpp.o.d"
+  "/root/repo/tests/test_sim_lifecycle.cpp" "tests/CMakeFiles/erms_tests_sim.dir/test_sim_lifecycle.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_sim.dir/test_sim_lifecycle.cpp.o.d"
   "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/erms_tests_sim.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_sim.dir/test_simulation.cpp.o.d"
   "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/erms_tests_sim.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/erms_tests_sim.dir/test_trace.cpp.o.d"
   )

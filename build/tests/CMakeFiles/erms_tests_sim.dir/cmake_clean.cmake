@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/erms_tests_sim.dir/test_event_queue.cpp.o.d"
   "CMakeFiles/erms_tests_sim.dir/test_sim_features.cpp.o"
   "CMakeFiles/erms_tests_sim.dir/test_sim_features.cpp.o.d"
+  "CMakeFiles/erms_tests_sim.dir/test_sim_lifecycle.cpp.o"
+  "CMakeFiles/erms_tests_sim.dir/test_sim_lifecycle.cpp.o.d"
   "CMakeFiles/erms_tests_sim.dir/test_simulation.cpp.o"
   "CMakeFiles/erms_tests_sim.dir/test_simulation.cpp.o.d"
   "CMakeFiles/erms_tests_sim.dir/test_trace.cpp.o"

@@ -7,5 +7,6 @@
 include("/root/repo/build/tests/erms_tests_foundation[1]_include.cmake")
 include("/root/repo/build/tests/erms_tests_scaling[1]_include.cmake")
 include("/root/repo/build/tests/erms_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/erms_tests_runner[1]_include.cmake")
 include("/root/repo/build/tests/erms_tests_learning[1]_include.cmake")
 include("/root/repo/build/tests/erms_tests_system[1]_include.cmake")

@@ -27,6 +27,21 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveRunSeed(std::uint64_t base_seed, std::uint64_t run_index)
+{
+    // SplitMix64 state after run_index + 1 increments, in closed form
+    // (the state advances by a fixed odd constant per draw), then one
+    // output scramble. Equivalent to calling splitMix64 run_index + 1
+    // times on a state initialized to base_seed.
+    std::uint64_t state =
+        base_seed + (run_index + 1) * 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;

@@ -15,6 +15,17 @@
 namespace erms {
 
 /**
+ * Deterministic per-run seed derivation for experiment fan-out: the
+ * run_index-th output of a SplitMix64 stream seeded with base_seed
+ * (computed in closed form, O(1)). Runs of one sweep get decorrelated
+ * seeds while the (base_seed, run_index) -> seed mapping stays stable
+ * across serial and parallel execution orders, so a sweep replays
+ * byte-identically regardless of how its runs are scheduled.
+ */
+std::uint64_t deriveRunSeed(std::uint64_t base_seed,
+                            std::uint64_t run_index);
+
+/**
  * Deterministic, splittable random number generator.
  *
  * Every stochastic component takes an explicit Rng (or a seed) so whole

@@ -29,7 +29,7 @@ StreamingStats::variance() const
 {
     if (n_ < 2)
         return 0.0;
-    return m2_ / static_cast<double>(n_);
+    return m2_ / static_cast<double>(n_ - 1);
 }
 
 double

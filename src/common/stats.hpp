@@ -29,7 +29,14 @@ class StreamingStats
     std::size_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
 
-    /** Population variance; 0 when fewer than two samples. */
+    /**
+     * Sample (unbiased, n-1 denominator) variance; 0 when fewer than
+     * two samples. The sample convention matches merge(), which
+     * implements Chan's combination of the centered second moments, and
+     * matches the callers (profiling fits, Rhythm's contribution
+     * statistics) that treat these accumulators as estimates from a
+     * finite observation window rather than a full population.
+     */
     double variance() const;
 
     /** Standard deviation derived from variance(). */

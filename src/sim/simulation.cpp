@@ -375,6 +375,32 @@ Simulation::countPool(MicroserviceId ms, ServiceId dedicated) const
     return live;
 }
 
+// After a scale-out, spread backlog that accumulated in the old
+// containers across the enlarged deployment (requests queue at the
+// service endpoint, not at an individual replica). Drain every queue
+// first, then redistribute, so redispatch cannot loop.
+void
+Simulation::redistributeBacklog(MicroserviceId ms)
+{
+    auto it = deployments_.find(ms);
+    if (it == deployments_.end())
+        return;
+    std::vector<CallContext *> backlog;
+    for (auto &container : it->second) {
+        for (auto &queue : container->queues) {
+            while (!queue.empty()) {
+                backlog.push_back(queue.front());
+                queue.pop_front();
+                --container->queuedTotal;
+            }
+        }
+    }
+    for (CallContext *ctx : backlog) {
+        ctx->container = nullptr;
+        dispatchCall(ctx, /*count_call=*/false);
+    }
+}
+
 void
 Simulation::setContainerCount(MicroserviceId ms, int count)
 {
@@ -385,29 +411,8 @@ Simulation::setContainerCount(MicroserviceId ms, int count)
     while (countPool(ms, kInvalidService) > count)
         removeContainer(ms);
 
-    // After scale-out, spread backlog that accumulated in the old
-    // containers across the enlarged deployment (requests queue at the
-    // service endpoint, not at an individual replica). Drain every queue
-    // first, then redistribute, so redispatch cannot loop.
-    if (scaled_out) {
-        auto it = deployments_.find(ms);
-        if (it == deployments_.end())
-            return;
-        std::vector<CallContext *> backlog;
-        for (auto &container : it->second) {
-            for (auto &queue : container->queues) {
-                while (!queue.empty()) {
-                    backlog.push_back(queue.front());
-                    queue.pop_front();
-                    --container->queuedTotal;
-                }
-            }
-        }
-        for (CallContext *ctx : backlog) {
-            ctx->container = nullptr;
-            dispatchCall(ctx, /*count_call=*/false);
-        }
-    }
+    if (scaled_out)
+        redistributeBacklog(ms);
 }
 
 int
@@ -430,10 +435,14 @@ Simulation::setDedicatedContainerCount(MicroserviceId ms, ServiceId service,
 {
     ERMS_ASSERT(count >= 0);
     ERMS_ASSERT(service != kInvalidService);
+    const bool scaled_out = countPool(ms, service) < count;
     while (countPool(ms, service) < count)
         addContainer(ms, service);
     while (countPool(ms, service) > count)
         removeContainer(ms, service);
+
+    if (scaled_out)
+        redistributeBacklog(ms);
 }
 
 void
@@ -515,15 +524,23 @@ Simulation::pickContainer(MicroserviceId ms, ServiceId service)
 
     for (const bool allow_starting : {false, true}) {
         if (config_.dispatch == DispatchPolicy::RoundRobin) {
+            // Self-contained RR pass: probe one full rotation; when no
+            // candidate is eligible, move on to the next pass (and only
+            // after both passes to the spill-over below) instead of
+            // falling through into the least-loaded scan. The cursor is
+            // kept wrapped to the deployment size so it cannot grow
+            // unbounded and self-rebases when the deployment shrinks.
             auto &cursor = rrCursor_[ms];
             const auto &containers = it->second;
+            cursor %= containers.size();
             for (std::size_t probe = 0; probe < containers.size();
                  ++probe) {
-                ContainerState *candidate =
-                    containers[cursor++ % containers.size()].get();
+                ContainerState *candidate = containers[cursor].get();
+                cursor = (cursor + 1) % containers.size();
                 if (eligible(*candidate, allow_starting))
                     return candidate;
             }
+            continue;
         }
         ContainerState *best = nullptr;
         std::size_t best_load = 0;
@@ -925,6 +942,36 @@ Simulation::onMinuteBoundary()
         events_.schedule(static_cast<SimTime>(currentMinute_ + 1) * kMinute,
                          [this] { onMinuteBoundary(); });
     }
+}
+
+std::vector<ContainerView>
+Simulation::containerViews(MicroserviceId ms) const
+{
+    std::vector<ContainerView> views;
+    auto it = deployments_.find(ms);
+    if (it == deployments_.end())
+        return views;
+    views.reserve(it->second.size());
+    for (const auto &container : it->second) {
+        ContainerView view;
+        view.id = container->id;
+        view.host = container->host;
+        view.dedicatedService = container->dedicatedService;
+        view.threads = container->threads;
+        view.busy = container->busy;
+        view.queued = container->queuedTotal;
+        view.draining = container->draining;
+        view.readyAt = container->readyAt;
+        views.push_back(view);
+    }
+    return views;
+}
+
+std::size_t
+Simulation::roundRobinCursor(MicroserviceId ms) const
+{
+    auto it = rrCursor_.find(ms);
+    return it == rrCursor_.end() ? 0 : it->second;
 }
 
 double

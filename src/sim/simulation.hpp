@@ -85,6 +85,24 @@ struct ServiceWorkload
     std::vector<double> rateSeries;
 };
 
+/**
+ * Read-only snapshot of one deployed container (debug/test
+ * observability — the per-replica state the dispatch and drain paths
+ * act on).
+ */
+struct ContainerView
+{
+    ContainerId id = 0;
+    HostId host = kInvalidHost;
+    ServiceId dedicatedService = kInvalidService;
+    int threads = 0;
+    int busy = 0;
+    std::size_t queued = 0;
+    bool draining = false;
+    /** Simulated time the container starts accepting work. */
+    SimTime readyAt = 0;
+};
+
 /** The cluster simulator. */
 class Simulation
 {
@@ -172,6 +190,15 @@ class Simulation
      *  scaled to requests/minute (workload signal for controllers). */
     double observedRate(ServiceId service) const;
 
+    /** Snapshots of every container object of a microservice, deployment
+     *  order, including draining ones (empty when undeployed). */
+    std::vector<ContainerView> containerViews(MicroserviceId ms) const;
+
+    /** Current round-robin dispatch cursor of a microservice (always
+     *  < the deployment's container-object count once any RoundRobin
+     *  dispatch happened; 0 when untouched). Test/debug observability. */
+    std::size_t roundRobinCursor(MicroserviceId ms) const;
+
   private:
     struct HostState;
     struct ContainerState;
@@ -186,6 +213,7 @@ class Simulation
     int countPool(MicroserviceId ms, ServiceId dedicated) const;
     ContainerState *pickContainer(MicroserviceId ms, ServiceId service);
     void reassignQueue(ContainerState &container);
+    void redistributeBacklog(MicroserviceId ms);
 
     // request execution internals
     void scheduleArrival(std::size_t service_index);

@@ -28,11 +28,23 @@ TEST(StreamingStats, MeanVarianceMinMax)
         s.add(x);
     EXPECT_EQ(s.count(), 8u);
     EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
-    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    // Sample variance: sum of squared deviations 32 over n - 1 = 7.
+    EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(32.0 / 7.0));
     EXPECT_DOUBLE_EQ(s.min(), 2.0);
     EXPECT_DOUBLE_EQ(s.max(), 9.0);
     EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, VarianceUsesSampleDenominator)
+{
+    // Regression: variance() divided m2 by n (population variance)
+    // while merge() and the profiling-fit callers assume the sample
+    // (n - 1) convention. {1, 2} has sample variance 0.5, not 0.25.
+    StreamingStats s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.5);
 }
 
 TEST(StreamingStats, MergeEqualsCombinedStream)

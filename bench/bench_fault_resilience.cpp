@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Graceful-degradation sweep (extension beyond the paper; see
+ * docs/faults.md): replay the profiled hotel-reservation workload under
+ * each scheme's allocation while injecting container crashes at
+ * increasing rates, with kubelet-style restarts, a per-minute
+ * capacity-repair controller, and a fixed resilience policy (bounded
+ * retries + per-attempt timeouts). Shape to observe: every scheme's
+ * SLO-violation rate (late + failed requests) rises with the crash
+ * rate, and Erms degrades no faster than the baselines — its headroom
+ * comes from right-sizing, not from fragile over-provisioning.
+ *
+ * A second table ablates the resilience knobs themselves at a fixed
+ * fault rate (crashes + transient call failures) under the Erms plan.
+ *
+ * Fault schedules derive from the fault seed alone, so at a given crash
+ * rate all four schemes face the same crash times; results are
+ * byte-identical for any ERMS_RUNNER_THREADS.
+ */
+
+#include <array>
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+using namespace erms;
+using namespace erms::bench;
+
+int
+main()
+{
+    printBanner(std::cout, "Fault injection — graceful degradation under "
+                           "container crashes (hotel-reservation, profiled)");
+
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    profileApplication(catalog, app);
+    const Interference itf{0.30, 0.25};
+    const double kSla = 160.0;
+    const double kWorkload = 12000.0;
+
+    const std::vector<double> crashRates{0.0, 1.0, 2.0, 4.0, 8.0};
+    const char *schemeNames[4] = {"Erms", "Firm", "GrandSLAm", "Rhythm"};
+
+    struct SchemeRow
+    {
+        int containers = 0;
+        double worstP95 = 0.0;
+        double sloViolation = 0.0;
+        std::uint64_t failed = 0;
+        FaultStats faults{};
+    };
+    // One task per crash rate: plan under all four schemes, replay each
+    // plan against the same fault schedule (fault seed fixed per rate)
+    // and the same workload seed, so within a row only the plan differs.
+    // Seeds derive from the setting index so the table is identical
+    // however many runner workers execute the sweep.
+    std::vector<std::function<std::array<SchemeRow, 4>()>> tasks;
+    for (std::size_t run = 0; run < crashRates.size(); ++run) {
+        tasks.push_back([&, run, rate = crashRates[run]] {
+            BaselineContext context;
+            context.catalog = &catalog;
+            context.interference = itf;
+            ErmsController erms(catalog, {});
+            FirmAllocator firm(0.0, 1);
+            GrandSlamAllocator grandslam;
+            RhythmAllocator rhythm;
+
+            const auto services = makeServices(app, kSla, kWorkload);
+            const GlobalPlan plans[4] = {
+                erms.plan(services, itf),
+                firm.allocate(services, context),
+                grandslam.allocate(services, context),
+                rhythm.allocate(services, context),
+            };
+
+            FaultConfig fault;
+            fault.seed = deriveRunSeed(7, run);
+            fault.crashesPerMinute = rate;
+            fault.restartDelayMs = 3000.0;
+
+            // Bounded retries only: crash-lost calls fail over, queued
+            // work completes late (visible as SLO violations). A
+            // per-attempt timeout near the SLA would amplify load on the
+            // right-sized plans under crash pressure (see the ablation
+            // table), muddying the degradation comparison.
+            ResilienceConfig resilience;
+            resilience.maxRetries = 2;
+
+            std::array<SchemeRow, 4> rows{};
+            for (int k = 0; k < 4; ++k) {
+                const ValidationResult result = validatePlanFaulty(
+                    catalog, services, plans[k], itf, fault, resilience, 4,
+                    deriveRunSeed(42, run));
+                rows[k].containers = plans[k].totalContainers;
+                rows[k].worstP95 = result.maxP95();
+                rows[k].sloViolation = result.meanSloViolationRate();
+                rows[k].failed = result.requestsFailed;
+                rows[k].faults = result.faults;
+            }
+            return rows;
+        });
+    }
+    const auto results = bench::runSweep("fault", std::move(tasks));
+
+    TextTable detail({"crashes/min", "scheme", "containers", "crashes",
+                      "restarts", "worst P95 (ms)", "SLO violation %",
+                      "failed", "retry amp"});
+    for (std::size_t run = 0; run < crashRates.size(); ++run) {
+        for (int k = 0; k < 4; ++k) {
+            const SchemeRow &row = results[run][k];
+            detail.row()
+                .cell(crashRates[run], 0)
+                .cell(schemeNames[k])
+                .cell(row.containers)
+                .cell(static_cast<double>(row.faults.containerCrashes), 0)
+                .cell(static_cast<double>(row.faults.containerRestarts), 0)
+                .cell(row.worstP95, 1)
+                .cell(100.0 * row.sloViolation, 2)
+                .cell(static_cast<double>(row.failed), 0)
+                .cell(row.faults.retryAmplification(), 3);
+        }
+    }
+    detail.print(std::cout);
+
+    printBanner(std::cout, "Resilience-knob ablation (Erms plan, 4 "
+                           "crashes/min + 1% transient call failures + "
+                           "stragglers)");
+
+    struct Variant
+    {
+        const char *name;
+        ResilienceConfig resilience;
+    };
+    std::vector<Variant> variants;
+    {
+        ResilienceConfig none;
+        none.maxRetries = 0;
+        variants.push_back({"none", none});
+
+        ResilienceConfig retries = none;
+        retries.maxRetries = 2;
+        variants.push_back({"retries=2", retries});
+
+        // Per-attempt knobs must sit well above typical per-call
+        // latency: a timeout or hedge delay near the end-to-end SLA
+        // fires on ordinary queueing, and the duplicated load collapses
+        // a right-sized cluster (the classic retry-storm footgun).
+        ResilienceConfig timeout = retries;
+        timeout.timeoutMs = 4.0 * kSla;
+        variants.push_back({"retries+timeout", timeout});
+
+        ResilienceConfig hedge = timeout;
+        hedge.hedgeDelayMs = 2.0 * kSla;
+        variants.push_back({"retries+timeout+hedge", hedge});
+    }
+
+    struct VariantRow
+    {
+        double sloViolation = 0.0;
+        std::uint64_t failed = 0;
+        FaultStats faults{};
+    };
+    std::vector<std::function<VariantRow()>> ablationTasks;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        ablationTasks.push_back([&, v] {
+            const auto services = makeServices(app, kSla, kWorkload);
+            ErmsController erms(catalog, {});
+            const GlobalPlan plan = erms.plan(services, itf);
+
+            FaultConfig fault;
+            fault.seed = deriveRunSeed(7, 99);
+            fault.crashesPerMinute = 4.0;
+            fault.restartDelayMs = 3000.0;
+            fault.callFailureProbability = 0.01;
+            fault.slowdownsPerMinute = 3.0;
+            fault.slowdownFactor = 3.0;
+
+            // Same workload seed for every variant: only the knob moves.
+            const ValidationResult result = validatePlanFaulty(
+                catalog, services, plan, itf, fault, variants[v].resilience,
+                4, deriveRunSeed(43, 0));
+            VariantRow row;
+            row.sloViolation = result.meanSloViolationRate();
+            row.failed = result.requestsFailed;
+            row.faults = result.faults;
+            return row;
+        });
+    }
+    const auto ablation = bench::runSweep("fault-ablation",
+                                          std::move(ablationTasks));
+
+    TextTable knobs({"resilience", "SLO violation %", "failed", "retries",
+                     "timeouts", "hedges", "hedge wins", "retry amp"});
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const VariantRow &row = ablation[v];
+        knobs.row()
+            .cell(variants[v].name)
+            .cell(100.0 * row.sloViolation, 2)
+            .cell(static_cast<double>(row.failed), 0)
+            .cell(static_cast<double>(row.faults.callRetries), 0)
+            .cell(static_cast<double>(row.faults.callTimeouts), 0)
+            .cell(static_cast<double>(row.faults.hedgesLaunched), 0)
+            .cell(static_cast<double>(row.faults.hedgeWins), 0)
+            .cell(row.faults.retryAmplification(), 3);
+    }
+    knobs.print(std::cout);
+
+    std::cout << "\nshapes to check: crashes leave every scheme's SLO "
+                 "violations near its healthy\nbaseline (restarts + "
+                 "retries absorb the capacity dips), with Erms degrading "
+                 "no\nfaster than the over-provisioned baselines; in the "
+                 "ablation, bounded retries\nabsorb nearly all "
+                 "transient-failure losses at ~1% retry amplification, "
+                 "and\ngenerous per-attempt timeouts/hedges remove the "
+                 "rest at a small load premium\n(tight ones near the SLA "
+                 "instead trigger retry storms on a right-sized plan).\n";
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "core/controllers.hpp"
 
 namespace erms::bench {
 
@@ -91,10 +92,25 @@ ValidationResult::meanViolationRate() const
     return sum / static_cast<double>(violationRate.size());
 }
 
+double
+ValidationResult::meanSloViolationRate() const
+{
+    if (sloViolationRate.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double rate : sloViolationRate)
+        sum += rate;
+    return sum / static_cast<double>(sloViolationRate.size());
+}
+
+namespace {
+
 ValidationResult
-validatePlan(const MicroserviceCatalog &catalog,
+validateImpl(const MicroserviceCatalog &catalog,
              const std::vector<ServiceSpec> &services, const GlobalPlan &plan,
-             const Interference &itf, int horizon_minutes, std::uint64_t seed)
+             const Interference &itf, const FaultConfig *fault,
+             const ResilienceConfig *resilience, int horizon_minutes,
+             std::uint64_t seed)
 {
     SimConfig config;
     config.horizonMinutes = horizon_minutes;
@@ -111,6 +127,11 @@ validatePlan(const MicroserviceCatalog &catalog,
         sim.addService(workload);
     }
     sim.applyPlan(plan);
+    if (fault != nullptr) {
+        sim.setFaultConfig(*fault);
+        sim.setResilienceConfig(*resilience);
+        sim.setMinuteCallback(makeCapacityRepairController(plan));
+    }
     sim.run();
 
     ValidationResult result;
@@ -118,9 +139,36 @@ validatePlan(const MicroserviceCatalog &catalog,
         result.p95Ms.push_back(sim.metrics().p95(svc.id));
         result.violationRate.push_back(
             sim.metrics().violationRate(svc.id, svc.slaMs));
+        result.sloViolationRate.push_back(
+            sim.metrics().sloViolationRate(svc.id, svc.slaMs));
     }
     result.requestsCompleted = sim.metrics().requestsCompleted;
+    result.requestsFailed = sim.metrics().requestsFailed;
+    result.faults = sim.metrics().faults;
     return result;
+}
+
+} // namespace
+
+ValidationResult
+validatePlan(const MicroserviceCatalog &catalog,
+             const std::vector<ServiceSpec> &services, const GlobalPlan &plan,
+             const Interference &itf, int horizon_minutes, std::uint64_t seed)
+{
+    return validateImpl(catalog, services, plan, itf, nullptr, nullptr,
+                        horizon_minutes, seed);
+}
+
+ValidationResult
+validatePlanFaulty(const MicroserviceCatalog &catalog,
+                   const std::vector<ServiceSpec> &services,
+                   const GlobalPlan &plan, const Interference &itf,
+                   const FaultConfig &fault,
+                   const ResilienceConfig &resilience, int horizon_minutes,
+                   std::uint64_t seed)
+{
+    return validateImpl(catalog, services, plan, itf, &fault, &resilience,
+                        horizon_minutes, seed);
 }
 
 std::string

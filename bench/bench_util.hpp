@@ -87,10 +87,17 @@ struct ValidationResult
     std::vector<double> p95Ms;
     /** Per-service fraction of requests above the SLA. */
     std::vector<double> violationRate;
+    /** Per-service SLO-violation rate counting failed requests as
+     *  violations (only differs from violationRate under faults). */
+    std::vector<double> sloViolationRate;
     std::uint64_t requestsCompleted = 0;
+    std::uint64_t requestsFailed = 0;
+    /** Fault accounting of the run (all zero without fault injection). */
+    FaultStats faults{};
 
     double maxP95() const;
     double meanViolationRate() const;
+    double meanSloViolationRate() const;
 };
 
 /** Deploy a plan and replay the workload in the cluster simulator. */
@@ -99,6 +106,24 @@ ValidationResult validatePlan(const MicroserviceCatalog &catalog,
                               const GlobalPlan &plan, const Interference &itf,
                               int horizon_minutes = 5,
                               std::uint64_t seed = 42);
+
+/**
+ * Like validatePlan, but with fault injection and a resilience policy
+ * active, plus a per-minute capacity-repair controller that restores
+ * crashed capacity through the ordinary scaling path (kubelet restarts
+ * already cover the common case; the controller catches runs with
+ * restart disabled). Fault schedules derive from fault.seed only, so a
+ * sweep varies `seed` for workload noise while keeping the fault
+ * schedule comparable across plans.
+ */
+ValidationResult validatePlanFaulty(const MicroserviceCatalog &catalog,
+                                    const std::vector<ServiceSpec> &services,
+                                    const GlobalPlan &plan,
+                                    const Interference &itf,
+                                    const FaultConfig &fault,
+                                    const ResilienceConfig &resilience,
+                                    int horizon_minutes = 5,
+                                    std::uint64_t seed = 42);
 
 /** Human-readable policy name. */
 std::string policyName(SharingPolicy policy);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the tier-1 build + test verification, then an
+# AddressSanitizer build exercising the fault-injection and runner
+# tests (the code paths with the hairiest object lifetimes: pooled call
+# contexts, container erasure on crash, hedge cancellation).
+#
+# Usage: scripts/check.sh [jobs]   (default: 2)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-2}"
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure
+
+echo "== asan: fault + runner tests (build-asan/) =="
+cmake -B build-asan -S . -DERMS_SANITIZE=address
+cmake --build build-asan -j"$JOBS" \
+    --target erms_tests_sim erms_tests_runner
+./build-asan/tests/erms_tests_sim \
+    --gtest_filter='Fault*:Resilience*'
+./build-asan/tests/erms_tests_runner
+
+echo "== all checks passed =="

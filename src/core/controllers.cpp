@@ -98,4 +98,36 @@ makeFirmReactiveController(const MicroserviceCatalog &catalog,
     };
 }
 
+std::function<void(Simulation &, int)>
+makeCapacityRepairController(GlobalPlan plan)
+{
+    return [plan = std::move(plan)](Simulation &sim, int) {
+        if (plan.policy == SharingPolicy::NonSharing) {
+            // Partitioned deployments: restore each service's dedicated
+            // partition to its planned size (a no-op when intact).
+            for (const auto &alloc : plan.services) {
+                for (const auto &[ms, ms_alloc] : alloc.perMicroservice)
+                    sim.setDedicatedContainerCount(ms, alloc.service,
+                                                   ms_alloc.containers);
+            }
+            return;
+        }
+        for (const auto &[ms, count] : plan.containers) {
+            if (sim.containerCount(ms) < count)
+                sim.setContainerCount(ms, count);
+        }
+    };
+}
+
+std::function<void(Simulation &, int)>
+chainControllers(
+    std::vector<std::function<void(Simulation &, int)>> controllers)
+{
+    return [controllers = std::move(controllers)](Simulation &sim,
+                                                  int minute) {
+        for (const auto &controller : controllers)
+            controller(sim, minute);
+    };
+}
+
 } // namespace erms

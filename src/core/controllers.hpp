@@ -39,6 +39,25 @@ std::function<void(Simulation &, int)>
 makeFirmReactiveController(const MicroserviceCatalog &catalog,
                            std::vector<ServiceSpec> services);
 
+/**
+ * Capacity-repair controller for fault-injection runs: each minute,
+ * any microservice whose live container count fell below the planned
+ * count (containers crashed and were not auto-restarted) is scaled
+ * back up through the ordinary scaling path. This is the minimal
+ * "react to capacity loss" loop; the full closed-loop autoscalers
+ * subsume it because they re-apply a complete plan every minute.
+ */
+std::function<void(Simulation &, int)>
+makeCapacityRepairController(GlobalPlan plan);
+
+/**
+ * Run several minute controllers in sequence (e.g. capacity repair
+ * followed by an autoscaler) under one Simulation minute callback.
+ */
+std::function<void(Simulation &, int)>
+chainControllers(std::vector<std::function<void(Simulation &, int)>>
+                     controllers);
+
 } // namespace erms
 
 #endif // ERMS_CORE_CONTROLLERS_HPP

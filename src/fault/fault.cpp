@@ -1,0 +1,79 @@
+#include "fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace erms {
+
+namespace {
+
+constexpr SimTime kMinuteUs = 60ULL * 1000ULL * 1000ULL;
+
+// Derived-stream indexes of the fault seed. Keep in sync with
+// Simulation's per-call streams (documented in docs/faults.md):
+//   0 = crash schedule, 1 = transient call failures, 2 = retry jitter,
+//   3 = slowdown schedule.
+constexpr std::uint64_t kCrashStream = 0;
+constexpr std::uint64_t kSlowdownStream = 3;
+
+/** Poisson arrival times on [0, horizon) at `per_minute` events/min. */
+std::vector<SimTime>
+poissonTimes(Rng &rng, double per_minute, SimTime horizon)
+{
+    std::vector<SimTime> times;
+    if (per_minute <= 0.0)
+        return times;
+    const double mean_gap_us = static_cast<double>(kMinuteUs) / per_minute;
+    double t = 0.0;
+    for (;;) {
+        t += std::max(1.0, rng.exponential(mean_gap_us));
+        if (t >= static_cast<double>(horizon))
+            break;
+        times.push_back(static_cast<SimTime>(t));
+    }
+    return times;
+}
+
+} // namespace
+
+bool
+FaultConfig::anyFaults() const
+{
+    return crashesPerMinute > 0.0 || slowdownsPerMinute > 0.0 ||
+           callFailureProbability > 0.0;
+}
+
+FaultSchedule
+buildFaultSchedule(const FaultConfig &config, int host_count,
+                   SimTime horizon)
+{
+    ERMS_ASSERT(host_count > 0);
+    FaultSchedule schedule;
+
+    Rng crash_rng(deriveRunSeed(config.seed, kCrashStream));
+    for (SimTime at : poissonTimes(crash_rng, config.crashesPerMinute,
+                                   horizon)) {
+        CrashEvent crash;
+        crash.at = at;
+        crash.victimDraw = crash_rng.next();
+        schedule.crashes.push_back(crash);
+    }
+
+    Rng slow_rng(deriveRunSeed(config.seed, kSlowdownStream));
+    const SimTime duration = toSimTime(config.slowdownDurationMs);
+    for (SimTime at : poissonTimes(slow_rng, config.slowdownsPerMinute,
+                                   horizon)) {
+        SlowdownWindow window;
+        window.start = at;
+        window.end = at + std::max<SimTime>(1, duration);
+        window.host = static_cast<HostId>(
+            slow_rng.uniformInt(0, host_count - 1));
+        schedule.slowdowns.push_back(window);
+    }
+    return schedule;
+}
+
+} // namespace erms

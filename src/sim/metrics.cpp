@@ -3,6 +3,16 @@
 namespace erms {
 
 double
+FaultStats::retryAmplification() const
+{
+    if (firstAttempts == 0)
+        return 1.0;
+    return static_cast<double>(firstAttempts + callRetries +
+                               hedgesLaunched) /
+           static_cast<double>(firstAttempts);
+}
+
+double
 SimMetrics::p95(ServiceId service) const
 {
     auto it = endToEndMs.find(service);
@@ -18,6 +28,29 @@ SimMetrics::violationRate(ServiceId service, double sla_ms) const
     if (it == endToEndMs.end() || it->second.empty())
         return 0.0;
     return it->second.fractionAbove(sla_ms);
+}
+
+double
+SimMetrics::sloViolationRate(ServiceId service, double sla_ms) const
+{
+    std::uint64_t successes = 0;
+    double late = 0.0;
+    auto it = endToEndMs.find(service);
+    if (it != endToEndMs.end() && !it->second.empty()) {
+        successes = it->second.count();
+        late = it->second.fractionAbove(sla_ms) *
+               static_cast<double>(successes);
+    }
+    std::uint64_t failed = 0;
+    auto failed_it = failedByService.find(service);
+    if (failed_it != failedByService.end())
+        failed = failed_it->second;
+
+    const std::uint64_t total = successes + failed;
+    if (total == 0)
+        return 0.0;
+    return (late + static_cast<double>(failed)) /
+           static_cast<double>(total);
 }
 
 std::vector<ProfilingRecord>

@@ -35,6 +35,33 @@ struct ProfilingRecord
     int containers = 0;              ///< deployed containers that minute
 };
 
+/**
+ * Fault-injection and resilience accounting (all zero on a fault-free
+ * run with no resilience policies configured). "Attempt" counts cover
+ * microservice call attempts: firstAttempts is one per call issued,
+ * retries and hedges add to it.
+ */
+struct FaultStats
+{
+    std::uint64_t containerCrashes = 0;
+    std::uint64_t containerRestarts = 0;
+    std::uint64_t slowdownWindows = 0;
+
+    std::uint64_t firstAttempts = 0;   ///< calls issued (one per call)
+    std::uint64_t callRetries = 0;     ///< retry attempts launched
+    std::uint64_t hedgesLaunched = 0;  ///< hedged duplicates launched
+    std::uint64_t hedgeWins = 0;       ///< calls won by the hedge copy
+
+    std::uint64_t callTimeouts = 0;        ///< attempts abandoned by timeout
+    std::uint64_t transientFailures = 0;   ///< attempts lost to injected faults
+    std::uint64_t crashFailures = 0;       ///< attempts lost to container crashes
+    std::uint64_t callsFailed = 0;         ///< calls failed after budget exhausted
+
+    /** Total attempts / first attempts: the load multiplier the
+     *  resilience policy imposes on the cluster (1.0 = no overhead). */
+    double retryAmplification() const;
+};
+
 /** All observable outputs of one simulation run. */
 struct SimMetrics
 {
@@ -55,11 +82,29 @@ struct SimMetrics
     std::uint64_t requestsCompleted = 0;
     std::uint64_t eventsDispatched = 0;
 
+    /** Requests that finished with a permanently failed call (retry
+     *  budget exhausted). Failed requests are excluded from the latency
+     *  samples above but count as SLA violations in sloViolationRate(). */
+    std::uint64_t requestsFailed = 0;
+
+    /** Post-warmup failed-request counts per service. */
+    std::unordered_map<ServiceId, std::uint64_t> failedByService;
+
+    /** Fault-injection / resilience counters. */
+    FaultStats faults;
+
     /** P95 end-to-end latency of a service; 0 when unobserved. */
     double p95(ServiceId service) const;
 
     /** Fraction of a service's requests exceeding the SLA threshold. */
     double violationRate(ServiceId service, double sla_ms) const;
+
+    /**
+     * SLA-violation rate including failures: (late successes + failed
+     * requests) / (all post-warmup finished requests). Equal to
+     * violationRate() on a fault-free run.
+     */
+    double sloViolationRate(ServiceId service, double sla_ms) const;
 
     /** Profiling records of one microservice, minute-ordered. */
     std::vector<ProfilingRecord>

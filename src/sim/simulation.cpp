@@ -30,10 +30,26 @@ struct Simulation::HostState
     double busyIntegral = 0.0; ///< core-usec within the current minute
     SimTime lastUpdate = 0;
     int containerCount = 0;
+    int activeSlowdowns = 0;   ///< straggler windows currently open
 };
 
 struct Simulation::CallContext
 {
+    /**
+     * One in-flight attempt of this call. Events (dispatch, timeout,
+     * completion, hedge) capture the attempt id and are ignored when it
+     * no longer matches a live slot — the generation guard that makes
+     * abandonment (timeout), hedging, and crash loss safe against stale
+     * scheduled callbacks.
+     */
+    struct AttemptSlot
+    {
+        std::uint64_t id = 0; ///< 0 = slot inactive
+        ContainerState *container = nullptr;
+        bool queued = false;
+        SimTime receiveTime = 0;
+    };
+
     RequestState *req = nullptr;
     MicroserviceId ms = kInvalidMicroservice;
     CallContext *parent = nullptr;
@@ -42,7 +58,16 @@ struct Simulation::CallContext
     SimTime clientSend = 0;
     SimTime receiveTime = 0;
     SimTime procDone = 0;
-    ContainerState *container = nullptr;
+    /** [0] = primary (and retries), [1] = hedged duplicate. */
+    AttemptSlot attempts[2];
+    int retriesUsed = 0;
+};
+
+/** One queue entry: a call attempt waiting for a thread. */
+struct Simulation::QueuedJob
+{
+    CallContext *ctx = nullptr;
+    std::uint64_t attempt = 0;
 };
 
 struct Simulation::ContainerState
@@ -53,11 +78,13 @@ struct Simulation::ContainerState
     int threads = 1;
     int busy = 0;
     bool draining = false;
+    /** Killed by fault injection: in-flight results are discarded. */
+    bool crashed = false;
     /** Simulated time at which this container starts accepting work. */
     SimTime readyAt = 0;
     /** Dedicated to one service under non-sharing partitions. */
     ServiceId dedicatedService = kInvalidService;
-    std::vector<std::deque<CallContext *>> queues;
+    std::vector<std::deque<QueuedJob>> queues;
     std::size_t queuedTotal = 0;
     std::uint64_t callsThisMinute = 0;
 };
@@ -69,6 +96,7 @@ struct Simulation::RequestState
     std::size_t serviceIndex = 0;
     SimTime arrival = 0;
     bool traced = false;
+    bool failed = false;
 };
 
 struct Simulation::MinuteScratch
@@ -176,6 +204,37 @@ Simulation::setSpanCollector(SpanCollector *collector)
 }
 
 void
+Simulation::setFaultConfig(const FaultConfig &config)
+{
+    ERMS_ASSERT_MSG(!ran_, "setFaultConfig must precede run()");
+    ERMS_ASSERT(config.crashesPerMinute >= 0.0);
+    ERMS_ASSERT(config.slowdownsPerMinute >= 0.0);
+    ERMS_ASSERT(config.callFailureProbability >= 0.0 &&
+                config.callFailureProbability <= 1.0);
+    ERMS_ASSERT(config.slowdownFactor >= 1.0);
+    faultConfig_ = config;
+    faultsEnabled_ = config.anyFaults();
+    // Dedicated streams (1 = transient failures, 2 = retry jitter) keep
+    // per-call draws off the request-path RNG and off each other, so
+    // enabling one knob never shifts another knob's draw sequence.
+    callFaultRng_ = Rng(deriveRunSeed(config.seed, 1));
+    resilienceRng_ = Rng(deriveRunSeed(config.seed, 2));
+}
+
+void
+Simulation::setResilienceConfig(const ResilienceConfig &config)
+{
+    ERMS_ASSERT_MSG(!ran_, "setResilienceConfig must precede run()");
+    ERMS_ASSERT(config.maxRetries >= 0);
+    ERMS_ASSERT(config.retryBackoffMs >= 0.0);
+    ERMS_ASSERT(config.retryBackoffMultiplier >= 1.0);
+    ERMS_ASSERT(config.retryJitter >= 0.0);
+    ERMS_ASSERT(config.timeoutMs >= 0.0);
+    ERMS_ASSERT(config.hedgeDelayMs >= 0.0);
+    resilience_ = config;
+}
+
+void
 Simulation::setMinuteCallback(std::function<void(Simulation &, int)> callback)
 {
     minuteCallback_ = std::move(callback);
@@ -218,8 +277,12 @@ Simulation::noteBusyChange(HostState &host, double delta_cores)
 double
 Simulation::hostCpuUtil(const HostState &host) const
 {
-    return std::clamp(host.bgCpu + host.busyCores / host.cpuCapacity, 0.0,
-                      1.0);
+    double util = host.bgCpu + host.busyCores / host.cpuCapacity;
+    // A straggling host reports inflated utilization, feeding the
+    // interference model exactly like iBench background load does.
+    if (host.activeSlowdowns > 0)
+        util += faultConfig_.slowdownCpuInflate;
+    return std::clamp(util, 0.0, 1.0);
 }
 
 double
@@ -306,11 +369,15 @@ Simulation::reassignQueue(ContainerState &container)
 {
     for (auto &queue : container.queues) {
         while (!queue.empty()) {
-            CallContext *ctx = queue.front();
+            const QueuedJob job = queue.front();
             queue.pop_front();
             --container.queuedTotal;
-            ctx->container = nullptr;
-            dispatchCall(ctx, /*count_call=*/false);
+            const int slot = slotOf(job.ctx, job.attempt);
+            if (slot < 0)
+                continue; // stale entry (attempt already abandoned)
+            job.ctx->attempts[slot].queued = false;
+            job.ctx->attempts[slot].container = nullptr;
+            routeAttempt(job.ctx, job.attempt, /*count_call=*/false);
         }
     }
 }
@@ -385,7 +452,7 @@ Simulation::redistributeBacklog(MicroserviceId ms)
     auto it = deployments_.find(ms);
     if (it == deployments_.end())
         return;
-    std::vector<CallContext *> backlog;
+    std::vector<QueuedJob> backlog;
     for (auto &container : it->second) {
         for (auto &queue : container->queues) {
             while (!queue.empty()) {
@@ -395,9 +462,13 @@ Simulation::redistributeBacklog(MicroserviceId ms)
             }
         }
     }
-    for (CallContext *ctx : backlog) {
-        ctx->container = nullptr;
-        dispatchCall(ctx, /*count_call=*/false);
+    for (const QueuedJob &job : backlog) {
+        const int slot = slotOf(job.ctx, job.attempt);
+        if (slot < 0)
+            continue; // stale entry (attempt already abandoned)
+        job.ctx->attempts[slot].queued = false;
+        job.ctx->attempts[slot].container = nullptr;
+        routeAttempt(job.ctx, job.attempt, /*count_call=*/false);
     }
 }
 
@@ -622,29 +693,80 @@ Simulation::startRequest(std::size_t service_index)
     root->parent = nullptr;
     root->clientSend = events_.now();
 
-    const SimTime network =
-        toSimTime(catalog_.profile(root->ms).networkMs);
-    events_.scheduleAfter(network, [this, root] { dispatchCall(root); });
+    issueCall(root);
+}
+
+// A new call is born: count it and launch its primary attempt.
+void
+Simulation::issueCall(CallContext *ctx)
+{
+    ++metrics_.faults.firstAttempts;
+    launchAttempt(ctx, 0);
+}
+
+// Create an attempt in the given slot, arm its timeout (and, for
+// primary attempts, the hedge timer), and send it over the network.
+void
+Simulation::launchAttempt(CallContext *ctx, int slot)
+{
+    CallContext::AttemptSlot &attempt = ctx->attempts[slot];
+    attempt.id = nextAttempt_++;
+    attempt.container = nullptr;
+    attempt.queued = false;
+    attempt.receiveTime = 0;
+    const std::uint64_t id = attempt.id;
+
+    if (resilience_.timeoutMs > 0.0) {
+        events_.scheduleAfter(toSimTime(resilience_.timeoutMs),
+                              [this, ctx, id] {
+                                  onAttemptTimeout(ctx, id);
+                              });
+    }
+    if (slot == 0 && resilience_.hedgeDelayMs > 0.0) {
+        events_.scheduleAfter(toSimTime(resilience_.hedgeDelayMs),
+                              [this, ctx, id] { maybeHedge(ctx, id); });
+    }
+
+    const SimTime network = toSimTime(catalog_.profile(ctx->ms).networkMs);
+    events_.scheduleAfter(network, [this, ctx, id] {
+        routeAttempt(ctx, id, /*count_call=*/true);
+    });
 }
 
 void
-Simulation::dispatchCall(CallContext *ctx, bool count_call)
+Simulation::enqueueAttempt(ContainerState &container, CallContext *ctx,
+                           std::uint64_t attempt)
 {
+    const int rank = priorityRank(ctx->ms, ctx->req->service);
+    if (static_cast<std::size_t>(rank) >= container.queues.size())
+        container.queues.resize(static_cast<std::size_t>(rank) + 1);
+    container.queues[static_cast<std::size_t>(rank)].push_back(
+        QueuedJob{ctx, attempt});
+    ++container.queuedTotal;
+    const int slot = slotOf(ctx, attempt);
+    ERMS_ASSERT(slot >= 0);
+    ctx->attempts[slot].queued = true;
+}
+
+void
+Simulation::routeAttempt(CallContext *ctx, std::uint64_t attempt,
+                         bool count_call)
+{
+    const int slot = slotOf(ctx, attempt);
+    if (slot < 0)
+        return; // attempt abandoned while in network transit
+
     ContainerState *container = pickContainer(ctx->ms, ctx->req->service);
-    ctx->container = container;
+    ctx->attempts[slot].container = container;
     if (count_call) {
-        ctx->receiveTime = events_.now();
+        ctx->attempts[slot].receiveTime = events_.now();
         ++container->callsThisMinute;
     }
 
     if (container->readyAt > events_.now()) {
         // Container still starting: queue the job and kick the queue
         // once startup completes.
-        const int rank = priorityRank(ctx->ms, ctx->req->service);
-        if (static_cast<std::size_t>(rank) >= container->queues.size())
-            container->queues.resize(static_cast<std::size_t>(rank) + 1);
-        container->queues[static_cast<std::size_t>(rank)].push_back(ctx);
-        ++container->queuedTotal;
+        enqueueAttempt(*container, ctx, attempt);
         // Look the container up by id when the event fires: scale-in
         // may have erased it (its queue gets reassigned on drain).
         const MicroserviceId ms = ctx->ms;
@@ -657,10 +779,10 @@ Simulation::dispatchCall(CallContext *ctx, bool count_call)
                 if (candidate->id != id)
                     continue;
                 while (candidate->busy < candidate->threads) {
-                    CallContext *next = nextQueuedJob(*candidate);
-                    if (next == nullptr)
+                    const QueuedJob next = popQueuedJob(*candidate);
+                    if (next.ctx == nullptr)
                         break;
-                    startJob(*candidate, next);
+                    startJob(*candidate, next.ctx, next.attempt);
                 }
                 return;
             }
@@ -669,20 +791,17 @@ Simulation::dispatchCall(CallContext *ctx, bool count_call)
     }
 
     if (container->busy < container->threads) {
-        startJob(*container, ctx);
+        startJob(*container, ctx, attempt);
         return;
     }
-    const int rank = priorityRank(ctx->ms, ctx->req->service);
-    if (static_cast<std::size_t>(rank) >= container->queues.size())
-        container->queues.resize(static_cast<std::size_t>(rank) + 1);
-    container->queues[static_cast<std::size_t>(rank)].push_back(ctx);
-    ++container->queuedTotal;
+    enqueueAttempt(*container, ctx, attempt);
 }
 
 void
-Simulation::startJob(ContainerState &container, CallContext *ctx)
+Simulation::startJob(ContainerState &container, CallContext *ctx,
+                     std::uint64_t attempt)
 {
-    const MicroserviceProfile &profile = catalog_.profile(ctx->ms);
+    const MicroserviceProfile &profile = catalog_.profile(container.ms);
     HostState &host = *hosts_[container.host];
     ++container.busy;
     const double per_thread_cores =
@@ -691,64 +810,122 @@ Simulation::startJob(ContainerState &container, CallContext *ctx)
 
     const double cpu = hostCpuUtil(host);
     const double mem = hostMemUtil(host);
-    const double mean_ms =
+    double mean_ms =
         profile.baseServiceMs *
         (1.0 + profile.cpuSlowdown * cpu + profile.memSlowdown * mem);
+    // Straggler window: every µs of work on this host takes longer.
+    if (host.activeSlowdowns > 0)
+        mean_ms *= faultConfig_.slowdownFactor;
     const double proc_ms =
         rng_.logNormalMeanCv(mean_ms, profile.serviceCv);
     const SimTime proc = std::max<SimTime>(1, toSimTime(proc_ms));
-    events_.scheduleAfter(proc, [this, ctx] { finishJob(ctx); });
+    // Capture the container: ctx's attempt slots may be retargeted
+    // before the job completes (timeout, hedge win), but the thread and
+    // host bookkeeping always belongs to this container.
+    events_.scheduleAfter(proc, [this, ctx, attempt, c = &container] {
+        finishJob(ctx, attempt, c);
+    });
 }
 
-Simulation::CallContext *
-Simulation::nextQueuedJob(ContainerState &container)
+Simulation::QueuedJob
+Simulation::popQueuedJob(ContainerState &container)
 {
-    if (container.queuedTotal == 0)
-        return nullptr;
-
-    // Collect the non-empty priority classes, highest priority first.
-    std::size_t last_nonempty = 0;
-    std::size_t nonempty = 0;
-    for (std::size_t rank = 0; rank < container.queues.size(); ++rank) {
-        if (!container.queues[rank].empty()) {
-            ++nonempty;
-            last_nonempty = rank;
+    while (container.queuedTotal > 0) {
+        // Collect the non-empty priority classes, highest priority first.
+        std::size_t last_nonempty = 0;
+        std::size_t nonempty = 0;
+        for (std::size_t rank = 0; rank < container.queues.size();
+             ++rank) {
+            if (!container.queues[rank].empty()) {
+                ++nonempty;
+                last_nonempty = rank;
+            }
         }
-    }
-    ERMS_ASSERT(nonempty > 0);
+        ERMS_ASSERT(nonempty > 0);
 
-    std::size_t chosen = last_nonempty;
-    if (nonempty > 1) {
-        // Paper §5.3.2: the l-th highest priority class is served with
-        // probability delta^(l-1) * (1 - delta); the lowest class takes
-        // the remaining mass.
-        const double delta = config_.schedulingDelta;
-        for (std::size_t rank = 0; rank < last_nonempty; ++rank) {
-            if (container.queues[rank].empty())
-                continue;
-            if (rng_.bernoulli(1.0 - delta)) {
-                chosen = rank;
+        std::size_t chosen = last_nonempty;
+        if (nonempty > 1) {
+            // Paper §5.3.2: the l-th highest priority class is served
+            // with probability delta^(l-1) * (1 - delta); the lowest
+            // class takes the remaining mass.
+            const double delta = config_.schedulingDelta;
+            for (std::size_t rank = 0; rank < last_nonempty; ++rank) {
+                if (container.queues[rank].empty())
+                    continue;
+                if (rng_.bernoulli(1.0 - delta)) {
+                    chosen = rank;
+                    break;
+                }
+            }
+        }
+
+        const QueuedJob job = container.queues[chosen].front();
+        container.queues[chosen].pop_front();
+        --container.queuedTotal;
+        const int slot = slotOf(job.ctx, job.attempt);
+        if (slot < 0)
+            continue; // stale entry (abandoned attempt); drop it
+        job.ctx->attempts[slot].queued = false;
+        return job;
+    }
+    return QueuedJob{};
+}
+
+void
+Simulation::finishJob(CallContext *ctx, std::uint64_t attempt,
+                      ContainerState *container)
+{
+    const MicroserviceProfile &profile = catalog_.profile(container->ms);
+    HostState &host = *hosts_[container->host];
+    --container->busy;
+    noteBusyChange(host,
+                   -profile.resources.cpuCores / container->threads);
+
+    // Read fault state before the container can be erased below.
+    const bool crashed = container->crashed;
+
+    // Give the freed thread to the next queued job (delta-priority rule).
+    const QueuedJob next = popQueuedJob(*container);
+    if (next.ctx != nullptr) {
+        startJob(*container, next.ctx, next.attempt);
+    } else if (container->draining && container->busy == 0 &&
+               container->queuedTotal == 0) {
+        auto &containers = deployments_[container->ms];
+        for (std::size_t i = 0; i < containers.size(); ++i) {
+            if (containers[i].get() == container) {
+                containers.erase(containers.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
                 break;
             }
         }
     }
+    // `container` may be dangling from here on.
 
-    CallContext *ctx = container.queues[chosen].front();
-    container.queues[chosen].pop_front();
-    --container.queuedTotal;
-    return ctx;
+    const int slot = slotOf(ctx, attempt);
+    if (slot < 0)
+        return; // abandoned attempt (timeout / hedge lost): discard
+
+    if (crashed) {
+        // The container died mid-processing; the response is lost.
+        failAttempt(ctx, attempt, FailureKind::Crash);
+        return;
+    }
+    if (faultsEnabled_ && faultConfig_.callFailureProbability > 0.0 &&
+        callFaultRng_.bernoulli(faultConfig_.callFailureProbability)) {
+        failAttempt(ctx, attempt, FailureKind::Transient);
+        return;
+    }
+    deliverCall(ctx, slot);
 }
 
+// A call attempt produced a response: record the microservice latency
+// sample, settle the hedge race, and resume the dependency graph.
 void
-Simulation::finishJob(CallContext *ctx)
+Simulation::deliverCall(CallContext *ctx, int slot)
 {
-    ContainerState &container = *ctx->container;
     const MicroserviceProfile &profile = catalog_.profile(ctx->ms);
-    HostState &host = *hosts_[container.host];
-    --container.busy;
-    noteBusyChange(host, -profile.resources.cpuCores / container.threads);
-
     ctx->procDone = events_.now();
+    ctx->receiveTime = ctx->attempts[slot].receiveTime;
 
     // Ground-truth microservice latency sample: queueing + processing +
     // transmission (§2.2 includes transmission in L_i).
@@ -756,20 +933,12 @@ Simulation::finishJob(CallContext *ctx)
         toMillis(ctx->procDone - ctx->receiveTime) + profile.networkMs;
     scratch_->msLatency[ctx->ms].add(own_ms);
 
-    // Give the freed thread to the next queued job (delta-priority rule).
-    if (CallContext *next = nextQueuedJob(container)) {
-        startJob(container, next);
-    } else if (container.draining && container.busy == 0 &&
-               container.queuedTotal == 0) {
-        auto &containers = deployments_[container.ms];
-        for (std::size_t i = 0; i < containers.size(); ++i) {
-            if (containers[i].get() == &container) {
-                containers.erase(containers.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-                break;
-            }
-        }
-    }
+    if (slot == 1)
+        ++metrics_.faults.hedgeWins;
+    // Cancel the losing attempt (hedge-winner cancellation): dequeue it
+    // if still waiting; a running loser finishes and is discarded.
+    cancelAttempt(ctx, 1 - slot);
+    ctx->attempts[slot] = CallContext::AttemptSlot{};
 
     ctx->stageIdx = 0;
     launchStage(ctx);
@@ -797,11 +966,7 @@ Simulation::launchStage(CallContext *ctx)
                 child->parent = ctx;
                 child->clientSend = events_.now();
                 ++launched;
-                const SimTime network =
-                    toSimTime(catalog_.profile(call.callee).networkMs);
-                events_.scheduleAfter(network, [this, child] {
-                    dispatchCall(child);
-                });
+                issueCall(child);
             }
         }
         if (launched > 0) {
@@ -837,7 +1002,29 @@ Simulation::completeContext(CallContext *ctx)
     CallContext *parent = ctx->parent;
     RequestState *req = ctx->req;
     scratch_->releaseCtx(ctx);
+    propagateCompletion(parent, req, network);
+}
 
+// A call ran out of retry budget: the caller receives an error. The
+// request keeps flowing (degraded response) but is marked failed —
+// no downstream work of this call executes, no latency sample or span
+// is recorded for it.
+void
+Simulation::failCall(CallContext *ctx)
+{
+    ++metrics_.faults.callsFailed;
+    ctx->req->failed = true;
+    const SimTime network = toSimTime(catalog_.profile(ctx->ms).networkMs);
+    CallContext *parent = ctx->parent;
+    RequestState *req = ctx->req;
+    scratch_->releaseCtx(ctx);
+    propagateCompletion(parent, req, network);
+}
+
+void
+Simulation::propagateCompletion(CallContext *parent, RequestState *req,
+                                SimTime network)
+{
     if (parent != nullptr) {
         events_.scheduleAfter(network, [this, parent] {
             ERMS_ASSERT(parent->pendingChildren > 0);
@@ -857,6 +1044,17 @@ Simulation::finishRequest(RequestState *req)
     const SimTime now = events_.now();
     const double latency_ms = toMillis(now - req->arrival);
     const std::uint64_t minute = now / kMinute;
+
+    if (req->failed) {
+        // Failed requests violate their SLA by definition; they carry
+        // no meaningful latency, so they are accounted separately (see
+        // SimMetrics::sloViolationRate).
+        ++metrics_.requestsFailed;
+        if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes))
+            ++metrics_.failedByService[req->service];
+        scratch_->releaseReq(req);
+        return;
+    }
     ++metrics_.requestsCompleted;
 
     metrics_.endToEndByMinute[req->service].add(minute, latency_ms);
@@ -864,6 +1062,219 @@ Simulation::finishRequest(RequestState *req)
         metrics_.endToEndMs[req->service].add(latency_ms);
 
     scratch_->releaseReq(req);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection and resilience
+// ---------------------------------------------------------------------
+
+int
+Simulation::slotOf(const CallContext *ctx, std::uint64_t attempt) const
+{
+    if (attempt == 0)
+        return -1;
+    if (ctx->attempts[0].id == attempt)
+        return 0;
+    if (ctx->attempts[1].id == attempt)
+        return 1;
+    return -1;
+}
+
+void
+Simulation::dequeueAttempt(CallContext *ctx, int slot)
+{
+    CallContext::AttemptSlot &attempt = ctx->attempts[slot];
+    if (!attempt.queued || attempt.container == nullptr)
+        return;
+    for (auto &queue : attempt.container->queues) {
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (it->ctx == ctx && it->attempt == attempt.id) {
+                queue.erase(it);
+                --attempt.container->queuedTotal;
+                attempt.queued = false;
+                return;
+            }
+        }
+    }
+    ERMS_ASSERT_MSG(false, "queued attempt missing from its queue");
+}
+
+void
+Simulation::cancelAttempt(CallContext *ctx, int slot)
+{
+    if (ctx->attempts[slot].id == 0)
+        return;
+    dequeueAttempt(ctx, slot);
+    ctx->attempts[slot] = CallContext::AttemptSlot{};
+}
+
+void
+Simulation::onAttemptTimeout(CallContext *ctx, std::uint64_t attempt)
+{
+    if (slotOf(ctx, attempt) < 0)
+        return; // already delivered, failed, or replaced
+    // A running attempt is abandoned: its thread finishes the job but
+    // the result is discarded (work is not preempted).
+    failAttempt(ctx, attempt, FailureKind::Timeout);
+}
+
+void
+Simulation::maybeHedge(CallContext *ctx, std::uint64_t attempt)
+{
+    // Launch the hedge only if the primary attempt that armed this
+    // timer is still the one in flight and nothing has answered yet.
+    if (ctx->attempts[0].id != attempt || ctx->attempts[1].id != 0)
+        return;
+    ++metrics_.faults.hedgesLaunched;
+    launchAttempt(ctx, 1);
+}
+
+void
+Simulation::failAttempt(CallContext *ctx, std::uint64_t attempt,
+                        FailureKind kind)
+{
+    const int slot = slotOf(ctx, attempt);
+    if (slot < 0)
+        return;
+    switch (kind) {
+      case FailureKind::Timeout:
+        ++metrics_.faults.callTimeouts;
+        break;
+      case FailureKind::Transient:
+        ++metrics_.faults.transientFailures;
+        break;
+      case FailureKind::Crash:
+        ++metrics_.faults.crashFailures;
+        break;
+    }
+    dequeueAttempt(ctx, slot);
+    ctx->attempts[slot] = CallContext::AttemptSlot{};
+
+    if (ctx->attempts[1 - slot].id != 0)
+        return; // the hedge race partner is still in flight
+
+    if (ctx->retriesUsed < resilience_.maxRetries) {
+        ++ctx->retriesUsed;
+        ++metrics_.faults.callRetries;
+        // Exponential backoff with uniform jitter, drawn from the
+        // resilience stream so it never perturbs workload randomness.
+        double backoff_ms =
+            resilience_.retryBackoffMs *
+            std::pow(resilience_.retryBackoffMultiplier,
+                     ctx->retriesUsed - 1);
+        if (resilience_.retryJitter > 0.0)
+            backoff_ms *=
+                1.0 + resilience_.retryJitter * resilienceRng_.uniform();
+        // Both slots are now empty: the call is quiescent until the
+        // retry fires, so capturing ctx without a guard is safe.
+        events_.scheduleAfter(std::max<SimTime>(1, toSimTime(backoff_ms)),
+                              [this, ctx] { launchAttempt(ctx, 0); });
+        return;
+    }
+    failCall(ctx);
+}
+
+void
+Simulation::onCrashEvent(std::uint64_t victim_draw)
+{
+    // Deterministic victim order: microservice id, then deployment
+    // order (unordered_map iteration order is unspecified).
+    std::vector<MicroserviceId> ids;
+    ids.reserve(deployments_.size());
+    for (const auto &[ms, containers] : deployments_)
+        ids.push_back(ms);
+    std::sort(ids.begin(), ids.end());
+
+    std::vector<ContainerState *> candidates;
+    for (MicroserviceId ms : ids) {
+        for (const auto &container : deployments_[ms]) {
+            if (!container->draining)
+                candidates.push_back(container.get());
+        }
+    }
+    if (candidates.empty())
+        return;
+    crashContainer(
+        *candidates[victim_draw % candidates.size()]);
+}
+
+void
+Simulation::crashContainer(ContainerState &victim)
+{
+    ++metrics_.faults.containerCrashes;
+    victim.crashed = true;
+    victim.draining = true;
+
+    // Capacity is lost immediately: countPool()/containerCount() drop,
+    // so controllers observe the loss and the ordinary scaling path
+    // (applyPlan/setContainerCount) replaces the capacity on its next
+    // pass even without auto-restart.
+    const MicroserviceProfile &profile = catalog_.profile(victim.ms);
+    HostState &host = *hosts_[victim.host];
+    host.cpuAllocated -= profile.resources.cpuCores;
+    host.memAllocated -= profile.resources.memoryMb;
+    --host.containerCount;
+
+    // Queued work fails over (resilience permitting).
+    std::vector<QueuedJob> lost;
+    for (const auto &queue : victim.queues)
+        for (const QueuedJob &job : queue)
+            lost.push_back(job);
+    for (const QueuedJob &job : lost)
+        failAttempt(job.ctx, job.attempt, FailureKind::Crash);
+    for (auto &queue : victim.queues)
+        queue.clear(); // drop stale leftovers, if any
+    victim.queuedTotal = 0;
+
+    // Model the kubelet restarting the pod after a delay; the restart
+    // then pays the usual containerStartupMs before accepting work.
+    if (faultConfig_.restartDelayMs >= 0.0) {
+        const MicroserviceId ms = victim.ms;
+        const ServiceId dedicated = victim.dedicatedService;
+        events_.scheduleAfter(
+            std::max<SimTime>(1, toSimTime(faultConfig_.restartDelayMs)),
+            [this, ms, dedicated] {
+                ++metrics_.faults.containerRestarts;
+                addContainer(ms, dedicated);
+                redistributeBacklog(ms);
+            });
+    }
+
+    // In-flight jobs keep their threads until completion; finishJob
+    // discards their results and erases the container once drained.
+    if (victim.busy == 0) {
+        auto &containers = deployments_[victim.ms];
+        for (std::size_t i = 0; i < containers.size(); ++i) {
+            if (containers[i].get() == &victim) {
+                containers.erase(containers.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+    }
+}
+
+void
+Simulation::installFaultSchedule(SimTime horizon)
+{
+    if (!faultsEnabled_)
+        return;
+    const FaultSchedule schedule =
+        buildFaultSchedule(faultConfig_, config_.hostCount, horizon);
+    for (const CrashEvent &crash : schedule.crashes) {
+        events_.schedule(crash.at, [this, draw = crash.victimDraw] {
+            onCrashEvent(draw);
+        });
+    }
+    for (const SlowdownWindow &window : schedule.slowdowns) {
+        events_.schedule(window.start, [this, host = window.host] {
+            ++hosts_[host]->activeSlowdowns;
+            ++metrics_.faults.slowdownWindows;
+        });
+        events_.schedule(window.end, [this, host = window.host] {
+            --hosts_[host]->activeSlowdowns;
+        });
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -961,6 +1372,7 @@ Simulation::containerViews(MicroserviceId ms) const
         view.busy = container->busy;
         view.queued = container->queuedTotal;
         view.draining = container->draining;
+        view.crashed = container->crashed;
         view.readyAt = container->readyAt;
         views.push_back(view);
     }
@@ -989,12 +1401,15 @@ Simulation::run()
     ERMS_ASSERT_MSG(!ran_, "Simulation::run may only be called once");
     ran_ = true;
 
+    const SimTime horizon =
+        static_cast<SimTime>(config_.horizonMinutes) * kMinute;
+    // Fault schedule first: with faults disabled this adds no events,
+    // keeping the event sequence identical to a fault-free build.
+    installFaultSchedule(horizon);
     for (std::size_t i = 0; i < services_.size(); ++i)
         scheduleArrival(i);
     events_.schedule(kMinute, [this] { onMinuteBoundary(); });
 
-    const SimTime horizon =
-        static_cast<SimTime>(config_.horizonMinutes) * kMinute;
     metrics_.eventsDispatched = events_.runUntil(horizon);
 }
 

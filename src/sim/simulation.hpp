@@ -18,7 +18,14 @@
  *  - online scaling: container counts can change mid-run through a
  *    PlacementPolicy, and a per-minute controller hook drives closed-loop
  *    experiments (Fig. 13);
- *  - tracing: client/server spans per call, emitted to a SpanCollector.
+ *  - tracing: client/server spans per call, emitted to a SpanCollector;
+ *  - fault injection and resilience (src/fault): seed-driven container
+ *    crash/restart schedules, host slowdown windows feeding the
+ *    interference model, transient per-call failures; the dispatch path
+ *    optionally retries with exponential backoff + jitter, applies
+ *    per-attempt timeouts, and hedges slow calls. All disabled by
+ *    default — a run without faults/resilience is byte-identical to the
+ *    pre-fault-layer simulator (no extra RNG draws, no extra events).
  */
 
 #ifndef ERMS_SIM_SIMULATION_HPP
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "graph/dependency_graph.hpp"
 #include "model/catalog.hpp"
 #include "scaling/plan.hpp"
@@ -99,6 +107,8 @@ struct ContainerView
     int busy = 0;
     std::size_t queued = 0;
     bool draining = false;
+    /** Killed by fault injection (implies draining). */
+    bool crashed = false;
     /** Simulated time the container starts accepting work. */
     SimTime readyAt = 0;
 };
@@ -152,6 +162,22 @@ class Simulation
 
     void setSchedulingDelta(double delta);
 
+    // --- fault injection and resilience --------------------------------
+
+    /**
+     * Configure fault injection for this run (must be called before
+     * run()). The schedule is derived from config.seed alone — the same
+     * seed yields the same crash times and slowdown windows under any
+     * workload, resilience policy, or runner worker count.
+     */
+    void setFaultConfig(const FaultConfig &config);
+
+    /** Configure the dispatch path's resilience policy (before run()). */
+    void setResilienceConfig(const ResilienceConfig &config);
+
+    const FaultConfig &faultConfig() const { return faultConfig_; }
+    const ResilienceConfig &resilienceConfig() const { return resilience_; }
+
     // --- services and tracing ------------------------------------------
 
     void addService(ServiceWorkload service);
@@ -204,6 +230,15 @@ class Simulation
     struct ContainerState;
     struct RequestState;
     struct CallContext;
+    struct QueuedJob;
+
+    /** Why one call attempt failed (metrics + retry routing). */
+    enum class FailureKind
+    {
+        Timeout,
+        Transient,
+        Crash,
+    };
 
     // deployment internals
     ContainerState *addContainer(MicroserviceId ms,
@@ -218,14 +253,37 @@ class Simulation
     // request execution internals
     void scheduleArrival(std::size_t service_index);
     void startRequest(std::size_t service_index);
-    void dispatchCall(CallContext *ctx, bool count_call = true);
-    void startJob(ContainerState &container, CallContext *ctx);
-    void finishJob(CallContext *ctx);
+    void issueCall(CallContext *ctx);
+    void launchAttempt(CallContext *ctx, int slot);
+    void routeAttempt(CallContext *ctx, std::uint64_t attempt,
+                      bool count_call);
+    void enqueueAttempt(ContainerState &container, CallContext *ctx,
+                        std::uint64_t attempt);
+    void startJob(ContainerState &container, CallContext *ctx,
+                  std::uint64_t attempt);
+    void finishJob(CallContext *ctx, std::uint64_t attempt,
+                   ContainerState *container);
+    void deliverCall(CallContext *ctx, int slot);
     void launchStage(CallContext *ctx);
     void completeContext(CallContext *ctx);
+    void propagateCompletion(CallContext *parent, RequestState *req,
+                             SimTime network);
     void finishRequest(RequestState *req);
-    CallContext *nextQueuedJob(ContainerState &container);
+    QueuedJob popQueuedJob(ContainerState &container);
     int priorityRank(MicroserviceId ms, ServiceId service) const;
+
+    // fault / resilience internals
+    int slotOf(const CallContext *ctx, std::uint64_t attempt) const;
+    void dequeueAttempt(CallContext *ctx, int slot);
+    void cancelAttempt(CallContext *ctx, int slot);
+    void onAttemptTimeout(CallContext *ctx, std::uint64_t attempt);
+    void maybeHedge(CallContext *ctx, std::uint64_t attempt);
+    void failAttempt(CallContext *ctx, std::uint64_t attempt,
+                     FailureKind kind);
+    void failCall(CallContext *ctx);
+    void onCrashEvent(std::uint64_t victim_draw);
+    void crashContainer(ContainerState &victim);
+    void installFaultSchedule(SimTime horizon);
 
     // time bookkeeping
     void onMinuteBoundary();
@@ -238,6 +296,12 @@ class Simulation
     SimConfig config_;
     EventQueue events_;
     Rng rng_;
+    FaultConfig faultConfig_;
+    ResilienceConfig resilience_;
+    bool faultsEnabled_ = false;
+    Rng callFaultRng_;   ///< transient-failure draws (own stream)
+    Rng resilienceRng_;  ///< retry-jitter draws (own stream)
+    std::uint64_t nextAttempt_ = 1;
     std::shared_ptr<PlacementPolicy> placement_;
     SpanCollector *spans_ = nullptr;
     std::function<void(Simulation &, int)> minuteCallback_;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "graph/dependency_graph.hpp"
 #include "model/catalog.hpp"
 #include "runner/parallel_runner.hpp"
@@ -223,6 +224,104 @@ TEST(ParallelRunner, SerialAndParallelSweepsAreByteIdentical)
         // Bit-identical latency, not merely statistically close.
         EXPECT_EQ(serial[i].second, parallel[i].second) << "run " << i;
     }
+}
+
+/** Fault metrics of one faulty run, everything that could diverge. */
+struct FaultRunDigest
+{
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    double p95 = 0.0;
+
+    bool
+    operator==(const FaultRunDigest &other) const
+    {
+        return completed == other.completed && failed == other.failed &&
+               crashes == other.crashes && retries == other.retries &&
+               timeouts == other.timeouts && p95 == other.p95;
+    }
+};
+
+FaultRunDigest
+simulateFaultyRun(const MicroserviceCatalog &catalog,
+                  const DependencyGraph &graph, std::uint64_t base_seed,
+                  std::size_t run_index)
+{
+    SimConfig config;
+    config.horizonMinutes = 2;
+    config.warmupMinutes = 0;
+    config.seed = deriveRunSeed(base_seed, run_index);
+    Simulation sim(catalog, config);
+    ServiceWorkload svc;
+    svc.id = 0;
+    svc.graph = &graph;
+    svc.rate = 700.0;
+    sim.addService(svc);
+    sim.setContainerCount(graph.root(), 3);
+
+    FaultConfig fault;
+    fault.seed = deriveRunSeed(base_seed + 1, run_index);
+    fault.crashesPerMinute = 4.0;
+    fault.restartDelayMs = 600.0;
+    // High enough that some requests exhaust the 2-retry budget, so the
+    // failure path is exercised in the digest comparison below.
+    fault.callFailureProbability = 0.3;
+    sim.setFaultConfig(fault);
+
+    ResilienceConfig resilience;
+    resilience.maxRetries = 2;
+    resilience.timeoutMs = 60.0;
+    resilience.hedgeDelayMs = 30.0;
+    sim.setResilienceConfig(resilience);
+
+    sim.run();
+    FaultRunDigest digest;
+    digest.completed = sim.metrics().requestsCompleted;
+    digest.failed = sim.metrics().requestsFailed;
+    digest.crashes = sim.metrics().faults.containerCrashes;
+    digest.retries = sim.metrics().faults.callRetries;
+    digest.timeouts = sim.metrics().faults.callTimeouts;
+    digest.p95 = sim.metrics().p95(0);
+    return digest;
+}
+
+TEST(ParallelRunner, FaultInjectionSweepsAreIdenticalAcrossWorkerCounts)
+{
+    MicroserviceCatalog catalog;
+    MicroserviceProfile profile;
+    profile.name = "fault-determinism";
+    profile.baseServiceMs = 6.0;
+    profile.threadsPerContainer = 2;
+    profile.serviceCv = 0.4;
+    const MicroserviceId ms = catalog.add(profile);
+    const DependencyGraph graph(0, ms);
+
+    const auto sweep = [&](int workers) {
+        ParallelRunner runner(RunnerOptions{workers});
+        std::vector<std::function<FaultRunDigest()>> tasks;
+        for (std::size_t i = 0; i < 5; ++i) {
+            tasks.push_back(
+                [&, i] { return simulateFaultyRun(catalog, graph, 7, i); });
+        }
+        return runner.runAll(std::move(tasks));
+    };
+
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_TRUE(serial[i] == parallel[i]) << "run " << i;
+    // The faults actually fired (the comparison is not vacuous).
+    std::uint64_t crashes = 0, failed = 0;
+    for (const FaultRunDigest &digest : serial) {
+        crashes += digest.crashes;
+        failed += digest.failed;
+    }
+    EXPECT_GT(crashes, 0u);
+    EXPECT_GT(failed, 0u);
 }
 
 } // namespace

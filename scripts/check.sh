@@ -2,7 +2,10 @@
 # Full pre-merge check: the tier-1 build + test verification, then an
 # AddressSanitizer build exercising the fault-injection and runner
 # tests (the code paths with the hairiest object lifetimes: pooled call
-# contexts, container erasure on crash, hedge cancellation).
+# contexts, container erasure on crash, hedge cancellation), the golden
+# and property suites, and a runner-determinism pass (the golden tables
+# must come out identical with one worker and with the hardware
+# default).
 #
 # Usage: scripts/check.sh [jobs]   (default: 2)
 
@@ -15,12 +18,21 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== asan: fault + runner tests (build-asan/) =="
+echo "== asan: fault + runner + golden + property tests (build-asan/) =="
 cmake -B build-asan -S . -DERMS_SANITIZE=address
 cmake --build build-asan -j"$JOBS" \
-    --target erms_tests_sim erms_tests_runner
+    --target erms_tests_sim erms_tests_runner erms_tests_golden \
+             erms_tests_system erms_tests_telemetry
 ./build-asan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
 ./build-asan/tests/erms_tests_runner
+./build-asan/tests/erms_tests_golden
+./build-asan/tests/erms_tests_system \
+    --gtest_filter='*Property*:*StatsMerge*:*HistogramMerge*:*TelemetryTransparency*'
+./build-asan/tests/erms_tests_telemetry
+
+echo "== runner determinism: golden tables with 1 worker vs default =="
+ERMS_RUNNER_THREADS=1 ./build/tests/erms_tests_golden
+./build/tests/erms_tests_golden
 
 echo "== all checks passed =="

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden tables under tests/golden/ after an
+# intentional behaviour change. The golden suite (erms_tests_golden)
+# compares scenario output against these files byte for byte — doubles
+# are hexfloats, so even a single-ULP drift anywhere in the pipeline
+# fails the comparison and lands here.
+#
+# Usage: scripts/regen_golden.sh [jobs]   (default: 2)
+#
+# Commit the regenerated files together with the change that moved
+# them, and say in the commit message why the tables moved.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-2}"
+
+cmake -B build -S .
+cmake --build build -j"$JOBS" --target erms_golden_regen
+./build/tests/erms_golden_regen
+
+echo "== golden tables regenerated; review the diff before committing =="
+git --no-pager diff --stat -- tests/golden || true

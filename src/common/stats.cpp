@@ -29,7 +29,10 @@ StreamingStats::variance() const
 {
     if (n_ < 2)
         return 0.0;
-    return m2_ / static_cast<double>(n_ - 1);
+    // Floating-point cancellation in the Welford/Chan updates can leave
+    // m2_ a tiny negative value (or -0.0) for near-constant streams;
+    // clamp so variance is never negative and stddev never NaN.
+    return std::max(0.0, m2_) / static_cast<double>(n_ - 1);
 }
 
 double

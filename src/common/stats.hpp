@@ -36,6 +36,9 @@ class StreamingStats
      * matches the callers (profiling fits, Rhythm's contribution
      * statistics) that treat these accumulators as estimates from a
      * finite observation window rather than a full population.
+     * Clamped at zero: cancellation can drive the accumulated second
+     * moment slightly negative for near-constant streams, which would
+     * otherwise surface as a negative variance and a NaN stddev.
      */
     double variance() const;
 

@@ -4,26 +4,44 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/erms.hpp"
 
 namespace erms {
+
+namespace {
+
+/** True when controller reads should go through the scraped view. */
+bool
+viewActive(const std::shared_ptr<const telemetry::TelemetryView> &view)
+{
+    return view != nullptr && !telemetry::oracleTelemetryRequested();
+}
+
+} // namespace
 
 std::function<void(Simulation &, int)>
 makeBaselineAutoscaler(std::shared_ptr<BaselineAllocator> allocator,
                        BaselineContext context,
                        std::vector<ServiceSpec> services,
-                       double workload_headroom)
+                       double workload_headroom,
+                       std::shared_ptr<const telemetry::TelemetryView> view)
 {
     ERMS_ASSERT(allocator != nullptr);
     ERMS_ASSERT(context.catalog != nullptr);
+    if (!viewActive(view))
+        view = nullptr;
     return [allocator, context, services = std::move(services),
-            workload_headroom](Simulation &sim, int) mutable {
+            workload_headroom, view](Simulation &sim, int) mutable {
         for (ServiceSpec &svc : services) {
-            const double observed = sim.observedRate(svc.id);
+            const double observed = view != nullptr
+                                        ? view->observedRate(svc.id)
+                                        : sim.observedRate(svc.id);
             if (observed > 0.0)
                 svc.workload = observed * workload_headroom;
         }
         BaselineContext ctx = context;
-        ctx.interference = sim.clusterInterference();
+        ctx.interference = view != nullptr ? view->clusterInterference()
+                                           : sim.clusterInterference();
         const GlobalPlan plan = allocator->allocate(services, ctx);
         sim.applyPlan(plan);
     };
@@ -31,36 +49,56 @@ makeBaselineAutoscaler(std::shared_ptr<BaselineAllocator> allocator,
 
 std::function<void(Simulation &, int)>
 makeFirmReactiveController(const MicroserviceCatalog &catalog,
-                           std::vector<ServiceSpec> services)
+                           std::vector<ServiceSpec> services,
+                           std::shared_ptr<const telemetry::TelemetryView> view)
 {
-    return [&catalog, services = std::move(services)](Simulation &sim,
-                                                      int minute) {
+    if (!viewActive(view))
+        view = nullptr;
+    return [&catalog, services = std::move(services),
+            view](Simulation &sim, int minute) {
         const auto &metrics = sim.metrics();
         for (const ServiceSpec &svc : services) {
-            auto windows_it =
-                metrics.endToEndByMinute.find(svc.id);
-            if (windows_it == metrics.endToEndByMinute.end())
-                continue;
-            const SampleSet &window = windows_it->second.window(
-                static_cast<std::uint64_t>(minute));
-            if (window.empty())
-                continue;
-            const double p95 = window.p95();
+            double p95 = 0.0;
+            if (view != nullptr) {
+                p95 = view->serviceP95Ms(svc.id);
+                if (p95 <= 0.0)
+                    continue; // no sampled spans landed in the window
+            } else {
+                auto windows_it = metrics.endToEndByMinute.find(svc.id);
+                if (windows_it == metrics.endToEndByMinute.end())
+                    continue;
+                const SampleSet &window = windows_it->second.window(
+                    static_cast<std::uint64_t>(minute));
+                if (window.empty())
+                    continue;
+                p95 = window.p95();
+            }
 
             if (p95 > svc.slaMs) {
                 // Locate the critical component: the microservice with
                 // the worst observed tail latency this minute.
                 MicroserviceId critical = kInvalidMicroservice;
                 double worst = -1.0;
-                for (const ProfilingRecord &record : metrics.profiling) {
-                    if (record.minute !=
-                        static_cast<std::uint64_t>(minute))
-                        continue;
-                    if (!svc.graph->contains(record.microservice))
-                        continue;
-                    if (record.tailLatencyMs > worst) {
-                        worst = record.tailLatencyMs;
-                        critical = record.microservice;
+                if (view != nullptr) {
+                    for (MicroserviceId id : svc.graph->nodes()) {
+                        const double tail = view->microserviceTailMs(id);
+                        if (tail > worst) {
+                            worst = tail;
+                            critical = id;
+                        }
+                    }
+                } else {
+                    for (const ProfilingRecord &record :
+                         metrics.profiling) {
+                        if (record.minute !=
+                            static_cast<std::uint64_t>(minute))
+                            continue;
+                        if (!svc.graph->contains(record.microservice))
+                            continue;
+                        if (record.tailLatencyMs > worst) {
+                            worst = record.tailLatencyMs;
+                            critical = record.microservice;
+                        }
                     }
                 }
                 if (critical == kInvalidMicroservice)
@@ -99,12 +137,17 @@ makeFirmReactiveController(const MicroserviceCatalog &catalog,
 }
 
 std::function<void(Simulation &, int)>
-makeCapacityRepairController(GlobalPlan plan)
+makeCapacityRepairController(
+    GlobalPlan plan, std::shared_ptr<const telemetry::TelemetryView> view)
 {
-    return [plan = std::move(plan)](Simulation &sim, int) {
+    if (!viewActive(view))
+        view = nullptr;
+    return [plan = std::move(plan), view](Simulation &sim, int) {
         if (plan.policy == SharingPolicy::NonSharing) {
             // Partitioned deployments: restore each service's dedicated
             // partition to its planned size (a no-op when intact).
+            // Oracle reads even with a view: the container gauge tracks
+            // whole shared pools, not per-service partitions.
             for (const auto &alloc : plan.services) {
                 for (const auto &[ms, ms_alloc] : alloc.perMicroservice)
                     sim.setDedicatedContainerCount(ms, alloc.service,
@@ -113,10 +156,23 @@ makeCapacityRepairController(GlobalPlan plan)
             return;
         }
         for (const auto &[ms, count] : plan.containers) {
-            if (sim.containerCount(ms) < count)
+            int live = -1;
+            if (view != nullptr)
+                live = view->containerCount(ms);
+            if (live < 0)
+                live = sim.containerCount(ms);
+            if (live < count)
                 sim.setContainerCount(ms, count);
         }
     };
+}
+
+std::function<void(Simulation &, int)>
+makeDynamicController(const ErmsController &controller,
+                      std::vector<ServiceSpec> services,
+                      std::shared_ptr<const telemetry::TelemetryView> view)
+{
+    return controller.makeAutoscaler(std::move(services), std::move(view));
 }
 
 std::function<void(Simulation &, int)>

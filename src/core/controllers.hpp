@@ -15,8 +15,19 @@
 
 #include "baselines/baseline.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/view.hpp"
 
 namespace erms {
+
+/**
+ * Every controller takes an optional TelemetryView. When one is passed
+ * (and ERMS_TELEMETRY_ORACLE does not force the escape hatch), all
+ * observations — rates, interference, tail latencies, container
+ * counts — come from scraped snapshots: interval-sampled, span-sampled
+ * and stale by up to one scrape interval. With no view the controller
+ * reads the simulator's oracle state directly, byte-identical to the
+ * pre-telemetry behaviour.
+ */
 
 /**
  * Wrap a baseline allocator into a per-minute autoscaler (GrandSLAm /
@@ -24,10 +35,10 @@ namespace erms {
  * plan is applied without priority scheduling.
  */
 std::function<void(Simulation &, int)>
-makeBaselineAutoscaler(std::shared_ptr<BaselineAllocator> allocator,
-                       BaselineContext context,
-                       std::vector<ServiceSpec> services,
-                       double workload_headroom = 1.1);
+makeBaselineAutoscaler(
+    std::shared_ptr<BaselineAllocator> allocator, BaselineContext context,
+    std::vector<ServiceSpec> services, double workload_headroom = 1.1,
+    std::shared_ptr<const telemetry::TelemetryView> view = nullptr);
 
 /**
  * Reactive Firm-style controller: each minute, for each service whose
@@ -36,8 +47,9 @@ makeBaselineAutoscaler(std::shared_ptr<BaselineAllocator> allocator,
  * the most over-provisioned microservice.
  */
 std::function<void(Simulation &, int)>
-makeFirmReactiveController(const MicroserviceCatalog &catalog,
-                           std::vector<ServiceSpec> services);
+makeFirmReactiveController(
+    const MicroserviceCatalog &catalog, std::vector<ServiceSpec> services,
+    std::shared_ptr<const telemetry::TelemetryView> view = nullptr);
 
 /**
  * Capacity-repair controller for fault-injection runs: each minute,
@@ -46,9 +58,28 @@ makeFirmReactiveController(const MicroserviceCatalog &catalog,
  * back up through the ordinary scaling path. This is the minimal
  * "react to capacity loss" loop; the full closed-loop autoscalers
  * subsume it because they re-apply a complete plan every minute.
+ *
+ * With a view, crash detection reads the scraped container-count gauge
+ * (shared pools only; partitioned pools keep oracle reads — the gauge
+ * tracks pool totals, not per-service partitions), so repair lags by
+ * up to one scrape interval like a real Prometheus-driven operator.
  */
 std::function<void(Simulation &, int)>
-makeCapacityRepairController(GlobalPlan plan);
+makeCapacityRepairController(
+    GlobalPlan plan,
+    std::shared_ptr<const telemetry::TelemetryView> view = nullptr);
+
+/**
+ * The Erms dynamic controller of Fig. 13 driven by scraped telemetry:
+ * a named wrapper over ErmsController::makeAutoscaler(services, view)
+ * for symmetry with the other controller factories. Passing a null
+ * view yields the oracle-observing autoscaler unchanged.
+ */
+class ErmsController;
+std::function<void(Simulation &, int)>
+makeDynamicController(
+    const ErmsController &controller, std::vector<ServiceSpec> services,
+    std::shared_ptr<const telemetry::TelemetryView> view = nullptr);
 
 /**
  * Run several minute controllers in sequence (e.g. capacity repair

@@ -20,22 +20,32 @@ ErmsController::plan(const std::vector<ServiceSpec> &services,
 }
 
 std::function<void(Simulation &, int)>
-ErmsController::makeAutoscaler(std::vector<ServiceSpec> services) const
+ErmsController::makeAutoscaler(
+    std::vector<ServiceSpec> services,
+    std::shared_ptr<const telemetry::TelemetryView> view) const
 {
+    if (view != nullptr && telemetry::oracleTelemetryRequested())
+        view = nullptr; // escape hatch: force oracle observations
     // The closure owns its service list; observed rates overwrite the
     // workload field each minute. A service whose observed P95 exceeded
     // its SLA gets a recovery boost: matching capacity to arrivals alone
     // would never drain the queue that built up, so provision surplus
     // until the tail is back under the SLA.
-    return [this, services = std::move(services)](Simulation &sim,
-                                                  int minute) mutable {
+    return [this, services = std::move(services),
+            view](Simulation &sim, int minute) mutable {
         for (ServiceSpec &svc : services) {
-            const double observed = sim.observedRate(svc.id);
+            const double observed = view != nullptr
+                                        ? view->observedRate(svc.id)
+                                        : sim.observedRate(svc.id);
             if (observed <= 0.0)
                 continue;
             double factor = config_.workloadHeadroom;
-            auto it = sim.metrics().endToEndByMinute.find(svc.id);
-            if (it != sim.metrics().endToEndByMinute.end()) {
+            if (view != nullptr) {
+                if (view->serviceP95Ms(svc.id) > svc.slaMs)
+                    factor *= 1.6; // drain the backlog
+            } else if (auto it =
+                           sim.metrics().endToEndByMinute.find(svc.id);
+                       it != sim.metrics().endToEndByMinute.end()) {
                 const double p95 =
                     it->second.window(static_cast<std::uint64_t>(minute))
                         .p95();
@@ -49,7 +59,9 @@ ErmsController::makeAutoscaler(std::vector<ServiceSpec> services) const
         // re-plan against a relaxed SLA rather than freezing the stale
         // deployment — an under-scaled cluster melts down, a best-effort
         // plan merely misses the target.
-        const Interference itf = sim.clusterInterference();
+        const Interference itf = view != nullptr
+                                     ? view->clusterInterference()
+                                     : sim.clusterInterference();
         GlobalPlan next = plan(services, itf);
         if (!next.feasible) {
             std::vector<ServiceSpec> relaxed = services;

@@ -17,9 +17,11 @@
 #define ERMS_CORE_ERMS_HPP
 
 #include <functional>
+#include <memory>
 
 #include "scaling/multiplexing.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/view.hpp"
 
 namespace erms {
 
@@ -53,9 +55,16 @@ class ErmsController
      * interference, recomputes the plan, and applies it (containers +
      * priority orders). The workload field of each ServiceSpec is the
      * bootstrap rate used until a full minute of observations exists.
+     *
+     * With a TelemetryView the rate/interference/P95 reads come from
+     * scraped snapshots instead of simulator oracle state (unless the
+     * ERMS_TELEMETRY_ORACLE escape hatch forces oracle reads); a null
+     * view keeps the original oracle observations byte-identical.
      */
     std::function<void(Simulation &, int)>
-    makeAutoscaler(std::vector<ServiceSpec> services) const;
+    makeAutoscaler(std::vector<ServiceSpec> services,
+                   std::shared_ptr<const telemetry::TelemetryView> view =
+                       nullptr) const;
 
     const ErmsConfig &config() const { return config_; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/monitor.hpp"
 
 namespace erms {
 
@@ -96,6 +97,8 @@ struct Simulation::RequestState
     std::size_t serviceIndex = 0;
     SimTime arrival = 0;
     bool traced = false;
+    /** Telemetry span sampling (independent of the SpanCollector's). */
+    bool telemetrySampled = false;
     bool failed = false;
 };
 
@@ -201,6 +204,13 @@ void
 Simulation::setSpanCollector(SpanCollector *collector)
 {
     spans_ = collector;
+}
+
+void
+Simulation::setMonitor(telemetry::SimMonitor *monitor)
+{
+    ERMS_ASSERT_MSG(!ran_, "setMonitor must precede run()");
+    monitor_ = monitor;
 }
 
 void
@@ -684,8 +694,12 @@ Simulation::startRequest(std::size_t service_index)
     req->serviceIndex = service_index;
     req->arrival = events_.now();
     req->traced = spans_ != nullptr && spans_->sampleRequest(req->id);
+    req->telemetrySampled =
+        monitor_ != nullptr && monitor_->sampleSpan(req->id);
     ++metrics_.requestsGenerated;
     ++scratch_->arrivals[svc.id];
+    if (monitor_ != nullptr)
+        monitor_->onRequestArrival(svc.id);
 
     CallContext *root = scratch_->acquireCtx();
     root->req = req;
@@ -932,6 +946,9 @@ Simulation::deliverCall(CallContext *ctx, int slot)
     const double own_ms =
         toMillis(ctx->procDone - ctx->receiveTime) + profile.networkMs;
     scratch_->msLatency[ctx->ms].add(own_ms);
+    if (monitor_ != nullptr)
+        monitor_->onMicroserviceLatency(ctx->ms, own_ms,
+                                        ctx->req->telemetrySampled);
 
     if (slot == 1)
         ++metrics_.faults.hedgeWins;
@@ -1052,6 +1069,8 @@ Simulation::finishRequest(RequestState *req)
         ++metrics_.requestsFailed;
         if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes))
             ++metrics_.failedByService[req->service];
+        if (monitor_ != nullptr)
+            monitor_->onRequestFailed(req->service);
         scratch_->releaseReq(req);
         return;
     }
@@ -1060,6 +1079,12 @@ Simulation::finishRequest(RequestState *req)
     metrics_.endToEndByMinute[req->service].add(minute, latency_ms);
     if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes))
         metrics_.endToEndMs[req->service].add(latency_ms);
+    if (monitor_ != nullptr) {
+        const double sla = services_[req->serviceIndex].slaMs;
+        monitor_->onRequestComplete(req->service, latency_ms,
+                                    sla > 0.0 && latency_ms > sla,
+                                    req->telemetrySampled);
+    }
 
     scratch_->releaseReq(req);
 }
@@ -1126,6 +1151,8 @@ Simulation::maybeHedge(CallContext *ctx, std::uint64_t attempt)
     if (ctx->attempts[0].id != attempt || ctx->attempts[1].id != 0)
         return;
     ++metrics_.faults.hedgesLaunched;
+    if (monitor_ != nullptr)
+        monitor_->onHedge(ctx->ms);
     launchAttempt(ctx, 1);
 }
 
@@ -1139,12 +1166,18 @@ Simulation::failAttempt(CallContext *ctx, std::uint64_t attempt,
     switch (kind) {
       case FailureKind::Timeout:
         ++metrics_.faults.callTimeouts;
+        if (monitor_ != nullptr)
+            monitor_->onTimeout(ctx->ms);
         break;
       case FailureKind::Transient:
         ++metrics_.faults.transientFailures;
+        if (monitor_ != nullptr)
+            monitor_->onTransientFailure(ctx->ms);
         break;
       case FailureKind::Crash:
         ++metrics_.faults.crashFailures;
+        if (monitor_ != nullptr)
+            monitor_->onCrashFailure(ctx->ms);
         break;
     }
     dequeueAttempt(ctx, slot);
@@ -1156,6 +1189,8 @@ Simulation::failAttempt(CallContext *ctx, std::uint64_t attempt,
     if (ctx->retriesUsed < resilience_.maxRetries) {
         ++ctx->retriesUsed;
         ++metrics_.faults.callRetries;
+        if (monitor_ != nullptr)
+            monitor_->onRetry(ctx->ms);
         // Exponential backoff with uniform jitter, drawn from the
         // resilience stream so it never perturbs workload randomness.
         double backoff_ms =
@@ -1202,6 +1237,8 @@ void
 Simulation::crashContainer(ContainerState &victim)
 {
     ++metrics_.faults.containerCrashes;
+    if (monitor_ != nullptr)
+        monitor_->onContainerCrash(victim.ms);
     victim.crashed = true;
     victim.draining = true;
 
@@ -1235,6 +1272,8 @@ Simulation::crashContainer(ContainerState &victim)
             std::max<SimTime>(1, toSimTime(faultConfig_.restartDelayMs)),
             [this, ms, dedicated] {
                 ++metrics_.faults.containerRestarts;
+                if (monitor_ != nullptr)
+                    monitor_->onContainerRestart(ms);
                 addContainer(ms, dedicated);
                 redistributeBacklog(ms);
             });
@@ -1261,6 +1300,9 @@ Simulation::installFaultSchedule(SimTime horizon)
         return;
     const FaultSchedule schedule =
         buildFaultSchedule(faultConfig_, config_.hostCount, horizon);
+    if (monitor_ != nullptr)
+        monitor_->recordFaultSchedule(schedule.crashes.size(),
+                                      schedule.slowdowns.size());
     for (const CrashEvent &crash : schedule.crashes) {
         events_.schedule(crash.at, [this, draw = crash.victimDraw] {
             onCrashEvent(draw);
@@ -1270,11 +1312,64 @@ Simulation::installFaultSchedule(SimTime horizon)
         events_.schedule(window.start, [this, host = window.host] {
             ++hosts_[host]->activeSlowdowns;
             ++metrics_.faults.slowdownWindows;
+            if (monitor_ != nullptr)
+                monitor_->onSlowdownWindow(host);
         });
         events_.schedule(window.end, [this, host = window.host] {
             --hosts_[host]->activeSlowdowns;
         });
     }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry scraping
+// ---------------------------------------------------------------------
+
+// Refresh the gauge series from live state and freeze all series into
+// a snapshot. Strictly read-only with respect to simulation state: no
+// RNG draws, no request events — attaching a monitor cannot change
+// what the simulation computes, only what observers get to see.
+void
+Simulation::scrapeTelemetry()
+{
+    ERMS_ASSERT(monitor_ != nullptr);
+    for (const auto &host : hosts_)
+        monitor_->recordHostUtil(host->id, hostCpuUtil(*host),
+                                 hostMemUtil(*host));
+
+    // Deterministic series order: microservice id ascending.
+    std::vector<MicroserviceId> ids;
+    ids.reserve(deployments_.size());
+    for (const auto &[ms, containers] : deployments_)
+        ids.push_back(ms);
+    std::sort(ids.begin(), ids.end());
+    for (MicroserviceId ms : ids) {
+        int live = 0;
+        int busy = 0;
+        std::size_t queued = 0;
+        for (const auto &container : deployments_[ms]) {
+            if (container->draining)
+                continue;
+            ++live;
+            busy += container->busy;
+            queued += container->queuedTotal;
+        }
+        monitor_->recordDeployment(ms, live, queued, busy);
+    }
+    monitor_->takeSnapshot(events_.now());
+}
+
+void
+Simulation::scheduleScrape(SimTime at, SimTime horizon)
+{
+    if (at > horizon)
+        return;
+    events_.schedule(at, [this, at, horizon] {
+        scrapeTelemetry();
+        const SimTime interval = std::max<SimTime>(
+            1, toSimTime(monitor_->config().scrapeIntervalSec * 1000.0));
+        scheduleScrape(at + interval, horizon);
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -1409,6 +1504,15 @@ Simulation::run()
     for (std::size_t i = 0; i < services_.size(); ++i)
         scheduleArrival(i);
     events_.schedule(kMinute, [this] { onMinuteBoundary(); });
+
+    if (monitor_ != nullptr) {
+        // Baseline scrape at t=0 (all counters zero) so the first
+        // interval scrape already yields a meaningful rate delta.
+        scrapeTelemetry();
+        const SimTime interval = std::max<SimTime>(
+            1, toSimTime(monitor_->config().scrapeIntervalSec * 1000.0));
+        scheduleScrape(interval, horizon);
+    }
 
     metrics_.eventsDispatched = events_.runUntil(horizon);
 }

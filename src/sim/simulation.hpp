@@ -49,6 +49,10 @@
 
 namespace erms {
 
+namespace telemetry {
+class SimMonitor;
+}
+
 /** How arriving calls pick a container among a deployment's replicas. */
 enum class DispatchPolicy
 {
@@ -186,6 +190,18 @@ class Simulation
     void setSpanCollector(SpanCollector *collector);
 
     /**
+     * Attach an online telemetry monitor (not owned; may be null; must
+     * be set before run()). The simulator then feeds the monitor's
+     * metric series as events happen and takes a scrape snapshot every
+     * monitor-configured interval, driven by the event queue.
+     * Telemetry is purely observational: it draws no randomness and
+     * never reorders request events, so a run with a monitor attached
+     * completes exactly the same requests at exactly the same times as
+     * a run without one (pinned by the TelemetryTransparency tests).
+     */
+    void setMonitor(telemetry::SimMonitor *monitor);
+
+    /**
      * Controller hook invoked at every simulated minute boundary, after
      * metrics for the elapsed minute were flushed. Drives closed-loop
      * autoscaling experiments.
@@ -285,6 +301,10 @@ class Simulation
     void crashContainer(ContainerState &victim);
     void installFaultSchedule(SimTime horizon);
 
+    // telemetry internals
+    void scheduleScrape(SimTime at, SimTime horizon);
+    void scrapeTelemetry();
+
     // time bookkeeping
     void onMinuteBoundary();
     void noteBusyChange(HostState &host, double delta_cores);
@@ -304,6 +324,7 @@ class Simulation
     std::uint64_t nextAttempt_ = 1;
     std::shared_ptr<PlacementPolicy> placement_;
     SpanCollector *spans_ = nullptr;
+    telemetry::SimMonitor *monitor_ = nullptr;
     std::function<void(Simulation &, int)> minuteCallback_;
 
     std::vector<std::unique_ptr<HostState>> hosts_;

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Scrape-snapshot exporters: CSV (one row per series per scrape) and a
+ * minimal JSON document, plus the matching parsers. Doubles are printed
+ * with max_digits10 precision, so export → parse round-trips to exact
+ * equality (pinned by the exporter round-trip tests); metric names and
+ * label keys/values must not contain commas, semicolons, quotes or
+ * newlines (the simulator's metric catalog satisfies this by
+ * construction).
+ */
+
+#ifndef ERMS_TELEMETRY_EXPORTERS_HPP
+#define ERMS_TELEMETRY_EXPORTERS_HPP
+
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace erms::telemetry {
+
+/** CSV document with header row; one row per series per snapshot. */
+std::string toCsv(const std::vector<TelemetrySnapshot> &snapshots);
+
+/** Parse a toCsv() document back into snapshots. */
+std::vector<TelemetrySnapshot> fromCsv(const std::string &csv);
+
+/** JSON array of scrape objects. */
+std::string toJson(const std::vector<TelemetrySnapshot> &snapshots);
+
+/** Parse a toJson() document back into snapshots. */
+std::vector<TelemetrySnapshot> fromJson(const std::string &json);
+
+} // namespace erms::telemetry
+
+#endif // ERMS_TELEMETRY_EXPORTERS_HPP

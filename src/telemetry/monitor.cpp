@@ -1,0 +1,222 @@
+#include "monitor.hpp"
+
+#include "common/error.hpp"
+#include "trace/span.hpp"
+
+namespace erms::telemetry {
+
+namespace {
+
+Labels
+serviceLabels(ServiceId service)
+{
+    return {{"service", std::to_string(service)}};
+}
+
+Labels
+microserviceLabels(MicroserviceId ms)
+{
+    return {{"microservice", std::to_string(ms)}};
+}
+
+Labels
+hostLabels(HostId host)
+{
+    return {{"host", std::to_string(host)}};
+}
+
+} // namespace
+
+SimMonitor::SimMonitor(MonitorConfig config) : config_(std::move(config))
+{
+    ERMS_ASSERT(config_.scrapeIntervalSec > 0.0);
+    ERMS_ASSERT(config_.spanSampleProbability >= 0.0 &&
+                config_.spanSampleProbability <= 1.0);
+    ERMS_ASSERT(!config_.latencyBucketsMs.empty());
+}
+
+bool
+SimMonitor::sampleSpan(RequestId request) const
+{
+    return hashSampleRequest(request, config_.spanSampleProbability);
+}
+
+SimMonitor::ServiceSeries &
+SimMonitor::serviceSeries(ServiceId service)
+{
+    auto it = serviceSeries_.find(service);
+    if (it != serviceSeries_.end())
+        return it->second;
+    const Labels labels = serviceLabels(service);
+    ServiceSeries series;
+    series.requests = &registry_.counter("erms_requests_total", labels);
+    series.responses = &registry_.counter("erms_responses_total", labels);
+    series.failures =
+        &registry_.counter("erms_request_failures_total", labels);
+    series.slaViolations =
+        &registry_.counter("erms_sla_violations_total", labels);
+    series.latency = &registry_.histogram("erms_request_latency_ms", labels,
+                                          config_.latencyBucketsMs);
+    return serviceSeries_.emplace(service, series).first->second;
+}
+
+SimMonitor::MicroserviceSeries &
+SimMonitor::microserviceSeries(MicroserviceId ms)
+{
+    auto it = msSeries_.find(ms);
+    if (it != msSeries_.end())
+        return it->second;
+    const Labels labels = microserviceLabels(ms);
+    MicroserviceSeries series;
+    series.latency = &registry_.histogram("erms_ms_latency_ms", labels,
+                                          config_.latencyBucketsMs);
+    series.retries = &registry_.counter("erms_retries_total", labels);
+    series.hedges = &registry_.counter("erms_hedges_total", labels);
+    series.timeouts = &registry_.counter("erms_timeouts_total", labels);
+    series.transientFailures =
+        &registry_.counter("erms_transient_failures_total", labels);
+    series.crashFailures =
+        &registry_.counter("erms_crash_failures_total", labels);
+    series.containerCrashes =
+        &registry_.counter("erms_container_crashes_total", labels);
+    series.containerRestarts =
+        &registry_.counter("erms_container_restarts_total", labels);
+    series.containers = &registry_.gauge("erms_containers", labels);
+    series.queueDepth = &registry_.gauge("erms_queue_depth", labels);
+    series.busyThreads = &registry_.gauge("erms_busy_threads", labels);
+    return msSeries_.emplace(ms, series).first->second;
+}
+
+SimMonitor::HostSeries &
+SimMonitor::hostSeries(HostId host)
+{
+    auto it = hostSeries_.find(host);
+    if (it != hostSeries_.end())
+        return it->second;
+    const Labels labels = hostLabels(host);
+    HostSeries series;
+    series.cpuUtil = &registry_.gauge("erms_host_cpu_util", labels);
+    series.memUtil = &registry_.gauge("erms_host_mem_util", labels);
+    series.slowdownWindows =
+        &registry_.counter("erms_slowdown_windows_total", labels);
+    return hostSeries_.emplace(host, series).first->second;
+}
+
+void
+SimMonitor::onRequestArrival(ServiceId service)
+{
+    serviceSeries(service).requests->inc();
+}
+
+void
+SimMonitor::onRequestComplete(ServiceId service, double latency_ms,
+                              bool sla_violated, bool span_sampled)
+{
+    ServiceSeries &series = serviceSeries(service);
+    series.responses->inc();
+    if (sla_violated)
+        series.slaViolations->inc();
+    if (span_sampled)
+        series.latency->observe(latency_ms);
+}
+
+void
+SimMonitor::onRequestFailed(ServiceId service)
+{
+    ServiceSeries &series = serviceSeries(service);
+    series.failures->inc();
+    // A failed request violates its SLA by definition (cf.
+    // SimMetrics::sloViolationRate).
+    series.slaViolations->inc();
+}
+
+void
+SimMonitor::onMicroserviceLatency(MicroserviceId ms, double latency_ms,
+                                  bool span_sampled)
+{
+    if (span_sampled)
+        microserviceSeries(ms).latency->observe(latency_ms);
+}
+
+void
+SimMonitor::onRetry(MicroserviceId ms)
+{
+    microserviceSeries(ms).retries->inc();
+}
+
+void
+SimMonitor::onHedge(MicroserviceId ms)
+{
+    microserviceSeries(ms).hedges->inc();
+}
+
+void
+SimMonitor::onTimeout(MicroserviceId ms)
+{
+    microserviceSeries(ms).timeouts->inc();
+}
+
+void
+SimMonitor::onTransientFailure(MicroserviceId ms)
+{
+    microserviceSeries(ms).transientFailures->inc();
+}
+
+void
+SimMonitor::onCrashFailure(MicroserviceId ms)
+{
+    microserviceSeries(ms).crashFailures->inc();
+}
+
+void
+SimMonitor::onContainerCrash(MicroserviceId ms)
+{
+    microserviceSeries(ms).containerCrashes->inc();
+}
+
+void
+SimMonitor::onContainerRestart(MicroserviceId ms)
+{
+    microserviceSeries(ms).containerRestarts->inc();
+}
+
+void
+SimMonitor::onSlowdownWindow(HostId host)
+{
+    hostSeries(host).slowdownWindows->inc();
+}
+
+void
+SimMonitor::recordFaultSchedule(std::size_t crashes, std::size_t slowdowns)
+{
+    registry_.gauge("erms_fault_planned_crashes")
+        .set(static_cast<double>(crashes));
+    registry_.gauge("erms_fault_planned_slowdowns")
+        .set(static_cast<double>(slowdowns));
+}
+
+void
+SimMonitor::recordHostUtil(HostId host, double cpu_util, double mem_util)
+{
+    HostSeries &series = hostSeries(host);
+    series.cpuUtil->set(cpu_util);
+    series.memUtil->set(mem_util);
+}
+
+void
+SimMonitor::recordDeployment(MicroserviceId ms, int containers,
+                             std::size_t queue_depth, int busy_threads)
+{
+    MicroserviceSeries &series = microserviceSeries(ms);
+    series.containers->set(static_cast<double>(containers));
+    series.queueDepth->set(static_cast<double>(queue_depth));
+    series.busyThreads->set(static_cast<double>(busy_threads));
+}
+
+void
+SimMonitor::takeSnapshot(SimTime at)
+{
+    snapshots_.push_back(registry_.snapshot(at));
+}
+
+} // namespace erms::telemetry

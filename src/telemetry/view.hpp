@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TelemetryView — the observation interface the closed-loop controllers
+ * consume. The scraped implementation answers every query from the
+ * monitor's snapshot history (interval-sampled, span-sampled, stale by
+ * up to one scrape interval plus the span sampling error), reproducing
+ * the information model the paper's runtime actually operates under:
+ * §5's monitoring loop decides scaling from scraped Prometheus/Jaeger
+ * state, not from ground truth.
+ *
+ * Controllers accept an optional TelemetryView; passing none — or
+ * setting the ERMS_TELEMETRY_ORACLE environment variable to a truthy
+ * value — keeps the original oracle reads (Simulation::observedRate,
+ * clusterInterference, per-minute metrics), byte-identical to the
+ * pre-telemetry code path.
+ */
+
+#ifndef ERMS_TELEMETRY_VIEW_HPP
+#define ERMS_TELEMETRY_VIEW_HPP
+
+#include "model/interference.hpp"
+#include "telemetry/monitor.hpp"
+
+namespace erms::telemetry {
+
+/**
+ * Read-only observation surface for controllers. All answers reflect
+ * the most recent scrape(s), not the current instant.
+ */
+class TelemetryView
+{
+  public:
+    virtual ~TelemetryView() = default;
+
+    /** Observed arrival rate of a service (requests/minute); 0 until
+     *  enough scrapes exist to form a rate. */
+    virtual double observedRate(ServiceId service) const = 0;
+
+    /** Cluster-average interference, averaged over host gauges of the
+     *  latest scrape. */
+    virtual Interference clusterInterference() const = 0;
+
+    /** Estimated P95 end-to-end latency of a service over the latest
+     *  scrape interval (ms); 0 when no sampled spans landed in it. */
+    virtual double serviceP95Ms(ServiceId service) const = 0;
+
+    /** Estimated P95 latency of one microservice over the latest
+     *  scrape interval (ms); 0 when unobserved. */
+    virtual double microserviceTailMs(MicroserviceId ms) const = 0;
+
+    /** Container-count gauge of a microservice at the latest scrape;
+     *  -1 when the series does not exist yet. */
+    virtual int containerCount(MicroserviceId ms) const = 0;
+
+    /** Age of the newest scrape relative to `now` (ms); returns a huge
+     *  value when no scrape happened yet. */
+    virtual double stalenessMs(SimTime now) const = 0;
+};
+
+/** True when ERMS_TELEMETRY_ORACLE requests the oracle escape hatch
+ *  (set and not "0"/"false"/""). */
+bool oracleTelemetryRequested();
+
+/**
+ * TelemetryView over a SimMonitor's scrape history. Rates and interval
+ * quantiles are computed from the difference between the two newest
+ * snapshots (Prometheus `rate()`/`histogram_quantile()` over one
+ * scrape window); gauges come from the newest snapshot alone.
+ */
+class ScrapedTelemetryView : public TelemetryView
+{
+  public:
+    /** The monitor must outlive the view. */
+    explicit ScrapedTelemetryView(const SimMonitor &monitor);
+
+    double observedRate(ServiceId service) const override;
+    Interference clusterInterference() const override;
+    double serviceP95Ms(ServiceId service) const override;
+    double microserviceTailMs(MicroserviceId ms) const override;
+    int containerCount(MicroserviceId ms) const override;
+    double stalenessMs(SimTime now) const override;
+
+  private:
+    /** Newest snapshot, or nullptr before the first scrape. */
+    const TelemetrySnapshot *latest() const;
+    /** Second-newest snapshot, or nullptr. */
+    const TelemetrySnapshot *previous() const;
+
+    double histogramDeltaQuantile(const std::string &name,
+                                  const Labels &labels, double q) const;
+
+    const SimMonitor *monitor_;
+};
+
+} // namespace erms::telemetry
+
+#endif // ERMS_TELEMETRY_VIEW_HPP

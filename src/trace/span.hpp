@@ -45,6 +45,31 @@ serverResponseTime(const CallSpan &span)
 }
 
 /**
+ * Deterministic probabilistic head sampling (the Jaeger
+ * `probabilistic` sampler of §5.1): whether a request's spans are kept
+ * is a pure hash of the request id against the sampling probability —
+ * no RNG state is consumed, so enabling span collection or telemetry
+ * never perturbs a simulation's random draws. The same request id
+ * always samples the same way at the same probability.
+ */
+inline bool
+hashSampleRequest(RequestId request, double probability)
+{
+    if (probability >= 1.0)
+        return true;
+    if (probability <= 0.0)
+        return false;
+    // SplitMix64 finalizer as the hash.
+    std::uint64_t z = request + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    const double unit =
+        static_cast<double>(z >> 11) * 0x1.0p-53; // [0, 1)
+    return unit < probability;
+}
+
+/**
  * Sink for spans emitted by the cluster simulator. Implementations decide
  * about sampling and storage.
  */

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Regenerates the committed golden tables (tests/golden/). Normally run
+ * through scripts/regen_golden.sh; an optional argument overrides the
+ * output directory (defaults to the source-tree golden directory the
+ * test suite compares against).
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "golden_scenarios.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : ERMS_GOLDEN_DIR;
+    for (const erms::golden::Scenario &scenario :
+         erms::golden::scenarios()) {
+        const std::string path = dir + "/" + scenario.file;
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write " << path << "\n";
+            return 1;
+        }
+        out << scenario.produce();
+        std::cout << "wrote " << path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,302 @@
+#include "golden_scenarios.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "core/controllers.hpp"
+#include "core/profiling_pipeline.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/view.hpp"
+#include "workload/generators.hpp"
+
+namespace erms::golden {
+namespace {
+
+using bench::makeServices;
+using bench::runSweep;
+using bench::validatePlanFaulty;
+
+/** Hexfloat rendering: bit-exact, so one ULP of drift changes the
+ *  golden file. */
+std::string
+hex(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+std::string
+hexList(const std::vector<double> &values)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out << (i ? " " : "") << hex(values[i]);
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// fig12 (trimmed): offline profiling -> plan -> simulator validation
+// ---------------------------------------------------------------------
+
+std::string
+fig12Impl()
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeMotivationShared(catalog, 0);
+
+    // Trimmed profiling sweep: 2 load levels x 2 interference levels,
+    // one minute per cell. Covers the profiling layer without the full
+    // grid's runtime.
+    std::vector<const DependencyGraph *> graphs;
+    for (const auto &graph : app.graphs)
+        graphs.push_back(&graph);
+    ProfilingSweepConfig sweep;
+    sweep.loadFractions = {0.5, 1.0};
+    sweep.interferenceLevels = {{0.10, 0.10}, {0.45, 0.35}};
+    sweep.minutesPerCell = 1;
+    sweep.ratePerService = 6000.0;
+    sweep.seed = 11;
+    fitAndAttachModels(catalog,
+                       collectProfilingSamples(catalog, graphs, sweep));
+
+    const auto services = makeServices(app, 240.0, 12000.0);
+    const Interference itf{0.25, 0.2};
+
+    std::ostringstream out;
+    out << "golden fig12 (trimmed): motivation-shared, profiled, "
+           "SLA 240 ms, 12000 req/min, seed 42\n";
+    out << "policy containers p95_ms violation_rate slo_violation_rate "
+           "requests_completed\n";
+    for (SharingPolicy policy :
+         {SharingPolicy::Priority, SharingPolicy::FcfsSharing,
+          SharingPolicy::NonSharing}) {
+        ErmsConfig config;
+        config.policy = policy;
+        ErmsController controller(catalog, config);
+        const GlobalPlan plan = controller.plan(services, itf);
+        int containers = 0;
+        for (const auto &[ms, count] : plan.containers)
+            containers += count;
+        const auto result =
+            bench::validatePlan(catalog, services, plan, itf, 3, 42);
+        out << bench::policyName(policy) << ' ' << containers << ' '
+            << hexList(result.p95Ms) << ' '
+            << hexList(result.violationRate) << ' '
+            << hexList(result.sloViolationRate) << ' '
+            << result.requestsCompleted << '\n';
+    }
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// fig13 (trimmed): closed-loop dynamic control, oracle and scraped
+// ---------------------------------------------------------------------
+
+struct DynamicGoldenRow
+{
+    std::vector<int> containers;
+    std::vector<double> p95;
+};
+
+DynamicGoldenRow
+runDynamicGolden(const MicroserviceCatalog &catalog, const Application &app,
+                 const std::vector<double> &series, double sla,
+                 const std::function<void(Simulation &, int)> &controller,
+                 const GlobalPlan &initial,
+                 telemetry::SimMonitor *monitor)
+{
+    SimConfig config;
+    config.horizonMinutes = static_cast<int>(series.size());
+    config.warmupMinutes = 1;
+    config.seed = 5;
+    Simulation sim(catalog, config);
+    if (monitor != nullptr)
+        sim.setMonitor(monitor);
+    sim.setBackgroundLoadAll(0.25, 0.2);
+    for (const auto &graph : app.graphs) {
+        ServiceWorkload svc;
+        svc.id = graph.service();
+        svc.graph = &graph;
+        svc.slaMs = sla;
+        svc.rateSeries = series;
+        sim.addService(svc);
+    }
+    sim.applyPlan(initial);
+
+    DynamicGoldenRow row;
+    sim.setMinuteCallback([&](Simulation &s, int minute) {
+        controller(s, minute);
+        int total = 0;
+        for (const auto &graph : app.graphs)
+            for (MicroserviceId id : graph.nodes())
+                total += s.containerCount(id);
+        row.containers.push_back(total);
+        double worst = 0.0;
+        for (const auto &graph : app.graphs) {
+            auto it = s.metrics().endToEndByMinute.find(graph.service());
+            if (it == s.metrics().endToEndByMinute.end())
+                continue;
+            worst = std::max(
+                worst, it->second.window(static_cast<std::uint64_t>(minute))
+                           .p95());
+        }
+        row.p95.push_back(worst);
+    });
+    sim.run();
+    return row;
+}
+
+std::string
+fig13Impl()
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    // Bootstrap analytic models (attached by the factory) keep the
+    // scenario fast; the profiling layer is pinned by fig12.
+    const double sla = 200.0;
+    constexpr int kMinutes = 6;
+    const auto series =
+        alibabaLikeSeries(kMinutes, 4000.0, 9000.0, 12.0, 0.05, 0.0, 1.0,
+                          1, 9);
+
+    const auto services = makeServices(app, sla, series.front() * 1.3);
+    ErmsConfig erms_config;
+    erms_config.workloadHeadroom = 1.2;
+    ErmsController controller(catalog, erms_config);
+    const GlobalPlan initial =
+        controller.plan(services, Interference{0.25, 0.2});
+
+    std::ostringstream out;
+    out << "golden fig13 (trimmed): hotel-reservation, SLA 200 ms, "
+        << kMinutes << " min dynamic series, seed 5\n";
+    out << "scheme minute containers worst_p95_ms\n";
+
+    const auto emit = [&out](const std::string &name,
+                             const DynamicGoldenRow &row) {
+        for (std::size_t m = 0; m < row.containers.size(); ++m)
+            out << name << ' ' << m << ' ' << row.containers[m] << ' '
+                << hex(row.p95[m]) << '\n';
+    };
+
+    emit("erms-oracle",
+         runDynamicGolden(catalog, app, series, sla,
+                          controller.makeAutoscaler(services), initial,
+                          nullptr));
+    {
+        // Scraped-telemetry variant: pins monitor scrapes, span
+        // sampling and the view's delta computations end to end.
+        telemetry::SimMonitor monitor;
+        auto view =
+            std::make_shared<telemetry::ScrapedTelemetryView>(monitor);
+        emit("erms-scraped",
+             runDynamicGolden(catalog, app, series, sla,
+                              makeDynamicController(controller, services,
+                                                    view),
+                              initial, &monitor));
+    }
+    emit("firm",
+         runDynamicGolden(catalog, app, series, sla,
+                          makeFirmReactiveController(catalog, services),
+                          initial, nullptr));
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Fault sweep (trimmed), dispatched through ParallelRunner
+// ---------------------------------------------------------------------
+
+std::string
+faultSweepImpl()
+{
+    MicroserviceCatalog catalog;
+    const Application app = makeMotivationShared(catalog, 0);
+    const auto services = makeServices(app, 240.0, 12000.0);
+    const Interference itf{0.2, 0.2};
+    ErmsController controller(catalog, ErmsConfig{});
+    const GlobalPlan plan = controller.plan(services, itf);
+
+    struct Case
+    {
+        double crashesPerMinute;
+        double slowdownsPerMinute;
+        std::uint64_t seed;
+    };
+    const std::vector<Case> cases{
+        {2.0, 0.0, 42},
+        {2.0, 0.0, 43},
+        {0.0, 1.5, 42},
+        {3.0, 1.0, 44},
+    };
+
+    std::vector<std::function<bench::ValidationResult()>> tasks;
+    for (const Case &c : cases) {
+        tasks.push_back([&, c] {
+            FaultConfig fault;
+            fault.seed = 0xfa17ULL + c.seed;
+            fault.crashesPerMinute = c.crashesPerMinute;
+            fault.slowdownsPerMinute = c.slowdownsPerMinute;
+            ResilienceConfig resilience;
+            resilience.maxRetries = 2;
+            resilience.timeoutMs = 400.0;
+            return validatePlanFaulty(catalog, services, plan, itf, fault,
+                                      resilience, 3, c.seed);
+        });
+    }
+    // Through ParallelRunner: the table must come out identical with
+    // ERMS_RUNNER_THREADS=1 and with the hardware default (pinned by
+    // scripts/check.sh running the golden suite under both).
+    const auto results = runSweep("golden-fault", std::move(tasks));
+
+    std::ostringstream out;
+    out << "golden fault sweep (trimmed): motivation-shared, Erms plan, "
+           "retries=2, timeout 400 ms\n";
+    out << "crashes_per_min slowdowns_per_min seed crashes restarts "
+           "slowdown_windows retries timeouts failed "
+           "slo_violation_rate\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto &c = cases[i];
+        const auto &r = results[i];
+        out << hex(c.crashesPerMinute) << ' ' << hex(c.slowdownsPerMinute)
+            << ' ' << c.seed << ' ' << r.faults.containerCrashes << ' '
+            << r.faults.containerRestarts << ' '
+            << r.faults.slowdownWindows << ' ' << r.faults.callRetries
+            << ' ' << r.faults.callTimeouts << ' ' << r.requestsFailed
+            << ' ' << hexList(r.sloViolationRate) << '\n';
+    }
+    return out.str();
+}
+
+} // namespace
+
+std::string
+fig12Golden()
+{
+    return fig12Impl();
+}
+
+std::string
+fig13Golden()
+{
+    return fig13Impl();
+}
+
+std::string
+faultSweepGolden()
+{
+    return faultSweepImpl();
+}
+
+const std::vector<Scenario> &
+scenarios()
+{
+    static const std::vector<Scenario> kScenarios{
+        {"fig12.txt", &fig12Golden},
+        {"fig13.txt", &fig13Golden},
+        {"fault_sweep.txt", &faultSweepGolden},
+    };
+    return kScenarios;
+}
+
+} // namespace erms::golden

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic golden scenarios: trimmed-size versions of the fig12
+ * (static validation), fig13 (closed-loop dynamic) and fault-sweep
+ * experiments whose outputs are pinned byte-for-byte under
+ * tests/golden/. Every double is printed as a hexfloat so a single-ULP
+ * drift anywhere in the pipeline (RNG, solver, simulator, telemetry,
+ * runner dispatch) fails the comparison. scripts/regen_golden.sh
+ * rewrites the committed tables after an intentional behaviour change.
+ */
+
+#ifndef ERMS_TESTS_GOLDEN_SCENARIOS_HPP
+#define ERMS_TESTS_GOLDEN_SCENARIOS_HPP
+
+#include <string>
+#include <vector>
+
+namespace erms::golden {
+
+/** One golden scenario: file name under tests/golden/ plus producer. */
+struct Scenario
+{
+    std::string file;
+    std::string (*produce)();
+};
+
+/** Trimmed fig12: profile a small app through the offline sweep, plan
+ *  under all three sharing policies, validate each plan in the
+ *  simulator at a fixed seed. */
+std::string fig12Golden();
+
+/** Trimmed fig13: hotel-reservation under closed-loop controllers
+ *  (Erms oracle, Erms scraped-telemetry, Firm) over a short dynamic
+ *  series. Pins telemetry-driven control end to end. */
+std::string fig13Golden();
+
+/** Trimmed fault sweep through ParallelRunner: crash/slowdown configs
+ *  across seeds with retries and capacity repair. Identical output
+ *  however many runner workers execute it. */
+std::string faultSweepGolden();
+
+/** All golden scenarios in regeneration order. */
+const std::vector<Scenario> &scenarios();
+
+} // namespace erms::golden
+
+#endif // ERMS_TESTS_GOLDEN_SCENARIOS_HPP

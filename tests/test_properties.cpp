@@ -11,9 +11,12 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "profiling/piecewise_fit.hpp"
 #include "scaling/multiplexing.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/registry.hpp"
 #include "workload/synth_trace.hpp"
 
 namespace erms {
@@ -282,6 +285,222 @@ TEST_P(FitProperty, RecoversRandomSyntheticModels)
 INSTANTIATE_TEST_SUITE_P(Seeds, FitProperty,
                          ::testing::Values(301u, 302u, 303u, 304u, 305u,
                                            306u, 307u, 308u));
+
+// ---------------------------------------------------------------------
+// StreamingStats: merging accumulators must equal streaming the
+// concatenated sample sequence, including the n=0 / n=1 edge cases.
+// ---------------------------------------------------------------------
+
+class StatsMergeProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(StatsMergeProperty, MergeEqualsConcatenation)
+{
+    Rng rng(GetParam());
+    // Partition sizes deliberately include empty and single-sample
+    // accumulators (the historical NaN/negative-variance edge cases).
+    const std::size_t sizes[] = {0, 1, 2, 7, 0, 1, 40, 13};
+    StreamingStats merged;
+    StreamingStats concatenated;
+    std::size_t total = 0;
+    for (std::size_t size : sizes) {
+        StreamingStats part;
+        for (std::size_t i = 0; i < size; ++i) {
+            // Large offset + small spread stresses cancellation in the
+            // centered second-moment updates.
+            const double x = 1e6 + rng.uniform(0.0, 0.01);
+            part.add(x);
+            concatenated.add(x);
+        }
+        // Sub-accumulators must already be well-formed.
+        EXPECT_GE(part.variance(), 0.0);
+        EXPECT_FALSE(std::isnan(part.stddev()));
+        merged.merge(part);
+        total += size;
+    }
+    EXPECT_EQ(merged.count(), total);
+    EXPECT_EQ(merged.count(), concatenated.count());
+    EXPECT_DOUBLE_EQ(merged.min(), concatenated.min());
+    EXPECT_DOUBLE_EQ(merged.max(), concatenated.max());
+    EXPECT_NEAR(merged.mean(), concatenated.mean(),
+                1e-9 * std::abs(concatenated.mean()));
+    // Variance agrees to a relative tolerance (different but equally
+    // valid summation orders) and is never negative or NaN.
+    EXPECT_GE(merged.variance(), 0.0);
+    EXPECT_GE(concatenated.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(merged.stddev()));
+    EXPECT_NEAR(merged.variance(), concatenated.variance(),
+                1e-6 * concatenated.variance() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsMergeProperty,
+                         ::testing::Values(401u, 402u, 403u, 404u, 405u,
+                                           406u));
+
+TEST(StatsMergeProperty, DegenerateAccumulators)
+{
+    StreamingStats empty;
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_EQ(empty.variance(), 0.0);
+    EXPECT_EQ(empty.stddev(), 0.0);
+
+    StreamingStats one;
+    one.add(42.0);
+    EXPECT_EQ(one.variance(), 0.0);
+    EXPECT_EQ(one.stddev(), 0.0);
+
+    // Constant stream: cancellation must never surface as negative
+    // variance or NaN stddev.
+    StreamingStats constant;
+    for (int i = 0; i < 1000; ++i)
+        constant.add(0.1 + 1e9); // non-representable increment
+    EXPECT_GE(constant.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(constant.stddev()));
+
+    // Merging an empty accumulator is the identity in both directions.
+    StreamingStats merged = one;
+    merged.merge(empty);
+    EXPECT_EQ(merged.count(), 1u);
+    EXPECT_DOUBLE_EQ(merged.mean(), 42.0);
+    StreamingStats other;
+    other.merge(one);
+    EXPECT_EQ(other.count(), 1u);
+    EXPECT_DOUBLE_EQ(other.mean(), 42.0);
+}
+
+// ---------------------------------------------------------------------
+// Telemetry histograms: merge is associative and commutative on bucket
+// counts (exact integers); sums agree within floating-point tolerance.
+// ---------------------------------------------------------------------
+
+class HistogramMergeProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramMergeProperty, MergeAssociativeAndCommutative)
+{
+    const std::vector<double> boundaries{1.0, 5.0, 20.0, 100.0, 500.0};
+    // Three independent sample batches a, b, c.
+    telemetry::Histogram a1(boundaries), a2(boundaries), a3(boundaries);
+    telemetry::Histogram b1(boundaries), b2(boundaries), b3(boundaries);
+    telemetry::Histogram c1(boundaries), c2(boundaries), c3(boundaries);
+    {
+        Rng ra(GetParam() * 3 + 1), rb(GetParam() * 3 + 2),
+            rc(GetParam() * 3 + 3);
+        for (int i = 0; i < 200; ++i) {
+            const double xa = ra.uniform(0.0, 700.0);
+            a1.observe(xa);
+            a2.observe(xa);
+            a3.observe(xa);
+            const double xb = rb.uniform(0.0, 700.0);
+            b1.observe(xb);
+            b2.observe(xb);
+            b3.observe(xb);
+            const double xc = rc.uniform(0.0, 700.0);
+            c1.observe(xc);
+            c2.observe(xc);
+            c3.observe(xc);
+        }
+    }
+
+    // (a + b) + c
+    a1.merge(b1);
+    a1.merge(c1);
+    // a + (b + c)
+    b2.merge(c2);
+    a2.merge(b2);
+    // c + (b + a): commuted order
+    b3.merge(a3);
+    c3.merge(b3);
+
+    EXPECT_EQ(a1.bucketCounts(), a2.bucketCounts());
+    EXPECT_EQ(a1.bucketCounts(), c3.bucketCounts());
+    EXPECT_EQ(a1.count(), a2.count());
+    EXPECT_EQ(a1.count(), c3.count());
+    // Sums are doubles added in different orders: tolerance, not
+    // equality.
+    EXPECT_NEAR(a1.sum(), a2.sum(), 1e-6);
+    EXPECT_NEAR(a1.sum(), c3.sum(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMergeProperty,
+                         ::testing::Values(501u, 502u, 503u, 504u));
+
+// ---------------------------------------------------------------------
+// Telemetry transparency: attaching a monitor must not perturb the
+// simulation. Same seed with and without telemetry => identical request
+// counts and identical end-to-end latency sample sequences.
+// ---------------------------------------------------------------------
+
+class TelemetryTransparency : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TelemetryTransparency, MonitoredRunMatchesBareRun)
+{
+    MicroserviceCatalog catalog;
+    MicroserviceProfile profile;
+    profile.name = "front";
+    profile.baseServiceMs = 5.0;
+    profile.threadsPerContainer = 3;
+    const auto front = catalog.add(profile);
+    profile.name = "back";
+    profile.baseServiceMs = 8.0;
+    const auto back = catalog.add(profile);
+    DependencyGraph g(0, front);
+    g.addCall(front, back, 0);
+
+    const auto run = [&](telemetry::SimMonitor *monitor) {
+        SimConfig config;
+        config.horizonMinutes = 2;
+        config.warmupMinutes = 0;
+        config.seed = GetParam();
+        Simulation sim(catalog, config);
+        if (monitor != nullptr)
+            sim.setMonitor(monitor);
+        sim.setBackgroundLoadAll(0.2, 0.15);
+        ServiceWorkload svc;
+        svc.id = 0;
+        svc.graph = &g;
+        svc.slaMs = 60.0;
+        svc.rate = 1500.0;
+        sim.addService(svc);
+        sim.setContainerCount(front, 2);
+        sim.setContainerCount(back, 2);
+        sim.run();
+        return std::make_tuple(sim.metrics().requestsGenerated,
+                               sim.metrics().requestsCompleted,
+                               sim.metrics().endToEndMs.at(0).samples());
+    };
+
+    const auto bare = run(nullptr);
+    telemetry::MonitorConfig mc;
+    mc.scrapeIntervalSec = 7.0; // deliberately not a divisor of a minute
+    telemetry::SimMonitor monitor(mc);
+    const auto monitored = run(&monitor);
+
+    EXPECT_EQ(std::get<0>(bare), std::get<0>(monitored));
+    EXPECT_EQ(std::get<1>(bare), std::get<1>(monitored));
+    // Exact sample-sequence equality: telemetry consumed no randomness
+    // and reordered no events.
+    EXPECT_EQ(std::get<2>(bare), std::get<2>(monitored));
+    // The monitor did observe the run.
+    EXPECT_GE(monitor.snapshots().size(), 2u);
+}
+
+std::vector<std::uint64_t>
+transparencySeeds()
+{
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = 9000; s < 9050; ++s)
+        seeds.push_back(s);
+    return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, TelemetryTransparency,
+                         ::testing::ValuesIn(transparencySeeds()));
 
 } // namespace
 } // namespace erms

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: registry semantics (counters,
+ * gauges, histograms, deterministic snapshot ordering), quantile
+ * estimation against exact sorted samples, scraped-view staleness and
+ * rate computation, exporter round-trips, deterministic span sampling,
+ * and the ERMS_TELEMETRY_ORACLE escape hatch reproducing the oracle
+ * controller observations exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "apps/applications.hpp"
+#include "common/stats.hpp"
+#include "core/controllers.hpp"
+#include "core/erms.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/view.hpp"
+#include "trace/span.hpp"
+
+namespace erms {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::Labels;
+using telemetry::MetricKind;
+using telemetry::MetricsRegistry;
+using telemetry::TelemetrySnapshot;
+
+// ---------------------------------------------------------------------
+// Registry primitives
+// ---------------------------------------------------------------------
+
+TEST(TelemetryCounter, AccumulatesAcrossShardsAndThreads)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.inc();
+    counter.add(4);
+    EXPECT_EQ(counter.value(), 5u);
+
+    // Concurrent increments from many threads must all land: the
+    // sharding is a performance detail, not a semantic one.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kPerThread; ++i)
+                counter.inc();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.value(), 5u + kThreads * kPerThread);
+}
+
+TEST(TelemetryGauge, LastWriteWins)
+{
+    Gauge gauge;
+    EXPECT_EQ(gauge.value(), 0.0);
+    gauge.set(3.5);
+    EXPECT_EQ(gauge.value(), 3.5);
+    gauge.set(-0.25);
+    EXPECT_EQ(gauge.value(), -0.25);
+}
+
+TEST(TelemetryHistogram, BucketBoundariesAreUpperBoundsPlusInf)
+{
+    Histogram h({1.0, 2.0, 5.0});
+    // Boundary values land in the bucket they bound (le semantics).
+    h.observe(0.5);
+    h.observe(1.0);
+    h.observe(1.5);
+    h.observe(5.0);
+    h.observe(100.0); // +inf bucket
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 100.0);
+    const auto counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2u); // 0.5, 1.0
+    EXPECT_EQ(counts[1], 1u); // 1.5
+    EXPECT_EQ(counts[2], 1u); // 5.0
+    EXPECT_EQ(counts[3], 1u); // 100.0
+}
+
+TEST(TelemetryHistogram, QuantileTracksExactSamplesWithinBucketWidth)
+{
+    // Uniformly spread samples: the interpolated estimate must stay
+    // within one bucket width of the exact sorted-sample quantile.
+    std::vector<double> boundaries;
+    for (double b = 10.0; b <= 500.0; b += 10.0)
+        boundaries.push_back(b);
+    Histogram h(boundaries);
+    SampleSet exact;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = 0.1 * static_cast<double>(i % 4800);
+        h.observe(x);
+        exact.add(x);
+    }
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double est = h.quantile(q);
+        const double ref = exact.quantile(q);
+        EXPECT_NEAR(est, ref, 10.0) << "q=" << q;
+    }
+}
+
+TEST(TelemetryHistogram, QuantileEdgeCases)
+{
+    Histogram h({1.0, 2.0});
+    EXPECT_EQ(h.quantile(0.95), 0.0); // empty
+    h.observe(10.0);                  // only the +inf bucket
+    // Nothing finer than the last finite boundary is known.
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 2.0);
+}
+
+TEST(TelemetryHistogram, MergeAddsBucketCountsExactly)
+{
+    Histogram a({1.0, 2.0});
+    Histogram b({1.0, 2.0});
+    a.observe(0.5);
+    a.observe(3.0);
+    b.observe(1.5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    const auto counts = a.bucketCounts();
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 3.0 + 1.5);
+}
+
+TEST(TelemetryRegistry, RegistrationIsIdempotentAndSnapshotOrdered)
+{
+    MetricsRegistry registry;
+    Counter &c1 = registry.counter("zeta_total", {{"svc", "1"}});
+    Counter &c2 = registry.counter("zeta_total", {{"svc", "1"}});
+    EXPECT_EQ(&c1, &c2);
+    registry.counter("alpha_total");
+    registry.gauge("mid_gauge", {{"svc", "2"}});
+    registry.counter("zeta_total", {{"svc", "0"}});
+    EXPECT_EQ(registry.seriesCount(), 4u);
+
+    const TelemetrySnapshot snap = registry.snapshot(123);
+    EXPECT_EQ(snap.at, 123u);
+    ASSERT_EQ(snap.series.size(), 4u);
+    // Deterministic (name, labels) order regardless of registration
+    // order.
+    EXPECT_EQ(snap.series[0].name, "alpha_total");
+    EXPECT_EQ(snap.series[1].name, "mid_gauge");
+    EXPECT_EQ(snap.series[2].name, "zeta_total");
+    EXPECT_EQ(snap.series[2].labels,
+              (Labels{{"svc", "0"}}));
+    EXPECT_EQ(snap.series[3].labels,
+              (Labels{{"svc", "1"}}));
+}
+
+TEST(TelemetryRegistry, SnapshotFreezesValues)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("c_total");
+    c.add(7);
+    const TelemetrySnapshot before = registry.snapshot(1);
+    c.add(3);
+    const TelemetrySnapshot after = registry.snapshot(2);
+    EXPECT_EQ(before.find("c_total", {})->counterValue, 7u);
+    EXPECT_EQ(after.find("c_total", {})->counterValue, 10u);
+    EXPECT_EQ(before.find("missing", {}), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Span sampling
+// ---------------------------------------------------------------------
+
+TEST(TelemetrySampling, HashSamplingIsDeterministicAndProportional)
+{
+    int sampled = 0;
+    for (RequestId id = 0; id < 20000; ++id) {
+        const bool a = hashSampleRequest(id, 0.10);
+        const bool b = hashSampleRequest(id, 0.10);
+        EXPECT_EQ(a, b);
+        sampled += a;
+    }
+    // 10% +- 1 percentage point over 20k requests.
+    EXPECT_NEAR(sampled / 20000.0, 0.10, 0.01);
+    EXPECT_TRUE(hashSampleRequest(17, 1.0));
+    EXPECT_FALSE(hashSampleRequest(17, 0.0));
+}
+
+TEST(TelemetrySampling, SubsetPropertyAcrossProbabilities)
+{
+    // A request sampled at p stays sampled at every p' > p (head
+    // sampling compares one hash against a threshold).
+    for (RequestId id = 0; id < 2000; ++id) {
+        if (hashSampleRequest(id, 0.05))
+            EXPECT_TRUE(hashSampleRequest(id, 0.20)) << id;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+std::vector<TelemetrySnapshot>
+makeExportFixture()
+{
+    MetricsRegistry registry;
+    registry.counter("erms_requests_total", {{"service", "0"}}).add(42);
+    registry.gauge("erms_host_cpu_util", {{"host", "3"}})
+        .set(0.1234567890123456789);
+    Histogram &h = registry.histogram(
+        "erms_request_latency_ms", {{"service", "0"}}, {1.0, 2.5, 10.0});
+    h.observe(0.7);
+    h.observe(3.14159265358979);
+    h.observe(1000.0);
+    std::vector<TelemetrySnapshot> snaps;
+    snaps.push_back(registry.snapshot(0));
+    registry.counter("erms_requests_total", {{"service", "0"}}).add(13);
+    snaps.push_back(registry.snapshot(30000000));
+    return snaps;
+}
+
+TEST(TelemetryExporters, CsvRoundTripIsExact)
+{
+    const auto snaps = makeExportFixture();
+    const std::string csv = telemetry::toCsv(snaps);
+    const auto parsed = telemetry::fromCsv(csv);
+    ASSERT_EQ(parsed.size(), snaps.size());
+    for (std::size_t i = 0; i < snaps.size(); ++i)
+        EXPECT_TRUE(parsed[i] == snaps[i]) << "snapshot " << i;
+}
+
+TEST(TelemetryExporters, JsonRoundTripIsExact)
+{
+    const auto snaps = makeExportFixture();
+    const std::string json = telemetry::toJson(snaps);
+    const auto parsed = telemetry::fromJson(json);
+    ASSERT_EQ(parsed.size(), snaps.size());
+    for (std::size_t i = 0; i < snaps.size(); ++i)
+        EXPECT_TRUE(parsed[i] == snaps[i]) << "snapshot " << i;
+}
+
+TEST(TelemetryExporters, EmptyDocuments)
+{
+    EXPECT_TRUE(telemetry::fromCsv(telemetry::toCsv({})).empty());
+    EXPECT_TRUE(telemetry::fromJson(telemetry::toJson({})).empty());
+}
+
+// ---------------------------------------------------------------------
+// Scraped view semantics
+// ---------------------------------------------------------------------
+
+TEST(TelemetryView, RatesComeFromCounterDeltas)
+{
+    telemetry::SimMonitor monitor;
+    telemetry::ScrapedTelemetryView view(monitor);
+    EXPECT_EQ(view.observedRate(0), 0.0); // no scrapes yet
+
+    for (int i = 0; i < 10; ++i)
+        monitor.onRequestArrival(0);
+    monitor.takeSnapshot(0);
+    EXPECT_EQ(view.observedRate(0), 0.0); // one scrape: no delta yet
+
+    for (int i = 0; i < 300; ++i)
+        monitor.onRequestArrival(0);
+    monitor.takeSnapshot(30 * 1000000); // 30 s later
+    // 300 arrivals over half a minute -> 600 requests/minute.
+    EXPECT_DOUBLE_EQ(view.observedRate(0), 600.0);
+}
+
+TEST(TelemetryView, StalenessGrowsBetweenScrapes)
+{
+    telemetry::SimMonitor monitor;
+    telemetry::ScrapedTelemetryView view(monitor);
+    EXPECT_GT(view.stalenessMs(0), 1e12); // nothing scraped yet
+    monitor.takeSnapshot(1000000);
+    EXPECT_DOUBLE_EQ(view.stalenessMs(1000000), 0.0);
+    EXPECT_DOUBLE_EQ(view.stalenessMs(31 * 1000000), 30000.0);
+}
+
+TEST(TelemetryView, ServiceP95FromIntervalBucketDeltas)
+{
+    telemetry::SimMonitor monitor;
+    telemetry::ScrapedTelemetryView view(monitor);
+    // First interval: fast requests only.
+    for (int i = 0; i < 100; ++i)
+        monitor.onRequestComplete(0, 10.0, false, true);
+    monitor.takeSnapshot(0);
+    // Second interval: slow requests. The interval estimate must
+    // reflect only the new observations, not the whole history.
+    for (int i = 0; i < 100; ++i)
+        monitor.onRequestComplete(0, 400.0, true, true);
+    monitor.takeSnapshot(30 * 1000000);
+    EXPECT_GT(view.serviceP95Ms(0), 200.0);
+}
+
+TEST(TelemetryView, ContainerGaugeWithAbsenceSentinel)
+{
+    telemetry::SimMonitor monitor;
+    telemetry::ScrapedTelemetryView view(monitor);
+    EXPECT_EQ(view.containerCount(7), -1);
+    monitor.recordDeployment(7, 12, 3, 40);
+    monitor.takeSnapshot(0);
+    EXPECT_EQ(view.containerCount(7), 12);
+    EXPECT_EQ(view.containerCount(8), -1);
+}
+
+// ---------------------------------------------------------------------
+// Oracle escape hatch: with ERMS_TELEMETRY_ORACLE set, a controller
+// built WITH a view must behave exactly like one built without.
+// ---------------------------------------------------------------------
+
+struct DynamicRunResult
+{
+    std::uint64_t requestsCompleted = 0;
+    std::vector<double> latencies;
+};
+
+DynamicRunResult
+runSeededDynamic(const MicroserviceCatalog &catalog, const Application &app,
+                 const ErmsController &controller, bool with_view,
+                 std::uint64_t seed)
+{
+    SimConfig config;
+    config.horizonMinutes = 4;
+    config.warmupMinutes = 1;
+    config.seed = seed;
+    Simulation sim(catalog, config);
+    auto monitor = std::make_shared<telemetry::SimMonitor>();
+    std::shared_ptr<const telemetry::TelemetryView> view;
+    if (with_view) {
+        sim.setMonitor(monitor.get());
+        view = std::make_shared<telemetry::ScrapedTelemetryView>(*monitor);
+    }
+    std::vector<ServiceSpec> services;
+    for (const auto &graph : app.graphs) {
+        ServiceWorkload svc;
+        svc.id = graph.service();
+        svc.graph = &graph;
+        svc.slaMs = 300.0;
+        svc.rate = 8000.0;
+        sim.addService(svc);
+        ServiceSpec spec;
+        spec.id = graph.service();
+        spec.graph = &graph;
+        spec.slaMs = 300.0;
+        spec.workload = 8000.0;
+        services.push_back(spec);
+    }
+    const GlobalPlan initial =
+        controller.plan(services, Interference{0.2, 0.2});
+    sim.applyPlan(initial);
+    sim.setMinuteCallback(makeDynamicController(controller, services, view));
+    sim.run();
+
+    DynamicRunResult result;
+    result.requestsCompleted = sim.metrics().requestsCompleted;
+    for (const auto &graph : app.graphs) {
+        auto it = sim.metrics().endToEndMs.find(graph.service());
+        if (it == sim.metrics().endToEndMs.end())
+            continue;
+        result.latencies.insert(result.latencies.end(),
+                                it->second.samples().begin(),
+                                it->second.samples().end());
+    }
+    return result;
+}
+
+TEST(TelemetryOracleMode, EscapeHatchReproducesOracleRunExactly)
+{
+    MicroserviceCatalog catalog;
+    // Application factories attach bootstrap analytic latency models,
+    // so the controller can plan without an offline profiling pass.
+    const Application app = makeMotivationShared(catalog, 0);
+    ErmsController controller(catalog, ErmsConfig{});
+
+    for (std::uint64_t seed : {3u, 19u}) {
+        const DynamicRunResult oracle =
+            runSeededDynamic(catalog, app, controller, false, seed);
+
+        ::setenv("ERMS_TELEMETRY_ORACLE", "1", 1);
+        const DynamicRunResult hatch =
+            runSeededDynamic(catalog, app, controller, true, seed);
+        ::unsetenv("ERMS_TELEMETRY_ORACLE");
+
+        EXPECT_EQ(oracle.requestsCompleted, hatch.requestsCompleted)
+            << "seed " << seed;
+        EXPECT_EQ(oracle.latencies, hatch.latencies) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace erms

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Event-engine perf trajectory: measures the raw queue and the largest
+ * simulation configuration under both the pre-refactor legacy engine
+ * (binary heap + heap-allocated std::function per event) and the
+ * calendar engine (typed pool-recycled records), then writes the
+ * before/after events-per-second table as machine-readable JSON.
+ *
+ * Usage: bench_event_engine [output.json]
+ * Default output: BENCH_event_engine.json in the current directory.
+ * Entry point: scripts/bench_perf.sh (writes to the repo root).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "event_engine_scenario.hpp"
+
+using namespace erms;
+using namespace erms::bench;
+
+namespace {
+
+/** Best-of-N: the trajectory tracks engine capability, not machine
+ *  noise, so each cell is the fastest of `reps` runs. */
+template <typename Fn>
+EngineRun
+bestOf(int reps, Fn &&fn)
+{
+    EngineRun best;
+    for (int i = 0; i < reps; ++i) {
+        const EngineRun run = fn();
+        if (best.events == 0 || run.eventsPerSec() > best.eventsPerSec())
+            best = run;
+    }
+    return best;
+}
+
+void
+writeSection(std::FILE *out, const char *name, const EngineRun &legacy,
+             const EngineRun &calendar, bool last)
+{
+    std::fprintf(out,
+                 "  \"%s\": {\n"
+                 "    \"legacy_events\": %llu,\n"
+                 "    \"legacy_seconds\": %.6f,\n"
+                 "    \"legacy_events_per_sec\": %.0f,\n"
+                 "    \"calendar_events\": %llu,\n"
+                 "    \"calendar_seconds\": %.6f,\n"
+                 "    \"calendar_events_per_sec\": %.0f,\n"
+                 "    \"speedup\": %.3f\n"
+                 "  }%s\n",
+                 name,
+                 static_cast<unsigned long long>(legacy.events),
+                 legacy.seconds, legacy.eventsPerSec(),
+                 static_cast<unsigned long long>(calendar.events),
+                 calendar.seconds, calendar.eventsPerSec(),
+                 calendar.eventsPerSec() / legacy.eventsPerSec(),
+                 last ? "" : ",");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string path =
+        argc > 1 ? argv[1] : "BENCH_event_engine.json";
+
+    constexpr std::uint64_t kRawEvents = 8'000'000;
+    constexpr int kSimMinutes = 3;
+    constexpr int kReps = 5;
+
+    std::fprintf(stderr, "raw queue: legacy engine...\n");
+    const EngineRun raw_legacy =
+        bestOf(kReps, [] { return runRawLegacy(kRawEvents); });
+    std::fprintf(stderr, "raw queue: calendar engine...\n");
+    const EngineRun raw_calendar =
+        bestOf(kReps, [] { return runRawCalendar(kRawEvents); });
+
+    std::fprintf(stderr, "simulation (largest config): legacy engine...\n");
+    const EngineRun sim_legacy = bestOf(kReps, [] {
+        return runSimScenario(EventEngine::LegacyHeap, kSimMinutes);
+    });
+    std::fprintf(stderr, "simulation (largest config): calendar engine...\n");
+    const EngineRun sim_calendar = bestOf(kReps, [] {
+        return runSimScenario(EventEngine::Calendar, kSimMinutes);
+    });
+
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"event_engine\",\n");
+    std::fprintf(out, "  \"raw_events_requested\": %llu,\n",
+                 static_cast<unsigned long long>(kRawEvents));
+    std::fprintf(out, "  \"sim_minutes\": %d,\n", kSimMinutes);
+    std::fprintf(out, "  \"reps\": %d,\n", kReps);
+    writeSection(out, "raw_queue", raw_legacy, raw_calendar,
+                 /*last=*/false);
+    writeSection(out, "sim_largest", sim_legacy, sim_calendar,
+                 /*last=*/true);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+
+    std::fprintf(stderr,
+                 "raw queue:   %.2fM ev/s -> %.2fM ev/s (%.2fx)\n"
+                 "sim largest: %.2fM ev/s -> %.2fM ev/s (%.2fx)\n"
+                 "wrote %s\n",
+                 raw_legacy.eventsPerSec() / 1e6,
+                 raw_calendar.eventsPerSec() / 1e6,
+                 raw_calendar.eventsPerSec() / raw_legacy.eventsPerSec(),
+                 sim_legacy.eventsPerSec() / 1e6,
+                 sim_calendar.eventsPerSec() / 1e6,
+                 sim_calendar.eventsPerSec() / sim_legacy.eventsPerSec(),
+                 path.c_str());
+    return 0;
+}

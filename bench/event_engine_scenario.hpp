@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Shared event-engine benchmark scenarios, used by bench_event_engine
+ * (the machine-readable perf trajectory, BENCH_event_engine.json) and
+ * by the events-per-second section of bench_scalability. Both measure
+ * the same two workloads under the calendar engine and the legacy
+ * binary-heap engine kept in-tree for exactly this comparison:
+ *
+ *  - raw queue: a self-perpetuating timer population (every dispatched
+ *    event schedules a successor at a pseudo-random offset), the pure
+ *    engine cost with no simulator logic on top;
+ *  - simulation: the largest scalability configuration — a fan-out
+ *    dependency graph under heavy load — timed end to end, with the
+ *    engine's dispatch counter as the work measure.
+ */
+
+#ifndef ERMS_BENCH_EVENT_ENGINE_SCENARIO_HPP
+#define ERMS_BENCH_EVENT_ENGINE_SCENARIO_HPP
+
+#include <chrono>
+#include <cstdint>
+
+#include "graph/dependency_graph.hpp"
+#include "model/catalog.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/legacy_event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace erms::bench {
+
+struct EngineRun
+{
+    double seconds = 0.0;
+    std::uint64_t events = 0;
+    double eventsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+    }
+};
+
+/** Deterministic offset stream (splitmix64) shared by both engines. */
+inline std::uint64_t
+mixOffset(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kTimerPopulation = 4096;
+
+/** Raw-queue workload on the calendar engine: typed records through
+ *  post()/next(), the simulator's allocation-free hot path. */
+inline EngineRun
+runRawCalendar(std::uint64_t total_events)
+{
+    EventQueue q;
+    std::uint64_t state = 1;
+    for (std::uint64_t i = 0; i < kTimerPopulation; ++i) {
+        state = mixOffset(state);
+        q.post(state % 1024, EventRecord{.a = i, .type = 1});
+    }
+    std::uint64_t dispatched = 0;
+    const auto start = std::chrono::steady_clock::now();
+    EventRecord rec;
+    while (dispatched < total_events &&
+           q.next(~static_cast<SimTime>(0), rec)) {
+        ++dispatched;
+        state = mixOffset(state + rec.a);
+        q.postAfter(1 + state % 1024, EventRecord{.a = rec.a, .type = 1});
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    EngineRun run;
+    run.seconds = std::chrono::duration<double>(stop - start).count();
+    run.events = dispatched;
+    return run;
+}
+
+/** Raw-queue workload on the legacy engine: one std::function per
+ *  event, dispatched through the binary heap — the pre-refactor cost
+ *  model. The pre-refactor simulator closures captured an EventRecord's
+ *  worth of payload (beyond std::function's small-buffer size), so each
+ *  closure here carries the same payload to keep the per-event heap
+ *  allocation the old engine paid. */
+inline EngineRun
+runRawLegacy(std::uint64_t total_events)
+{
+    LegacyEventQueue q;
+    std::uint64_t state = 1;
+    std::uint64_t dispatched = 0;
+    struct Payload // what a typed record carries, closure-captured
+    {
+        std::uint64_t a = 0, b = 0;
+        void *p1 = nullptr, *p2 = nullptr;
+        std::uint32_t type = 0;
+    };
+    // Self-rescheduling timer: mirrors the calendar loop above.
+    std::function<void(std::uint64_t)> fire = [&](std::uint64_t id) {
+        ++dispatched;
+        state = mixOffset(state + id);
+        const Payload payload{id, state, nullptr, nullptr, 1};
+        q.scheduleAfter(1 + state % 1024,
+                        [&fire, payload] { fire(payload.a); });
+    };
+    for (std::uint64_t i = 0; i < kTimerPopulation; ++i) {
+        state = mixOffset(state);
+        const Payload payload{i, state, nullptr, nullptr, 1};
+        q.schedule(state % 1024, [&fire, payload] { fire(payload.a); });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    while (dispatched < total_events && q.runUntil(q.now() + 1024) > 0) {
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    EngineRun run;
+    run.seconds = std::chrono::duration<double>(stop - start).count();
+    run.events = dispatched;
+    return run;
+}
+
+/** The largest simulation configuration of the scalability suite: two
+ *  services over an 8-node fan-out graph at high load. `minutes` scales
+ *  the run length (3 for the trajectory, 1 for quick checks). */
+inline EngineRun
+runSimScenario(EventEngine engine, int minutes)
+{
+    MicroserviceCatalog catalog;
+    auto add = [&](const char *name, double base_ms, int threads) {
+        MicroserviceProfile profile;
+        profile.name = name;
+        profile.baseServiceMs = base_ms;
+        profile.threadsPerContainer = threads;
+        profile.serviceCv = 0.6;
+        profile.networkMs = 0.2;
+        return catalog.add(profile);
+    };
+    const MicroserviceId root = add("root", 3.0, 8);
+    const MicroserviceId a = add("a", 6.0, 4);
+    const MicroserviceId b = add("b", 8.0, 4);
+    const MicroserviceId c = add("c", 5.0, 4);
+    const MicroserviceId d = add("d", 4.0, 4);
+    const MicroserviceId tail = add("tail", 2.0, 8);
+    const MicroserviceId logg = add("log", 1.5, 8);
+    const MicroserviceId cache = add("cache", 1.0, 8);
+    const MicroserviceId db = add("db", 1.0, 8);
+
+    DependencyGraph g0(0, root);
+    g0.addCall(root, a, 0);
+    g0.addCall(root, b, 0);
+    g0.addCall(a, cache, 0);
+    g0.addCall(b, db, 0);
+    g0.addCall(root, tail, 1);
+    DependencyGraph g1(1, root);
+    g1.addCall(root, c, 0);
+    g1.addCall(root, d, 0);
+    g1.addCall(c, logg, 0);
+    g1.addCall(root, tail, 1);
+
+    SimConfig config;
+    config.horizonMinutes = minutes;
+    config.warmupMinutes = 0;
+    config.seed = 17;
+    Simulation sim(catalog, config);
+    sim.setEventEngine(engine);
+    for (DependencyGraph *g : {&g0, &g1}) {
+        ServiceWorkload svc;
+        svc.id = g->service();
+        svc.graph = g;
+        svc.rate = 60000.0;
+        sim.addService(svc);
+    }
+    for (MicroserviceId ms : {root, a, b, c, d, tail, logg, cache, db})
+        sim.setContainerCount(ms, 6);
+
+    const auto start = std::chrono::steady_clock::now();
+    sim.run();
+    const auto stop = std::chrono::steady_clock::now();
+    EngineRun run;
+    run.seconds = std::chrono::duration<double>(stop - start).count();
+    run.events = sim.metrics().eventsDispatched;
+    return run;
+}
+
+} // namespace erms::bench
+
+#endif // ERMS_BENCH_EVENT_ENGINE_SCENARIO_HPP

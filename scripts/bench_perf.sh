@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Event-engine perf trajectory: builds the benchmark and rewrites
+# BENCH_event_engine.json at the repo root with before/after
+# events-per-second for the legacy binary-heap engine and the calendar
+# engine (raw queue + largest simulation config; see
+# docs/event_engine.md). Run on a quiet machine — each cell is
+# best-of-5, but background load still skews the legacy baseline.
+#
+# Usage: scripts/bench_perf.sh [jobs]   (default: 2)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-2}"
+
+cmake -B build -S .
+cmake --build build -j"$JOBS" --target bench_event_engine
+./build/bench/bench_event_engine BENCH_event_engine.json
+
+echo "== BENCH_event_engine.json =="
+cat BENCH_event_engine.json

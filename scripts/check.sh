@@ -3,9 +3,10 @@
 # AddressSanitizer build exercising the fault-injection and runner
 # tests (the code paths with the hairiest object lifetimes: pooled call
 # contexts, container erasure on crash, hedge cancellation), the golden
-# and property suites, and a runner-determinism pass (the golden tables
-# must come out identical with one worker and with the hardware
-# default).
+# and property suites, a ThreadSanitizer pass over the parallel runner
+# and the event engine, and determinism passes (the golden tables must
+# come out identical with one worker vs the hardware default, and under
+# the legacy binary-heap event engine vs the calendar engine).
 #
 # Usage: scripts/check.sh [jobs]   (default: 2)
 
@@ -22,7 +23,8 @@ echo "== asan: fault + runner + golden + property tests (build-asan/) =="
 cmake -B build-asan -S . -DERMS_SANITIZE=address
 cmake --build build-asan -j"$JOBS" \
     --target erms_tests_sim erms_tests_runner erms_tests_golden \
-             erms_tests_system erms_tests_telemetry
+             erms_tests_system erms_tests_telemetry \
+             erms_tests_event_engine erms_tests_queueing
 ./build-asan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
 ./build-asan/tests/erms_tests_runner
@@ -30,9 +32,22 @@ cmake --build build-asan -j"$JOBS" \
 ./build-asan/tests/erms_tests_system \
     --gtest_filter='*Property*:*StatsMerge*:*HistogramMerge*:*TelemetryTransparency*'
 ./build-asan/tests/erms_tests_telemetry
+./build-asan/tests/erms_tests_event_engine
+./build-asan/tests/erms_tests_queueing \
+    --gtest_filter='QueueingValidation.MM1*:QueueingValidation.ErlangC*'
+
+echo "== tsan: parallel runner + event engine (build-tsan/) =="
+cmake -B build-tsan -S . -DERMS_SANITIZE=thread
+cmake --build build-tsan -j"$JOBS" \
+    --target erms_tests_runner erms_tests_event_engine
+./build-tsan/tests/erms_tests_runner
+./build-tsan/tests/erms_tests_event_engine
 
 echo "== runner determinism: golden tables with 1 worker vs default =="
 ERMS_RUNNER_THREADS=1 ./build/tests/erms_tests_golden
 ./build/tests/erms_tests_golden
+
+echo "== event-engine determinism: golden tables on the legacy engine =="
+ERMS_EVENT_ENGINE=legacy ./build/tests/erms_tests_golden
 
 echo "== all checks passed =="

@@ -1,14 +1,95 @@
 #include "event_queue.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace erms {
 
+namespace {
+
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+EventQueue::EventQueue(std::size_t bucket_count, SimTime bucket_width)
+    : bucketCount_(bucket_count), bucketWidth_(bucket_width),
+      span_(static_cast<SimTime>(bucket_count) * bucket_width)
+{
+    ERMS_ASSERT_MSG(isPowerOfTwo(bucket_count),
+                    "bucket count must be a power of two");
+    ERMS_ASSERT_MSG(isPowerOfTwo(bucket_width),
+                    "bucket width must be a power of two");
+    buckets_.resize(bucketCount_);
+}
+
+void
+EventQueue::post(SimTime t, EventRecord rec)
+{
+    ERMS_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    rec.time = t;
+    rec.seq = next_seq_++;
+    ++pending_;
+
+    if (t < windowStart_) {
+        // The wheel advanced past t while hunting for a later event
+        // (e.g. the sim idled to a horizon, then scheduled from there).
+        // Rare by construction: park in the early heap, which always
+        // dispatches before the wheel (early times < windowStart_ <=
+        // every wheel/far time).
+        early_.push_back(rec);
+        std::push_heap(early_.begin(), early_.end(), Later{});
+        return;
+    }
+    if (t - windowStart_ >= span_) {
+        if (far_.empty() || t < farMin_)
+            farMin_ = t;
+        far_.push_back(rec);
+        return;
+    }
+    const std::size_t index =
+        static_cast<std::size_t>((t - windowStart_) / bucketWidth_);
+    if (index < cursor_) {
+        // Buckets before the cursor are empty (the cursor only advances
+        // past drained buckets), so reopening is just a rewind.
+        cursor_ = index;
+        activeHeapified_ = false;
+    }
+    std::vector<EventRecord> &bucket = buckets_[index];
+    bucket.push_back(rec);
+    if (index == cursor_ && activeHeapified_)
+        std::push_heap(bucket.begin(), bucket.end(), Later{});
+    ++wheelCount_;
+}
+
+void
+EventQueue::postAfter(SimTime delay, EventRecord rec)
+{
+    post(now_ + delay, rec);
+}
+
 void
 EventQueue::schedule(SimTime t, Callback cb)
 {
-    ERMS_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-    events_.push(Event{t, next_seq_++, std::move(cb)});
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[slot] = std::move(cb);
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(cb));
+    }
+    EventRecord rec;
+    rec.type = kCallbackEvent;
+    rec.a = slot;
+    post(t, rec);
 }
 
 void
@@ -17,21 +98,130 @@ EventQueue::scheduleAfter(SimTime delay, Callback cb)
     schedule(now_ + delay, std::move(cb));
 }
 
+void
+EventQueue::pourFar()
+{
+    std::size_t keep = 0;
+    SimTime keep_min = 0;
+    for (std::size_t i = 0; i < far_.size(); ++i) {
+        const EventRecord &rec = far_[i];
+        if (rec.time - windowStart_ < span_) {
+            // windowStart_ never overtakes a far event, so the
+            // subtraction cannot underflow.
+            const std::size_t index = static_cast<std::size_t>(
+                (rec.time - windowStart_) / bucketWidth_);
+            buckets_[index].push_back(rec);
+            ++wheelCount_;
+            continue;
+        }
+        if (keep == 0 || rec.time < keep_min)
+            keep_min = rec.time;
+        far_[keep++] = rec;
+    }
+    far_.resize(keep);
+    farMin_ = keep_min;
+}
+
+bool
+EventQueue::peekTime(SimTime &t)
+{
+    if (!early_.empty()) {
+        t = early_.front().time;
+        return true;
+    }
+    if (pending_ == 0)
+        return false;
+    for (;;) {
+        if (wheelCount_ == 0) {
+            // Everything pending lives in the far list: jump the window
+            // straight to it instead of walking empty rotations.
+            windowStart_ = farMin_ - farMin_ % span_;
+            cursor_ = 0;
+            activeHeapified_ = false;
+            pourFar(); // farMin_ lands inside the new window
+            continue;
+        }
+        if (buckets_[cursor_].empty()) {
+            ++cursor_;
+            activeHeapified_ = false;
+            if (cursor_ == bucketCount_) {
+                windowStart_ += span_;
+                cursor_ = 0;
+                if (!far_.empty())
+                    pourFar();
+            }
+            continue;
+        }
+        std::vector<EventRecord> &bucket = buckets_[cursor_];
+        if (!activeHeapified_) {
+            std::make_heap(bucket.begin(), bucket.end(), Later{});
+            activeHeapified_ = true;
+        }
+        t = bucket.front().time;
+        return true;
+    }
+}
+
+EventRecord
+EventQueue::popTop()
+{
+    --pending_;
+    if (!early_.empty()) {
+        std::pop_heap(early_.begin(), early_.end(), Later{});
+        const EventRecord rec = early_.back();
+        early_.pop_back();
+        return rec;
+    }
+    std::vector<EventRecord> &bucket = buckets_[cursor_];
+    std::pop_heap(bucket.begin(), bucket.end(), Later{});
+    const EventRecord rec = bucket.back();
+    bucket.pop_back();
+    --wheelCount_;
+    return rec;
+}
+
+bool
+EventQueue::next(SimTime horizon, EventRecord &out)
+{
+    SimTime t;
+    if (!peekTime(t) || t > horizon) {
+        if (now_ < horizon)
+            now_ = horizon;
+        return false;
+    }
+    out = popTop();
+    now_ = t;
+    return true;
+}
+
+void
+EventQueue::runCallback(const EventRecord &rec)
+{
+    ERMS_ASSERT(rec.type == kCallbackEvent);
+    const std::uint32_t slot = static_cast<std::uint32_t>(rec.a);
+    ERMS_ASSERT(slot < slots_.size());
+    // Move the callable out and free the slot *before* invoking: the
+    // callback may schedule new callbacks, reuse this very slot, or
+    // even grow the pool — none of which may touch the running
+    // callable.
+    Callback cb = std::move(slots_[slot]);
+    slots_[slot] = nullptr;
+    freeSlots_.push_back(slot);
+    cb();
+}
+
 std::uint64_t
 EventQueue::runUntil(SimTime horizon)
 {
     std::uint64_t dispatched = 0;
-    while (!events_.empty() && events_.top().time <= horizon) {
-        // priority_queue::top() is const; move via const_cast is safe
-        // because we pop immediately after.
-        Event event = std::move(const_cast<Event &>(events_.top()));
-        events_.pop();
-        now_ = event.time;
-        event.cb();
+    EventRecord rec;
+    while (next(horizon, rec)) {
+        ERMS_ASSERT_MSG(rec.type == kCallbackEvent,
+                        "typed event dispatched through runUntil; the "
+                        "owner must drive next() itself");
+        runCallback(rec);
         ++dispatched;
     }
-    if (now_ < horizon)
-        now_ = horizon;
     return dispatched;
 }
 
@@ -39,11 +229,14 @@ std::uint64_t
 EventQueue::runAll()
 {
     std::uint64_t dispatched = 0;
-    while (!events_.empty()) {
-        Event event = std::move(const_cast<Event &>(events_.top()));
-        events_.pop();
-        now_ = event.time;
-        event.cb();
+    SimTime t;
+    while (peekTime(t)) {
+        const EventRecord rec = popTop();
+        now_ = t;
+        ERMS_ASSERT_MSG(rec.type == kCallbackEvent,
+                        "typed event dispatched through runAll; the "
+                        "owner must drive next() itself");
+        runCallback(rec);
         ++dispatched;
     }
     return dispatched;

@@ -1,7 +1,28 @@
 /**
  * @file
- * Discrete-event engine core: a time-ordered queue of callbacks with
- * deterministic FIFO tie-breaking for simultaneous events.
+ * Discrete-event engine core: typed, pool-recycled event records in a
+ * two-level calendar queue with deterministic (time, insertion-seq)
+ * FIFO tie-breaking for simultaneous events.
+ *
+ * Design (see docs/event_engine.md):
+ *  - Events are plain-old-data EventRecord values: a type tag plus two
+ *    payload words and two payload pointers. Scheduling one copies 56
+ *    bytes into a recycled bucket vector — no per-event heap
+ *    allocation, no callable construction. The owner dispatches records
+ *    through its own switch (Simulation::dispatchEvent).
+ *  - std::function callbacks remain supported for cold paths and tests:
+ *    schedule() parks the callable in a recycled slot pool and enqueues
+ *    a kCallbackEvent record pointing at the slot.
+ *  - Time ordering uses a calendar ("timing wheel") of power-of-two
+ *    buckets over a sliding window, with a far list for events beyond
+ *    the window and a tiny early heap for events scheduled behind an
+ *    already-advanced window. Each bucket is heap-ordered by the strict
+ *    total order (time, seq) when it becomes current, so dispatch order
+ *    is exactly the order the old binary-heap engine produced — the
+ *    determinism contract every golden table pins.
+ *
+ * LegacyEventQueue (legacy_event_queue.hpp) is the pre-refactor binary
+ * heap kept for differential tests and the perf trajectory.
  */
 
 #ifndef ERMS_SIM_EVENT_QUEUE_HPP
@@ -9,20 +30,58 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace erms {
 
-/** Priority queue of (time, insertion-order) tagged callbacks. */
+/** Record type tag reserved for pooled std::function callbacks. */
+inline constexpr std::uint32_t kCallbackEvent = 0;
+
+/**
+ * One scheduled event. POD: owners define their own type tags (> 0) and
+ * payload conventions; the queue only reads/stamps time and seq.
+ */
+struct EventRecord
+{
+    SimTime time = 0;       ///< absolute dispatch time (stamped by post)
+    std::uint64_t seq = 0;  ///< insertion order (stamped by post)
+    std::uint64_t a = 0;    ///< payload word
+    std::uint64_t b = 0;    ///< payload word
+    void *p1 = nullptr;     ///< payload pointer
+    void *p2 = nullptr;     ///< payload pointer
+    std::uint32_t type = kCallbackEvent;
+};
+
+/**
+ * Two-level calendar queue of EventRecords, dispatching in exactly
+ * (time, seq) ascending order.
+ */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
 
-    /** Schedule a callback at absolute simulated time t (>= now). */
+    /**
+     * @param bucket_count  number of wheel buckets (power of two).
+     * @param bucket_width  time span of one bucket in microseconds
+     *                      (power of two). The wheel window covers
+     *                      bucket_count * bucket_width microseconds.
+     */
+    explicit EventQueue(std::size_t bucket_count = 2048,
+                        SimTime bucket_width = 32);
+
+    /** Schedule a typed record at absolute simulated time t (>= now).
+     *  rec.time and rec.seq are overwritten by the queue. */
+    void post(SimTime t, EventRecord rec);
+
+    /** Schedule a typed record delay microseconds from now. */
+    void postAfter(SimTime delay, EventRecord rec);
+
+    /** Schedule a callback at absolute simulated time t (>= now). The
+     *  callable is parked in a recycled slot; the event itself is a
+     *  kCallbackEvent record. */
     void schedule(SimTime t, Callback cb);
 
     /** Schedule a callback delay microseconds from now. */
@@ -31,31 +90,46 @@ class EventQueue
     /** Current simulated time (time of the last dispatched event). */
     SimTime now() const { return now_; }
 
-    bool empty() const { return events_.empty(); }
-    std::size_t pending() const { return events_.size(); }
+    bool empty() const { return pending_ == 0; }
+    std::size_t pending() const { return pending_; }
+
+    /**
+     * Pop the next event if its time is <= horizon (inclusive — an
+     * event posted exactly at the horizon during dispatch is still
+     * eligible). On success advances now() to the event time and
+     * returns true. Otherwise leaves the event queued, advances now()
+     * to the horizon, and returns false.
+     */
+    bool next(SimTime horizon, EventRecord &out);
+
+    /** Invoke and recycle a kCallbackEvent record returned by next().
+     *  The slot is released before the callable runs, so a callback may
+     *  schedule further callbacks (and reuse its own slot) safely. */
+    void runCallback(const EventRecord &rec);
 
     /**
      * Dispatch events in order until the queue drains or the next event
      * is later than horizon. Events scheduled while running are
-     * dispatched too if they fall within the horizon.
+     * dispatched too if they fall within the horizon (inclusive). Only
+     * valid for queues holding callback events; typed records trip an
+     * assertion (their owner must drive next() itself). On return
+     * now() == max(now, horizon).
      * @return number of events dispatched.
      */
     std::uint64_t runUntil(SimTime horizon);
 
-    /** Dispatch everything (no horizon). */
+    /** Dispatch everything (no horizon; now() ends at the last event). */
     std::uint64_t runAll();
 
+    /** Callback slots ever allocated (recycle observability: stays flat
+     *  when schedule/dispatch cycles reuse slots). */
+    std::size_t callbackPoolSize() const { return slots_.size(); }
+
   private:
-    struct Event
-    {
-        SimTime time;
-        std::uint64_t seq;
-        Callback cb;
-    };
     struct Later
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const EventRecord &a, const EventRecord &b) const
         {
             if (a.time != b.time)
                 return a.time > b.time;
@@ -63,7 +137,38 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /** Find the next event without popping: returns false when empty,
+     *  else sets t to its time and leaves it at a known position
+     *  (early_ front, or the heapified cursor bucket's front). */
+    bool peekTime(SimTime &t);
+
+    /** Pop the event found by the immediately preceding peekTime(). */
+    EventRecord popTop();
+
+    /** Move far-list events that now fall inside the window into their
+     *  buckets; recompute farMin_. */
+    void pourFar();
+
+    // calendar wheel ----------------------------------------------------
+    std::vector<std::vector<EventRecord>> buckets_;
+    std::size_t bucketCount_;
+    SimTime bucketWidth_;
+    SimTime span_;          ///< bucketCount_ * bucketWidth_
+    SimTime windowStart_ = 0;
+    std::size_t cursor_ = 0;
+    bool activeHeapified_ = false;
+    std::size_t wheelCount_ = 0; ///< records currently in buckets
+
+    // overflow levels ---------------------------------------------------
+    std::vector<EventRecord> far_;   ///< time >= windowStart_ + span_
+    SimTime farMin_ = 0;
+    std::vector<EventRecord> early_; ///< heap; time < windowStart_
+
+    // callback slot pool ------------------------------------------------
+    std::vector<Callback> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+
+    std::size_t pending_ = 0;
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
 };

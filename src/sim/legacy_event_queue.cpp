@@ -1,0 +1,52 @@
+#include "legacy_event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace erms {
+
+void
+LegacyEventQueue::schedule(SimTime t, Callback cb)
+{
+    ERMS_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    events_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void
+LegacyEventQueue::scheduleAfter(SimTime delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+std::uint64_t
+LegacyEventQueue::runUntil(SimTime horizon)
+{
+    std::uint64_t dispatched = 0;
+    while (!events_.empty() && events_.top().time <= horizon) {
+        // priority_queue::top() is const; move via const_cast is safe
+        // because we pop immediately after.
+        Event event = std::move(const_cast<Event &>(events_.top()));
+        events_.pop();
+        now_ = event.time;
+        event.cb();
+        ++dispatched;
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+    return dispatched;
+}
+
+std::uint64_t
+LegacyEventQueue::runAll()
+{
+    std::uint64_t dispatched = 0;
+    while (!events_.empty()) {
+        Event event = std::move(const_cast<Event &>(events_.top()));
+        events_.pop();
+        now_ = event.time;
+        event.cb();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+} // namespace erms

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The original binary-heap event engine: a priority queue of
+ * (time, insertion-seq) tagged std::function callbacks. Kept as the
+ * reference implementation so that
+ *  - the perf trajectory (BENCH_event_engine.json, scripts/bench_perf.sh)
+ *    can measure the calendar engine against the pre-refactor baseline
+ *    inside one binary, and
+ *  - the differential determinism tests can run the same scenario
+ *    through both engines (ERMS_EVENT_ENGINE=legacy) and byte-compare.
+ *
+ * Dispatch order is the exact total order (time, seq) ascending — the
+ * same contract the calendar engine in event_queue.hpp preserves.
+ */
+
+#ifndef ERMS_SIM_LEGACY_EVENT_QUEUE_HPP
+#define ERMS_SIM_LEGACY_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace erms {
+
+/** Binary heap of (time, insertion-order) tagged callbacks. */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at absolute simulated time t (>= now). */
+    void schedule(SimTime t, Callback cb);
+
+    /** Schedule a callback delay microseconds from now. */
+    void scheduleAfter(SimTime delay, Callback cb);
+
+    /** Current simulated time (time of the last dispatched event). */
+    SimTime now() const { return now_; }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Dispatch events in order until the queue drains or the next event
+     * is later than horizon. Events scheduled while running are
+     * dispatched too if they fall within the horizon (inclusive: an
+     * event scheduled exactly at the horizon during dispatch fires in
+     * the same call). On return now() == max(now, horizon).
+     * @return number of events dispatched.
+     */
+    std::uint64_t runUntil(SimTime horizon);
+
+    /** Dispatch everything (no horizon). */
+    std::uint64_t runAll();
+
+  private:
+    struct Event
+    {
+        SimTime time;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace erms
+
+#endif // ERMS_SIM_LEGACY_EVENT_QUEUE_HPP

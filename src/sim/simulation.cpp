@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "sim/legacy_event_queue.hpp"
 #include "telemetry/monitor.hpp"
 
 namespace erms {
@@ -11,6 +14,31 @@ namespace erms {
 namespace {
 
 constexpr SimTime kMinute = 60ULL * 1000ULL * 1000ULL; // 60 s in usec
+
+/**
+ * Typed event vocabulary of the simulator, dispatched through
+ * Simulation::dispatchEvent. Payload conventions are noted per type;
+ * kCallbackEvent (0) stays reserved for the queue's own callback slots.
+ */
+enum SimEvent : std::uint32_t
+{
+    kEvArrival = 1,      ///< a = service index; start request, reschedule
+    kEvArrivalRecheck,   ///< a = service index; zero-rate minute recheck
+    kEvAttemptNetwork,   ///< p1 = ctx, a = attempt id; deliver to replica
+    kEvAttemptTimeout,   ///< p1 = ctx, a = attempt id
+    kEvHedgeTimer,       ///< p1 = ctx, a = attempt id
+    kEvContainerReady,   ///< a = microservice id, b = container id
+    kEvJobFinish,        ///< p1 = ctx, p2 = container, a = attempt id
+    kEvRetryLaunch,      ///< p1 = ctx; fire the armed retry
+    kEvChildDone,        ///< p1 = parent ctx; a child's response arrived
+    kEvRequestDone,      ///< p1 = request; response reached the client
+    kEvMinuteBoundary,   ///< flush minute metrics, run the controller
+    kEvCrash,            ///< a = victim draw
+    kEvSlowdownStart,    ///< a = host
+    kEvSlowdownEnd,      ///< a = host
+    kEvContainerRestart, ///< a = microservice id, b = dedicated service
+    kEvScrape,           ///< a = horizon; telemetry snapshot + reschedule
+};
 
 } // namespace
 
@@ -167,9 +195,50 @@ Simulation::Simulation(const MicroserviceCatalog &catalog, SimConfig config)
         host->memCapacity = config.hostMemMb;
         hosts_.push_back(std::move(host));
     }
+    if (const char *env = std::getenv("ERMS_EVENT_ENGINE")) {
+        setEventEngine(std::strcmp(env, "legacy") == 0
+                           ? EventEngine::LegacyHeap
+                           : EventEngine::Calendar);
+    }
 }
 
 Simulation::~Simulation() = default;
+
+SimTime
+Simulation::now() const
+{
+    return engine_ == EventEngine::LegacyHeap ? legacy_->now()
+                                              : events_.now();
+}
+
+void
+Simulation::setEventEngine(EventEngine engine)
+{
+    ERMS_ASSERT_MSG(!ran_, "setEventEngine must precede run()");
+    engine_ = engine;
+    if (engine == EventEngine::LegacyHeap && legacy_ == nullptr)
+        legacy_ = std::make_unique<LegacyEventQueue>();
+}
+
+void
+Simulation::post(SimTime t, const EventRecord &event)
+{
+    if (engine_ == EventEngine::LegacyHeap) {
+        // Faithful pre-refactor cost model: a heap-allocating closure
+        // per event pushed through the binary heap. Dispatch order is
+        // identical (same (time, seq) assignment), so a legacy run is
+        // byte-identical to a calendar run.
+        legacy_->schedule(t, [this, event] { dispatchEvent(event); });
+        return;
+    }
+    events_.post(t, event);
+}
+
+void
+Simulation::postAfter(SimTime delay, const EventRecord &event)
+{
+    post(now() + delay, event);
+}
 
 void
 Simulation::setBackgroundLoad(HostId host, double cpu_util, double mem_util)
@@ -277,10 +346,10 @@ Simulation::addService(ServiceWorkload service)
 void
 Simulation::noteBusyChange(HostState &host, double delta_cores)
 {
-    const SimTime now = events_.now();
+    const SimTime t = now();
     host.busyIntegral +=
-        host.busyCores * static_cast<double>(now - host.lastUpdate);
-    host.lastUpdate = now;
+        host.busyCores * static_cast<double>(t - host.lastUpdate);
+    host.lastUpdate = t;
     host.busyCores = std::max(0.0, host.busyCores + delta_cores);
 }
 
@@ -367,8 +436,7 @@ Simulation::addContainer(MicroserviceId ms, ServiceId dedicated)
     container->threads = std::max(1, profile.threadsPerContainer);
     container->queues.resize(1);
     container->dedicatedService = dedicated;
-    container->readyAt =
-        events_.now() + toSimTime(config_.containerStartupMs);
+    container->readyAt = now() + toSimTime(config_.containerStartupMs);
     ContainerState *raw = container.get();
     deployments_[ms].push_back(std::move(container));
     return raw;
@@ -590,14 +658,14 @@ Simulation::pickContainer(MicroserviceId ms, ServiceId service)
         // Kubernetes keeps at least one replica; mirror that.
         return addContainer(ms);
     }
-    const SimTime now = events_.now();
+    const SimTime t = now();
     // A container is eligible if it is up, started, and either shared or
     // dedicated to this request's service.
     const auto eligible = [&](const ContainerState &container,
                               bool allow_starting) {
         if (container.draining)
             return false;
-        if (!allow_starting && container.readyAt > now)
+        if (!allow_starting && container.readyAt > t)
             return false;
         return container.dedicatedService == kInvalidService ||
                container.dedicatedService == service;
@@ -668,20 +736,15 @@ Simulation::scheduleArrival(std::size_t service_index)
     const double rate = serviceRate(service_index);
     if (rate <= 0.0) {
         // Re-check at the next minute boundary.
-        const SimTime next_minute =
-            (events_.now() / kMinute + 1) * kMinute;
-        events_.schedule(next_minute + 1, [this, service_index] {
-            scheduleArrival(service_index);
-        });
+        const SimTime next_minute = (now() / kMinute + 1) * kMinute;
+        post(next_minute + 1,
+             EventRecord{.a = service_index, .type = kEvArrivalRecheck});
         return;
     }
     const double mean_gap_us = static_cast<double>(kMinute) / rate;
     const SimTime gap =
         static_cast<SimTime>(std::max(1.0, rng_.exponential(mean_gap_us)));
-    events_.scheduleAfter(gap, [this, service_index] {
-        startRequest(service_index);
-        scheduleArrival(service_index);
-    });
+    postAfter(gap, EventRecord{.a = service_index, .type = kEvArrival});
 }
 
 void
@@ -692,7 +755,7 @@ Simulation::startRequest(std::size_t service_index)
     req->id = nextRequest_++;
     req->service = svc.id;
     req->serviceIndex = service_index;
-    req->arrival = events_.now();
+    req->arrival = now();
     req->traced = spans_ != nullptr && spans_->sampleRequest(req->id);
     req->telemetrySampled =
         monitor_ != nullptr && monitor_->sampleSpan(req->id);
@@ -705,7 +768,7 @@ Simulation::startRequest(std::size_t service_index)
     root->req = req;
     root->ms = svc.graph->root();
     root->parent = nullptr;
-    root->clientSend = events_.now();
+    root->clientSend = now();
 
     issueCall(root);
 }
@@ -731,20 +794,18 @@ Simulation::launchAttempt(CallContext *ctx, int slot)
     const std::uint64_t id = attempt.id;
 
     if (resilience_.timeoutMs > 0.0) {
-        events_.scheduleAfter(toSimTime(resilience_.timeoutMs),
-                              [this, ctx, id] {
-                                  onAttemptTimeout(ctx, id);
-                              });
+        postAfter(toSimTime(resilience_.timeoutMs),
+                  EventRecord{.a = id, .p1 = ctx,
+                              .type = kEvAttemptTimeout});
     }
     if (slot == 0 && resilience_.hedgeDelayMs > 0.0) {
-        events_.scheduleAfter(toSimTime(resilience_.hedgeDelayMs),
-                              [this, ctx, id] { maybeHedge(ctx, id); });
+        postAfter(toSimTime(resilience_.hedgeDelayMs),
+                  EventRecord{.a = id, .p1 = ctx, .type = kEvHedgeTimer});
     }
 
     const SimTime network = toSimTime(catalog_.profile(ctx->ms).networkMs);
-    events_.scheduleAfter(network, [this, ctx, id] {
-        routeAttempt(ctx, id, /*count_call=*/true);
-    });
+    postAfter(network,
+              EventRecord{.a = id, .p1 = ctx, .type = kEvAttemptNetwork});
 }
 
 void
@@ -773,34 +834,19 @@ Simulation::routeAttempt(CallContext *ctx, std::uint64_t attempt,
     ContainerState *container = pickContainer(ctx->ms, ctx->req->service);
     ctx->attempts[slot].container = container;
     if (count_call) {
-        ctx->attempts[slot].receiveTime = events_.now();
+        ctx->attempts[slot].receiveTime = now();
         ++container->callsThisMinute;
     }
 
-    if (container->readyAt > events_.now()) {
+    if (container->readyAt > now()) {
         // Container still starting: queue the job and kick the queue
-        // once startup completes.
+        // once startup completes. The event looks the container up by
+        // id when it fires: scale-in may have erased it (its queue gets
+        // reassigned on drain).
         enqueueAttempt(*container, ctx, attempt);
-        // Look the container up by id when the event fires: scale-in
-        // may have erased it (its queue gets reassigned on drain).
-        const MicroserviceId ms = ctx->ms;
-        const ContainerId id = container->id;
-        events_.schedule(container->readyAt, [this, ms, id] {
-            auto dep = deployments_.find(ms);
-            if (dep == deployments_.end())
-                return;
-            for (const auto &candidate : dep->second) {
-                if (candidate->id != id)
-                    continue;
-                while (candidate->busy < candidate->threads) {
-                    const QueuedJob next = popQueuedJob(*candidate);
-                    if (next.ctx == nullptr)
-                        break;
-                    startJob(*candidate, next.ctx, next.attempt);
-                }
-                return;
-            }
-        });
+        post(container->readyAt,
+             EventRecord{.a = ctx->ms, .b = container->id,
+                         .type = kEvContainerReady});
         return;
     }
 
@@ -809,6 +855,28 @@ Simulation::routeAttempt(CallContext *ctx, std::uint64_t attempt,
         return;
     }
     enqueueAttempt(*container, ctx, attempt);
+}
+
+// Startup completed: hand every idle thread a queued job. The
+// container is found by id — scale-in may have erased it between the
+// kick being scheduled and firing (its queue gets reassigned on drain).
+void
+Simulation::onContainerReady(MicroserviceId ms, ContainerId id)
+{
+    auto dep = deployments_.find(ms);
+    if (dep == deployments_.end())
+        return;
+    for (const auto &candidate : dep->second) {
+        if (candidate->id != id)
+            continue;
+        while (candidate->busy < candidate->threads) {
+            const QueuedJob next = popQueuedJob(*candidate);
+            if (next.ctx == nullptr)
+                break;
+            startJob(*candidate, next.ctx, next.attempt);
+        }
+        return;
+    }
 }
 
 void
@@ -833,12 +901,11 @@ Simulation::startJob(ContainerState &container, CallContext *ctx,
     const double proc_ms =
         rng_.logNormalMeanCv(mean_ms, profile.serviceCv);
     const SimTime proc = std::max<SimTime>(1, toSimTime(proc_ms));
-    // Capture the container: ctx's attempt slots may be retargeted
+    // Carry the container: ctx's attempt slots may be retargeted
     // before the job completes (timeout, hedge win), but the thread and
     // host bookkeeping always belongs to this container.
-    events_.scheduleAfter(proc, [this, ctx, attempt, c = &container] {
-        finishJob(ctx, attempt, c);
-    });
+    postAfter(proc, EventRecord{.a = attempt, .p1 = ctx, .p2 = &container,
+                                .type = kEvJobFinish});
 }
 
 Simulation::QueuedJob
@@ -938,7 +1005,7 @@ void
 Simulation::deliverCall(CallContext *ctx, int slot)
 {
     const MicroserviceProfile &profile = catalog_.profile(ctx->ms);
-    ctx->procDone = events_.now();
+    ctx->procDone = now();
     ctx->receiveTime = ctx->attempts[slot].receiveTime;
 
     // Ground-truth microservice latency sample: queueing + processing +
@@ -981,7 +1048,7 @@ Simulation::launchStage(CallContext *ctx)
                 child->req = ctx->req;
                 child->ms = call.callee;
                 child->parent = ctx;
-                child->clientSend = events_.now();
+                child->clientSend = now();
                 ++launched;
                 issueCall(child);
             }
@@ -998,7 +1065,7 @@ Simulation::launchStage(CallContext *ctx)
 void
 Simulation::completeContext(CallContext *ctx)
 {
-    const SimTime send_time = events_.now();
+    const SimTime send_time = now();
     const MicroserviceProfile &profile = catalog_.profile(ctx->ms);
     const SimTime network = toSimTime(profile.networkMs);
 
@@ -1043,24 +1110,28 @@ Simulation::propagateCompletion(CallContext *parent, RequestState *req,
                                 SimTime network)
 {
     if (parent != nullptr) {
-        events_.scheduleAfter(network, [this, parent] {
-            ERMS_ASSERT(parent->pendingChildren > 0);
-            if (--parent->pendingChildren == 0) {
-                ++parent->stageIdx;
-                launchStage(parent);
-            }
-        });
+        postAfter(network, EventRecord{.p1 = parent, .type = kEvChildDone});
     } else {
-        events_.scheduleAfter(network, [this, req] { finishRequest(req); });
+        postAfter(network, EventRecord{.p1 = req, .type = kEvRequestDone});
+    }
+}
+
+void
+Simulation::onChildDone(CallContext *parent)
+{
+    ERMS_ASSERT(parent->pendingChildren > 0);
+    if (--parent->pendingChildren == 0) {
+        ++parent->stageIdx;
+        launchStage(parent);
     }
 }
 
 void
 Simulation::finishRequest(RequestState *req)
 {
-    const SimTime now = events_.now();
-    const double latency_ms = toMillis(now - req->arrival);
-    const std::uint64_t minute = now / kMinute;
+    const SimTime t = now();
+    const double latency_ms = toMillis(t - req->arrival);
+    const std::uint64_t minute = t / kMinute;
 
     if (req->failed) {
         // Failed requests violate their SLA by definition; they carry
@@ -1201,9 +1272,9 @@ Simulation::failAttempt(CallContext *ctx, std::uint64_t attempt,
             backoff_ms *=
                 1.0 + resilience_.retryJitter * resilienceRng_.uniform();
         // Both slots are now empty: the call is quiescent until the
-        // retry fires, so capturing ctx without a guard is safe.
-        events_.scheduleAfter(std::max<SimTime>(1, toSimTime(backoff_ms)),
-                              [this, ctx] { launchAttempt(ctx, 0); });
+        // retry fires, so carrying ctx without a guard is safe.
+        postAfter(std::max<SimTime>(1, toSimTime(backoff_ms)),
+                  EventRecord{.p1 = ctx, .type = kEvRetryLaunch});
         return;
     }
     failCall(ctx);
@@ -1266,17 +1337,10 @@ Simulation::crashContainer(ContainerState &victim)
     // Model the kubelet restarting the pod after a delay; the restart
     // then pays the usual containerStartupMs before accepting work.
     if (faultConfig_.restartDelayMs >= 0.0) {
-        const MicroserviceId ms = victim.ms;
-        const ServiceId dedicated = victim.dedicatedService;
-        events_.scheduleAfter(
+        postAfter(
             std::max<SimTime>(1, toSimTime(faultConfig_.restartDelayMs)),
-            [this, ms, dedicated] {
-                ++metrics_.faults.containerRestarts;
-                if (monitor_ != nullptr)
-                    monitor_->onContainerRestart(ms);
-                addContainer(ms, dedicated);
-                redistributeBacklog(ms);
-            });
+            EventRecord{.a = victim.ms, .b = victim.dedicatedService,
+                        .type = kEvContainerRestart});
     }
 
     // In-flight jobs keep their threads until completion; finishJob
@@ -1304,20 +1368,14 @@ Simulation::installFaultSchedule(SimTime horizon)
         monitor_->recordFaultSchedule(schedule.crashes.size(),
                                       schedule.slowdowns.size());
     for (const CrashEvent &crash : schedule.crashes) {
-        events_.schedule(crash.at, [this, draw = crash.victimDraw] {
-            onCrashEvent(draw);
-        });
+        post(crash.at,
+             EventRecord{.a = crash.victimDraw, .type = kEvCrash});
     }
     for (const SlowdownWindow &window : schedule.slowdowns) {
-        events_.schedule(window.start, [this, host = window.host] {
-            ++hosts_[host]->activeSlowdowns;
-            ++metrics_.faults.slowdownWindows;
-            if (monitor_ != nullptr)
-                monitor_->onSlowdownWindow(host);
-        });
-        events_.schedule(window.end, [this, host = window.host] {
-            --hosts_[host]->activeSlowdowns;
-        });
+        post(window.start,
+             EventRecord{.a = window.host, .type = kEvSlowdownStart});
+        post(window.end,
+             EventRecord{.a = window.host, .type = kEvSlowdownEnd});
     }
 }
 
@@ -1356,7 +1414,7 @@ Simulation::scrapeTelemetry()
         }
         monitor_->recordDeployment(ms, live, queued, busy);
     }
-    monitor_->takeSnapshot(events_.now());
+    monitor_->takeSnapshot(now());
 }
 
 void
@@ -1364,12 +1422,7 @@ Simulation::scheduleScrape(SimTime at, SimTime horizon)
 {
     if (at > horizon)
         return;
-    events_.schedule(at, [this, at, horizon] {
-        scrapeTelemetry();
-        const SimTime interval = std::max<SimTime>(
-            1, toSimTime(monitor_->config().scrapeIntervalSec * 1000.0));
-        scheduleScrape(at + interval, horizon);
-    });
+    post(at, EventRecord{.a = horizon, .type = kEvScrape});
 }
 
 // ---------------------------------------------------------------------
@@ -1445,8 +1498,8 @@ Simulation::onMinuteBoundary()
         minuteCallback_(*this, ended_minute);
 
     if (currentMinute_ < config_.horizonMinutes) {
-        events_.schedule(static_cast<SimTime>(currentMinute_ + 1) * kMinute,
-                         [this] { onMinuteBoundary(); });
+        post(static_cast<SimTime>(currentMinute_ + 1) * kMinute,
+             EventRecord{.type = kEvMinuteBoundary});
     }
 }
 
@@ -1490,6 +1543,92 @@ Simulation::observedRate(ServiceId service) const
     return static_cast<double>(it->second);
 }
 
+// The engine-hot path: one typed record in, one handler out. Keeping
+// this a flat switch over POD payloads (instead of a std::function per
+// event) is what makes the simulator allocation-free per event; see
+// docs/event_engine.md.
+void
+Simulation::dispatchEvent(const EventRecord &event)
+{
+    switch (event.type) {
+      case kEvArrival: {
+        const std::size_t index = static_cast<std::size_t>(event.a);
+        startRequest(index);
+        scheduleArrival(index);
+        break;
+      }
+      case kEvArrivalRecheck:
+        scheduleArrival(static_cast<std::size_t>(event.a));
+        break;
+      case kEvAttemptNetwork:
+        routeAttempt(static_cast<CallContext *>(event.p1), event.a,
+                     /*count_call=*/true);
+        break;
+      case kEvAttemptTimeout:
+        onAttemptTimeout(static_cast<CallContext *>(event.p1), event.a);
+        break;
+      case kEvHedgeTimer:
+        maybeHedge(static_cast<CallContext *>(event.p1), event.a);
+        break;
+      case kEvContainerReady:
+        onContainerReady(static_cast<MicroserviceId>(event.a),
+                         static_cast<ContainerId>(event.b));
+        break;
+      case kEvJobFinish:
+        finishJob(static_cast<CallContext *>(event.p1), event.a,
+                  static_cast<ContainerState *>(event.p2));
+        break;
+      case kEvRetryLaunch:
+        launchAttempt(static_cast<CallContext *>(event.p1), 0);
+        break;
+      case kEvChildDone:
+        onChildDone(static_cast<CallContext *>(event.p1));
+        break;
+      case kEvRequestDone:
+        finishRequest(static_cast<RequestState *>(event.p1));
+        break;
+      case kEvMinuteBoundary:
+        onMinuteBoundary();
+        break;
+      case kEvCrash:
+        onCrashEvent(event.a);
+        break;
+      case kEvSlowdownStart: {
+        const HostId host = static_cast<HostId>(event.a);
+        ++hosts_[host]->activeSlowdowns;
+        ++metrics_.faults.slowdownWindows;
+        if (monitor_ != nullptr)
+            monitor_->onSlowdownWindow(host);
+        break;
+      }
+      case kEvSlowdownEnd:
+        --hosts_[static_cast<HostId>(event.a)]->activeSlowdowns;
+        break;
+      case kEvContainerRestart: {
+        const MicroserviceId ms = static_cast<MicroserviceId>(event.a);
+        ++metrics_.faults.containerRestarts;
+        if (monitor_ != nullptr)
+            monitor_->onContainerRestart(ms);
+        addContainer(ms, static_cast<ServiceId>(event.b));
+        redistributeBacklog(ms);
+        break;
+      }
+      case kEvScrape: {
+        scrapeTelemetry();
+        const SimTime interval = std::max<SimTime>(
+            1, toSimTime(monitor_->config().scrapeIntervalSec * 1000.0));
+        scheduleScrape(now() + interval, /*horizon=*/event.a);
+        break;
+      }
+      default:
+        // kCallbackEvent or a foreign record: hand back to the queue
+        // (only reachable on the calendar engine; the legacy engine
+        // wraps every typed record in its own closure).
+        events_.runCallback(event);
+        break;
+    }
+}
+
 void
 Simulation::run()
 {
@@ -1503,7 +1642,7 @@ Simulation::run()
     installFaultSchedule(horizon);
     for (std::size_t i = 0; i < services_.size(); ++i)
         scheduleArrival(i);
-    events_.schedule(kMinute, [this] { onMinuteBoundary(); });
+    post(kMinute, EventRecord{.type = kEvMinuteBoundary});
 
     if (monitor_ != nullptr) {
         // Baseline scrape at t=0 (all counters zero) so the first
@@ -1514,7 +1653,17 @@ Simulation::run()
         scheduleScrape(interval, horizon);
     }
 
-    metrics_.eventsDispatched = events_.runUntil(horizon);
+    if (engine_ == EventEngine::LegacyHeap) {
+        metrics_.eventsDispatched = legacy_->runUntil(horizon);
+        return;
+    }
+    std::uint64_t dispatched = 0;
+    EventRecord event;
+    while (events_.next(horizon, event)) {
+        dispatchEvent(event);
+        ++dispatched;
+    }
+    metrics_.eventsDispatched = dispatched;
 }
 
 } // namespace erms

@@ -53,6 +53,22 @@ namespace telemetry {
 class SimMonitor;
 }
 
+class LegacyEventQueue;
+
+/**
+ * Which event engine executes a run. Both dispatch the identical
+ * (time, insertion-seq) order, so a run is byte-identical under either;
+ * Calendar is the allocation-free fast path, LegacyHeap the pre-refactor
+ * binary heap kept for differential tests and the perf trajectory.
+ * Selectable per run via setEventEngine() or the ERMS_EVENT_ENGINE
+ * environment variable ("legacy" / "calendar").
+ */
+enum class EventEngine
+{
+    Calendar,
+    LegacyHeap,
+};
+
 /** How arriving calls pick a container among a deployment's replicas. */
 enum class DispatchPolicy
 {
@@ -166,6 +182,12 @@ class Simulation
 
     void setSchedulingDelta(double delta);
 
+    /** Select the event engine (before run()). Defaults to Calendar, or
+     *  to the ERMS_EVENT_ENGINE environment variable when set. */
+    void setEventEngine(EventEngine engine);
+
+    EventEngine eventEngine() const { return engine_; }
+
     // --- fault injection and resilience --------------------------------
 
     /**
@@ -216,7 +238,7 @@ class Simulation
     // --- observation -----------------------------------------------------
 
     const SimMetrics &metrics() const { return metrics_; }
-    SimTime now() const { return events_.now(); }
+    SimTime now() const;
 
     /** Read-only load views for placement policies / provisioning. */
     std::vector<HostView> hostViews() const;
@@ -256,6 +278,13 @@ class Simulation
         Crash,
     };
 
+    // event engine internals
+    /** Dispatch one typed event record (the engine-hot switch). */
+    void dispatchEvent(const EventRecord &event);
+    /** Schedule a typed record on whichever engine runs this sim. */
+    void post(SimTime t, const EventRecord &event);
+    void postAfter(SimTime delay, const EventRecord &event);
+
     // deployment internals
     ContainerState *addContainer(MicroserviceId ms,
                                  ServiceId dedicated = kInvalidService);
@@ -273,6 +302,8 @@ class Simulation
     void launchAttempt(CallContext *ctx, int slot);
     void routeAttempt(CallContext *ctx, std::uint64_t attempt,
                       bool count_call);
+    void onContainerReady(MicroserviceId ms, ContainerId id);
+    void onChildDone(CallContext *parent);
     void enqueueAttempt(ContainerState &container, CallContext *ctx,
                         std::uint64_t attempt);
     void startJob(ContainerState &container, CallContext *ctx,
@@ -315,6 +346,9 @@ class Simulation
     const MicroserviceCatalog &catalog_;
     SimConfig config_;
     EventQueue events_;
+    /** Present only when engine_ == LegacyHeap. */
+    std::unique_ptr<LegacyEventQueue> legacy_;
+    EventEngine engine_ = EventEngine::Calendar;
     Rng rng_;
     FaultConfig faultConfig_;
     ResilienceConfig resilience_;

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Property/fuzz tests for the event engine. Random schedule/run
+ * interleavings — same-timestamp bursts, cascades scheduled during
+ * dispatch, horizon-segmented draining — are checked against a naive
+ * reference model (linear scan for the (time, seq) minimum), on both
+ * the calendar engine and the legacy binary heap and across degenerate
+ * bucket geometries. Also covers callback-pool slot reuse while the
+ * recycled callback is still executing (an AddressSanitizer target) and
+ * cross-thread isolation of independent queues (a ThreadSanitizer
+ * target, driven through ParallelRunner).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "runner/parallel_runner.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/legacy_event_queue.hpp"
+
+namespace erms {
+namespace {
+
+/** splitmix64: all workload randomness is derived from event ids with
+ *  this, so the reference model and the engine generate identical
+ *  cascades without sharing RNG state (and independent of dispatch
+ *  implementation). */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kGenShift = 56;
+
+std::uint64_t
+generation(std::uint64_t id)
+{
+    return id >> kGenShift;
+}
+
+/**
+ * The cascade rule: a dispatched event spawns 0–2 children at small
+ * offsets (including 0 — children at the parent's own timestamp), up to
+ * three generations deep. Purely a function of the parent id, so both
+ * sides compute it independently; termination is guaranteed by the
+ * generation cap.
+ */
+template <typename Fn>
+void
+forEachChild(std::uint64_t id, Fn &&fn)
+{
+    const std::uint64_t gen = generation(id);
+    if (gen >= 3)
+        return;
+    const int children = static_cast<int>(mix(id) % 3);
+    for (int k = 0; k < children; ++k) {
+        const std::uint64_t h = mix(id ^ (0x100000001b3ull * (k + 1)));
+        const SimTime delay = h % 64; // 0 keeps same-time cascades common
+        const std::uint64_t child =
+            ((gen + 1) << kGenShift) | (h & ((1ull << kGenShift) - 1));
+        fn(delay, child);
+    }
+}
+
+struct RefEvent
+{
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+};
+
+/** Naive reference: pending events in a flat vector; the next event is
+ *  found by scanning for the (time, seq) minimum, which is trivially
+ *  the specified dispatch order. */
+class ReferenceModel
+{
+  public:
+    void
+    seed(SimTime t, std::uint64_t id)
+    {
+        pending_.push_back(RefEvent{t, seq_++, id});
+    }
+
+    /** Dispatch everything with time <= horizon; record ids. */
+    void
+    drainUntil(SimTime horizon)
+    {
+        for (;;) {
+            std::size_t best = pending_.size();
+            for (std::size_t i = 0; i < pending_.size(); ++i) {
+                if (pending_[i].time > horizon)
+                    continue;
+                if (best == pending_.size() ||
+                    pending_[i].time < pending_[best].time ||
+                    (pending_[i].time == pending_[best].time &&
+                     pending_[i].seq < pending_[best].seq))
+                    best = i;
+            }
+            if (best == pending_.size())
+                return;
+            const RefEvent cur = pending_[best];
+            pending_.erase(pending_.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+            order_.push_back(cur.id);
+            forEachChild(cur.id, [&](SimTime d, std::uint64_t cid) {
+                pending_.push_back(RefEvent{cur.time + d, seq_++, cid});
+            });
+        }
+    }
+
+    std::size_t pending() const { return pending_.size(); }
+    const std::vector<std::uint64_t> &order() const { return order_; }
+
+  private:
+    std::vector<RefEvent> pending_;
+    std::vector<std::uint64_t> order_;
+    std::uint64_t seq_ = 0;
+};
+
+/** Drives the same cascade through a real engine via the callback API. */
+template <typename Queue>
+class EngineDriver
+{
+  public:
+    explicit EngineDriver(Queue &q) : q_(q) {}
+
+    void
+    seed(SimTime t, std::uint64_t id)
+    {
+        q_.schedule(t, [this, id] { fire(id); });
+    }
+
+    const std::vector<std::uint64_t> &order() const { return order_; }
+
+  private:
+    void
+    fire(std::uint64_t id)
+    {
+        order_.push_back(id);
+        forEachChild(id, [&](SimTime d, std::uint64_t cid) {
+            q_.scheduleAfter(d, [this, cid] { fire(cid); });
+        });
+    }
+
+    Queue &q_;
+    std::vector<std::uint64_t> order_;
+};
+
+/** Initial (time, id) batch for one fuzz round. Times are masked to a
+ *  narrow range so same-timestamp bursts are the norm, not the
+ *  exception. */
+std::vector<std::pair<SimTime, std::uint64_t>>
+makeBatch(std::uint64_t seed, std::size_t count, SimTime base,
+          SimTime range)
+{
+    std::vector<std::pair<SimTime, std::uint64_t>> batch;
+    batch.reserve(count);
+    std::uint64_t s = mix(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        s = mix(s + i);
+        const SimTime t = base + s % range;
+        const std::uint64_t id = (s >> 8) & ((1ull << kGenShift) - 1);
+        batch.emplace_back(t, id);
+    }
+    return batch;
+}
+
+template <typename Queue>
+std::vector<std::uint64_t>
+engineFullDrain(Queue &q, std::uint64_t seed)
+{
+    EngineDriver<Queue> driver(q);
+    for (const auto &[t, id] : makeBatch(seed, 300, 0, 256))
+        driver.seed(t, id);
+    q.runAll();
+    return driver.order();
+}
+
+std::vector<std::uint64_t>
+referenceFullDrain(std::uint64_t seed)
+{
+    ReferenceModel ref;
+    for (const auto &[t, id] : makeBatch(seed, 300, 0, 256))
+        ref.seed(t, id);
+    ref.drainUntil(std::numeric_limits<SimTime>::max());
+    EXPECT_EQ(ref.pending(), 0u);
+    return ref.order();
+}
+
+TEST(EventEngineFuzz, FullDrainMatchesReference)
+{
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        const std::vector<std::uint64_t> expected =
+            referenceFullDrain(seed);
+        {
+            EventQueue q; // production geometry
+            EXPECT_EQ(engineFullDrain(q, seed), expected)
+                << "seed " << seed << " (default geometry)";
+        }
+        {
+            LegacyEventQueue q;
+            EXPECT_EQ(engineFullDrain(q, seed), expected)
+                << "seed " << seed << " (legacy heap)";
+        }
+    }
+}
+
+TEST(EventEngineFuzz, TinyBucketGeometriesMatchReference)
+{
+    // Degenerate wheels: window rotation, far-list pours and cursor
+    // rewinds happen constantly when the span is tiny.
+    const std::pair<std::size_t, SimTime> geometries[] = {
+        {1, 1}, {2, 1}, {4, 2}, {8, 16}, {1024, 1}};
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const std::vector<std::uint64_t> expected =
+            referenceFullDrain(seed);
+        for (const auto &[buckets, width] : geometries) {
+            EventQueue q(buckets, width);
+            EXPECT_EQ(engineFullDrain(q, seed), expected)
+                << "seed " << seed << " buckets=" << buckets
+                << " width=" << width;
+        }
+    }
+}
+
+TEST(EventEngineFuzz, HorizonSegmentedDrainMatchesReference)
+{
+    // Interleave runUntil() segments with fresh batches scheduled from
+    // the advanced clock — exercising schedule-at-now, schedule-at-
+    // horizon and schedule-behind-the-advanced-window paths.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ReferenceModel ref;
+        EventQueue q(4, 2); // small span: the window rotates every 8 ticks
+        EngineDriver<EventQueue> driver(q);
+
+        SimTime horizon = 0;
+        for (int segment = 0; segment < 8; ++segment) {
+            const std::uint64_t sseed = mix(seed * 131 + segment);
+            // Batch anchored at the current clock; range crosses the
+            // next horizon so some events land beyond it.
+            for (const auto &[t, id] : makeBatch(sseed, 40, q.now(), 200)) {
+                ref.seed(t, id);
+                driver.seed(t, id);
+            }
+            horizon += 1 + mix(sseed) % 150;
+            ref.drainUntil(horizon);
+            q.runUntil(horizon);
+            ASSERT_EQ(driver.order(), ref.order())
+                << "seed " << seed << " segment " << segment;
+            ASSERT_EQ(q.pending(), ref.pending());
+            ASSERT_EQ(q.now(), horizon);
+        }
+        ref.drainUntil(std::numeric_limits<SimTime>::max());
+        q.runAll();
+        EXPECT_EQ(driver.order(), ref.order()) << "seed " << seed;
+        EXPECT_EQ(q.pending(), 0u);
+    }
+}
+
+TEST(EventEngineFuzz, LongSameTimestampBurstIsFifoAcrossEngines)
+{
+    // A burst far larger than any bucket, with neighbours on both
+    // sides; insertion order must be preserved exactly.
+    auto run = [](auto &q) {
+        std::vector<int> order;
+        q.schedule(99, [&] { order.push_back(-1); });
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(100, [&, i] { order.push_back(i); });
+        q.schedule(101, [&] { order.push_back(-2); });
+        q.runAll();
+        return order;
+    };
+    std::vector<int> expected;
+    expected.push_back(-1);
+    for (int i = 0; i < 1000; ++i)
+        expected.push_back(i);
+    expected.push_back(-2);
+
+    EventQueue calendar(4, 2);
+    LegacyEventQueue legacy;
+    EXPECT_EQ(run(calendar), expected);
+    EXPECT_EQ(run(legacy), expected);
+}
+
+TEST(EventEngineTyped, RecordsRoundTripThroughNext)
+{
+    EventQueue q;
+    int anchor = 0;
+    q.post(5, EventRecord{.a = 11, .b = 22, .p1 = &anchor, .type = 7});
+    q.post(3, EventRecord{.a = 1, .type = 9});
+    q.post(3, EventRecord{.a = 2, .type = 9}); // same time: FIFO
+
+    EventRecord rec;
+    ASSERT_TRUE(q.next(10, rec));
+    EXPECT_EQ(rec.type, 9u);
+    EXPECT_EQ(rec.a, 1u);
+    EXPECT_EQ(rec.time, 3u);
+    ASSERT_TRUE(q.next(10, rec));
+    EXPECT_EQ(rec.a, 2u);
+    ASSERT_TRUE(q.next(10, rec));
+    EXPECT_EQ(rec.type, 7u);
+    EXPECT_EQ(rec.a, 11u);
+    EXPECT_EQ(rec.b, 22u);
+    EXPECT_EQ(rec.p1, &anchor);
+    EXPECT_FALSE(q.next(10, rec));
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventEngineTyped, MixesWithPooledCallbacks)
+{
+    // The simulator's dispatch loop: typed records and callback records
+    // share one queue; kCallbackEvent routes through runCallback().
+    EventQueue q;
+    std::vector<int> order;
+    q.post(2, EventRecord{.a = 42, .type = 5});
+    q.schedule(1, [&] { order.push_back(1); });
+    q.schedule(3, [&] { order.push_back(3); });
+
+    EventRecord rec;
+    while (q.next(10, rec)) {
+        if (rec.type == kCallbackEvent)
+            q.runCallback(rec);
+        else
+            order.push_back(static_cast<int>(rec.a));
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 42, 3}));
+}
+
+TEST(EventEnginePool, SlotReuseDuringDispatchIsSafe)
+{
+    // runCallback() releases the slot before invoking, so a nested
+    // schedule may claim the running callback's own slot. The running
+    // callable must stay alive regardless (ASan verifies the capture).
+    EventQueue q;
+    auto value = std::make_shared<int>(7);
+    int observed = 0;
+    q.schedule(1, [&q, value, &observed] {
+        q.scheduleAfter(1, [&observed] { observed += 10; });
+        observed += *value; // touch captured heap state after the reuse
+    });
+    q.runAll();
+    EXPECT_EQ(observed, 17);
+    EXPECT_EQ(q.callbackPoolSize(), 1u); // one slot served both events
+}
+
+TEST(EventEnginePool, SelfReschedulingChainStaysInOneSlot)
+{
+    EventQueue q;
+    int chain = 0;
+    std::vector<std::shared_ptr<int>> alive;
+    std::function<void()> step = [&] {
+        auto payload = std::make_shared<int>(chain);
+        alive.push_back(payload);
+        if (++chain < 1000)
+            q.scheduleAfter(1, step);
+        EXPECT_EQ(*payload, chain - 1);
+    };
+    q.schedule(0, step);
+    q.runAll();
+    EXPECT_EQ(chain, 1000);
+    EXPECT_LE(q.callbackPoolSize(), 2u);
+}
+
+TEST(EventEngineThreads, IndependentQueuesAreIsolated)
+{
+    // Fuzz workloads on concurrent queues (ParallelRunner workers);
+    // every run must match the single-threaded reference. With
+    // ERMS_SANITIZE=thread this pins "no hidden shared state between
+    // engine instances" — the property the parallel experiment runner
+    // depends on.
+    RunnerOptions options;
+    options.workers = 4;
+    ParallelRunner runner(options);
+    std::vector<std::function<std::vector<std::uint64_t>()>> tasks;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        tasks.emplace_back([seed] {
+            EventQueue q(8, 16);
+            return engineFullDrain(q, seed);
+        });
+    }
+    const auto results = runner.runAll(std::move(tasks));
+    ASSERT_EQ(results.size(), 8u);
+    for (std::uint64_t seed = 0; seed < 8; ++seed)
+        EXPECT_EQ(results[seed], referenceFullDrain(seed))
+            << "seed " << seed;
+}
+
+} // namespace
+} // namespace erms

@@ -1,13 +1,16 @@
 /**
  * @file
  * Tests for the discrete-event engine: ordering, FIFO tie-breaking,
- * horizon semantics, and scheduling from within callbacks.
+ * horizon semantics, and scheduling from within callbacks. The horizon
+ * boundary contract is checked against both engines (calendar and
+ * legacy binary heap) so they can never silently diverge.
  */
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/legacy_event_queue.hpp"
 
 namespace erms {
 namespace {
@@ -97,6 +100,104 @@ TEST(EventQueue, SchedulingInThePastIsInternalError)
     q.schedule(100, [] {});
     q.runAll();
     EXPECT_THROW(q.schedule(50, [] {}), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// runUntil horizon boundary: the documented contract is that the
+// horizon is INCLUSIVE, also for events scheduled during dispatch — an
+// event scheduled exactly at the horizon while runUntil is draining
+// fires in the same call. Checked on both engines so neither can
+// drift from the contract unnoticed (regression for the previously
+// untested boundary).
+// ---------------------------------------------------------------------
+
+template <typename Queue>
+void
+expectHorizonScheduledDuringDispatchFires()
+{
+    Queue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(50, [&] { order.push_back(3); });   // == horizon
+        q.schedule(51, [&] { order.push_back(99); });  // > horizon
+        q.schedule(20, [&] { order.push_back(2); });
+    });
+    EXPECT_EQ(q.runUntil(50), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.pending(), 1u); // the 51 event stays queued
+}
+
+TEST(EventQueueHorizon, ScheduledAtHorizonDuringDispatchFires)
+{
+    expectHorizonScheduledDuringDispatchFires<EventQueue>();
+}
+
+TEST(LegacyEventQueueHorizon, ScheduledAtHorizonDuringDispatchFires)
+{
+    expectHorizonScheduledDuringDispatchFires<LegacyEventQueue>();
+}
+
+template <typename Queue>
+void
+expectRepeatedRunUntilSameHorizonConsistent()
+{
+    Queue q;
+    int fired = 0;
+    q.runUntil(100); // idle to the horizon; now() == 100
+    EXPECT_EQ(q.now(), 100u);
+    // Scheduling exactly at now()/horizon afterwards is legal and a
+    // second runUntil at the same horizon still dispatches it.
+    q.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(100), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_EQ(q.runUntil(100), 0u); // idempotent once drained
+}
+
+TEST(EventQueueHorizon, RepeatedRunUntilSameHorizonConsistent)
+{
+    expectRepeatedRunUntilSameHorizonConsistent<EventQueue>();
+}
+
+TEST(LegacyEventQueueHorizon, RepeatedRunUntilSameHorizonConsistent)
+{
+    expectRepeatedRunUntilSameHorizonConsistent<LegacyEventQueue>();
+}
+
+TEST(EventQueueHorizon, SchedulingBehindAnAdvancedWindowStaysOrdered)
+{
+    // Idling far ahead advances the calendar window past now(); a
+    // subsequent schedule between now() and the window start must still
+    // dispatch, in order, before later events (early-heap path).
+    EventQueue q(/*bucket_count=*/4, /*bucket_width=*/4);
+    q.schedule(1'000'000, [] {}); // park one event far out
+    q.runUntil(500'000);          // hunt advances the window, finds 1e6
+    std::vector<int> order;
+    q.schedule(500'001, [&] { order.push_back(1); });
+    q.schedule(600'000, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 1'000'000u);
+}
+
+TEST(EventQueue, CallbackPoolSlotsAreRecycled)
+{
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i)
+        q.schedule(static_cast<SimTime>(i), [] {});
+    q.runAll();
+    // Burst of 1000 pending callbacks -> 1000 slots; afterwards the
+    // free list serves sequential schedule/dispatch cycles without
+    // growing the pool.
+    const std::size_t after_burst = q.callbackPoolSize();
+    EXPECT_LE(after_burst, 1000u);
+    for (int i = 0; i < 10000; ++i) {
+        q.schedule(q.now() + 1, [] {});
+        q.runUntil(q.now() + 1);
+    }
+    EXPECT_EQ(q.callbackPoolSize(), after_burst);
 }
 
 } // namespace

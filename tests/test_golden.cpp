@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -88,6 +89,23 @@ scenarioName(const ::testing::TestParamInfo<golden::Scenario> &info)
 INSTANTIATE_TEST_SUITE_P(Scenarios, GoldenFile,
                          ::testing::ValuesIn(golden::scenarios()),
                          scenarioName);
+
+/**
+ * Differential determinism: the calendar event engine and the legacy
+ * binary-heap engine must produce byte-identical simulation output.
+ * Runs the trimmed fig12 scenario under both (ERMS_EVENT_ENGINE is
+ * read per Simulation construction) and byte-compares — any dispatch
+ * order divergence shows up as an RNG-stream split and fails loudly.
+ */
+TEST(EventEngineDifferential, LegacyEngineMatchesCalendarByteForByte)
+{
+    unsetenv("ERMS_EVENT_ENGINE");
+    const std::string calendar = golden::fig12Golden();
+    setenv("ERMS_EVENT_ENGINE", "legacy", 1);
+    const std::string legacy = golden::fig12Golden();
+    unsetenv("ERMS_EVENT_ENGINE");
+    expectSame(calendar, legacy, "fig12 (legacy vs calendar engine)");
+}
 
 } // namespace
 } // namespace erms

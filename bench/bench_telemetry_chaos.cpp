@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Degraded-telemetry chaos sweep (extension beyond the paper; see
+ * docs/resilient_control.md): drive the telemetry-driven Erms dynamic
+ * controller through a ramping hotel-reservation workload while the
+ * observability path — not the data plane — degrades: dropped and
+ * delayed scrapes, per-host metric blackouts, partial counter scrapes,
+ * span loss, and corrupted latency outliers at increasing intensity.
+ *
+ * Two controller arms face identical perturbed scrape streams:
+ *   naive   — consumes the faulty view directly (trusts every sample);
+ *   guarded — the same controller behind GuardedTelemetryView +
+ *             makeGuardedController (staleness/outlier gates,
+ *             rate-limited SUSPECT scaling, FALLBACK hold).
+ *
+ * Shape to observe: with faults off the two arms are byte-identical
+ * (the transparency contract). As intensity rises, the naive arm acts
+ * on stale or corrupt observations — under-provisioning through the
+ * ramp — while the guarded arm holds or over-provisions from its last
+ * good state: strictly lower SLA-violation rates at a modest
+ * container-minute premium.
+ *
+ * Every seed derives from the task index, so the table is byte-identical
+ * for any ERMS_RUNNER_THREADS.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/controllers.hpp"
+#include "fault/telemetry_fault.hpp"
+#include "telemetry/guarded_view.hpp"
+
+using namespace erms;
+using namespace erms::bench;
+
+namespace {
+
+constexpr SimTime kMinuteUs = 60ULL * 1000ULL * 1000ULL;
+constexpr double kSla = 160.0;
+constexpr int kHorizonMinutes = 10;
+
+struct Intensity
+{
+    const char *name;
+    TelemetryFaultConfig faults;
+};
+
+std::vector<Intensity>
+makeIntensities()
+{
+    std::vector<Intensity> levels;
+    levels.push_back({"off", {}});
+
+    TelemetryFaultConfig low;
+    low.scrapeDropProbability = 0.15;
+    low.scrapeDelayProbability = 0.15;
+    low.counterDropProbability = 0.10;
+    low.outlierProbability = 0.10;
+    low.spanLossProbability = 0.10;
+    low.blackoutsPerMinute = 0.5;
+    levels.push_back({"low", low});
+
+    TelemetryFaultConfig med;
+    med.scrapeDropProbability = 0.35;
+    med.scrapeDelayProbability = 0.35;
+    med.counterDropProbability = 0.30;
+    med.outlierProbability = 0.30;
+    med.spanLossProbability = 0.25;
+    med.blackoutsPerMinute = 1.0;
+    levels.push_back({"med", med});
+
+    TelemetryFaultConfig high;
+    high.scrapeDropProbability = 0.55;
+    high.scrapeDelayProbability = 0.55;
+    high.scrapeDelayMs = 60000.0;
+    high.counterDropProbability = 0.50;
+    high.outlierProbability = 0.50;
+    high.spanLossProbability = 0.40;
+    high.blackoutsPerMinute = 2.0;
+    high.clockSkewMs = -15000.0;
+    levels.push_back({"high", high});
+    return levels;
+}
+
+struct ArmResult
+{
+    double violationPct = 0.0;
+    double worstP95 = 0.0;
+    double containerMinutes = 0.0;
+    telemetry::GuardStats guard{};
+    bool guarded = false;
+};
+
+ArmResult
+runArm(const MicroserviceCatalog &catalog, const Application &app,
+       const TelemetryFaultConfig &faults, bool guarded,
+       std::uint64_t seed)
+{
+    SimConfig config;
+    config.horizonMinutes = kHorizonMinutes;
+    config.warmupMinutes = 1;
+    config.seed = seed;
+    Simulation sim(catalog, config);
+    telemetry::SimMonitor monitor;
+    sim.setMonitor(&monitor);
+
+    // The controllers only ever see the perturbed stream; with all
+    // fault knobs zero FaultyTelemetryView is exactly the raw view.
+    auto view = std::make_shared<FaultyTelemetryView>(
+        monitor, faults, config.hostCount,
+        static_cast<SimTime>(kHorizonMinutes) * kMinuteUs);
+
+    // Ramping workload: 6k -> 17.7k requests/minute. A controller fed
+    // stale or under-reported rates falls behind exactly here.
+    std::vector<double> ramp;
+    for (int m = 0; m < kHorizonMinutes; ++m)
+        ramp.push_back(6000.0 + 1300.0 * m);
+
+    std::vector<ServiceSpec> services;
+    std::vector<MicroserviceId> managed;
+    for (const auto &graph : app.graphs) {
+        ServiceWorkload svc;
+        svc.id = graph.service();
+        svc.graph = &graph;
+        svc.slaMs = kSla;
+        svc.rateSeries = ramp;
+        sim.addService(svc);
+        ServiceSpec spec;
+        spec.id = graph.service();
+        spec.graph = &graph;
+        spec.slaMs = kSla;
+        spec.workload = ramp.front();
+        services.push_back(spec);
+        for (MicroserviceId id : graph.nodes())
+            managed.push_back(id);
+    }
+
+    ErmsController controller(catalog, {});
+    const GlobalPlan initial =
+        controller.plan(services, Interference{0.2, 0.2});
+    sim.applyPlan(initial);
+
+    std::shared_ptr<telemetry::GuardedTelemetryView> guard;
+    std::function<void(Simulation &, int)> scaling;
+    if (guarded) {
+        guard = std::make_shared<telemetry::GuardedTelemetryView>(view);
+        scaling = makeGuardedController(
+            makeDynamicController(controller, services, guard), guard,
+            managed);
+    } else {
+        scaling = makeDynamicController(controller, services, view);
+    }
+
+    // Shared accounting: container-minutes integrate the deployed
+    // footprint after each scaling decision (over-provision proxy).
+    double container_minutes = 0.0;
+    sim.setMinuteCallback([&](Simulation &s, int minute) {
+        scaling(s, minute);
+        int total = 0;
+        for (MicroserviceId id : managed) {
+            container_minutes += s.containerCount(id);
+            total += s.containerCount(id);
+        }
+        if (std::getenv("ERMS_CHAOS_DEBUG") != nullptr) {
+            // Probe the RAW view only: guard queries feed its
+            // per-series history, so probing it would change behavior.
+            std::fprintf(stderr,
+                         "[dbg] %s m=%d total=%d rate=%.0f p95=%.1f "
+                         "stale=%.0f mode=%d\n",
+                         guarded ? "guarded" : "naive", minute, total,
+                         view->observedRate(services.front().id),
+                         view->serviceP95Ms(services.front().id),
+                         view->stalenessMs(s.now()),
+                         guard != nullptr ? (int)guard->mode() : -1);
+        }
+    });
+    sim.run();
+
+    ArmResult result;
+    result.guarded = guarded;
+    result.containerMinutes = container_minutes;
+    double violations = 0.0;
+    for (const ServiceSpec &spec : services) {
+        violations += sim.metrics().violationRate(spec.id, kSla);
+        result.worstP95 =
+            std::max(result.worstP95, sim.metrics().p95(spec.id));
+        if (std::getenv("ERMS_CHAOS_DEBUG") != nullptr)
+            std::fprintf(stderr, "[svc] %s svc=%llu viol=%.2f p95=%.1f\n",
+                         guarded ? "guarded" : "naive",
+                         (unsigned long long)spec.id,
+                         100.0 * sim.metrics().violationRate(spec.id, kSla),
+                         sim.metrics().p95(spec.id));
+    }
+    result.violationPct =
+        100.0 * violations / static_cast<double>(services.size());
+    if (guard != nullptr)
+        result.guard = guard->stats();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Telemetry chaos — naive vs guarded control under a "
+                "degrading observability path (hotel-reservation, "
+                "ramping workload)");
+
+    MicroserviceCatalog catalog;
+    const Application app = makeHotelReservation(catalog, 0);
+    profileApplication(catalog, app);
+
+    const std::vector<Intensity> levels = makeIntensities();
+
+    // One task per (intensity, arm); all seeds derive from the level
+    // index so both arms of a row face the identical perturbed stream.
+    std::vector<std::function<ArmResult()>> tasks;
+    for (std::size_t level = 0; level < levels.size(); ++level) {
+        for (const bool guarded : {false, true}) {
+            tasks.push_back([&, level, guarded] {
+                TelemetryFaultConfig faults = levels[level].faults;
+                faults.seed = deriveRunSeed(0x0b5e, level);
+                return runArm(catalog, app, faults, guarded,
+                              deriveRunSeed(77, level));
+            });
+        }
+    }
+    const auto results = runSweep("telemetry-chaos", std::move(tasks));
+
+    TextTable table({"intensity", "controller", "SLA violation %",
+                     "worst P95 (ms)", "container-min", "stale cyc",
+                     "fallback cyc", "rejects", "LKG substs"});
+    for (std::size_t level = 0; level < levels.size(); ++level) {
+        for (std::size_t arm = 0; arm < 2; ++arm) {
+            const ArmResult &r = results[2 * level + arm];
+            table.row()
+                .cell(levels[level].name)
+                .cell(r.guarded ? "guarded" : "naive")
+                .cell(r.violationPct, 2)
+                .cell(r.worstP95, 1)
+                .cell(r.containerMinutes, 0)
+                .cell(static_cast<double>(r.guard.staleCycles), 0)
+                .cell(static_cast<double>(r.guard.fallbackCycles), 0)
+                .cell(static_cast<double>(r.guard.rejectedBounds +
+                                          r.guard.rejectedOutliers +
+                                          r.guard.clampedOutliers),
+                      0)
+                .cell(static_cast<double>(r.guard.substitutedLastGood),
+                      0);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nshapes to check: at intensity off the two arms match "
+           "exactly (transparency\ncontract; guard columns all zero). "
+           "At low both arms still hold the SLA (the\nguard quietly "
+           "rejects a few corrupt samples). From med upward the guarded "
+           "arm's\nSLA-violation rate sits strictly below the naive "
+           "arm's: the guard converts\ncorrupt scrapes into held, "
+           "clamped, or over-provisioned capacity instead of\nletting "
+           "them tear the deployment down mid-ramp.\n";
+    return 0;
+}

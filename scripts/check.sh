@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Full pre-merge check: the tier-1 build + test verification, then an
-# AddressSanitizer build exercising the fault-injection and runner
-# tests (the code paths with the hairiest object lifetimes: pooled call
-# contexts, container erasure on crash, hedge cancellation), the golden
-# and property suites, a ThreadSanitizer pass over the parallel runner
-# and the event engine, and determinism passes (the golden tables must
-# come out identical with one worker vs the hardware default, and under
-# the legacy binary-heap event engine vs the calendar engine).
+# AddressSanitizer build exercising the fault-injection, telemetry
+# chaos, and runner tests (the code paths with the hairiest object
+# lifetimes: pooled call contexts, container erasure on crash, hedge
+# cancellation, lazily cached perturbed snapshots), the golden and
+# property suites, an UndefinedBehaviorSanitizer pass over the
+# numeric-heavy telemetry/guard/chaos paths (quantile interpolation,
+# counter deltas, NaN/Inf guards), a ThreadSanitizer pass over the
+# parallel runner and the event engine, and determinism passes (the
+# golden tables must come out identical with one worker vs the
+# hardware default, and under the legacy binary-heap event engine vs
+# the calendar engine).
 #
 # Usage: scripts/check.sh [jobs]   (default: 2)
 
@@ -19,11 +23,11 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== asan: fault + runner + golden + property tests (build-asan/) =="
+echo "== asan: fault + chaos + runner + golden + property tests (build-asan/) =="
 cmake -B build-asan -S . -DERMS_SANITIZE=address
 cmake --build build-asan -j"$JOBS" \
     --target erms_tests_sim erms_tests_runner erms_tests_golden \
-             erms_tests_system erms_tests_telemetry \
+             erms_tests_system erms_tests_telemetry erms_tests_chaos \
              erms_tests_event_engine erms_tests_queueing
 ./build-asan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
@@ -32,9 +36,19 @@ cmake --build build-asan -j"$JOBS" \
 ./build-asan/tests/erms_tests_system \
     --gtest_filter='*Property*:*StatsMerge*:*HistogramMerge*:*TelemetryTransparency*'
 ./build-asan/tests/erms_tests_telemetry
+./build-asan/tests/erms_tests_chaos
 ./build-asan/tests/erms_tests_event_engine
 ./build-asan/tests/erms_tests_queueing \
     --gtest_filter='QueueingValidation.MM1*:QueueingValidation.ErlangC*'
+
+echo "== ubsan: telemetry + guard + chaos numeric paths (build-ubsan/) =="
+cmake -B build-ubsan -S . -DERMS_SANITIZE=undefined
+cmake --build build-ubsan -j"$JOBS" \
+    --target erms_tests_telemetry erms_tests_chaos erms_tests_sim
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_telemetry
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_chaos
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_sim \
+    --gtest_filter='Fault*:Resilience*'
 
 echo "== tsan: parallel runner + event engine (build-tsan/) =="
 cmake -B build-tsan -S . -DERMS_SANITIZE=thread

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "common/error.hpp"
 #include "core/erms.hpp"
@@ -36,12 +37,17 @@ makeBaselineAutoscaler(std::shared_ptr<BaselineAllocator> allocator,
             const double observed = view != nullptr
                                         ? view->observedRate(svc.id)
                                         : sim.observedRate(svc.id);
-            if (observed > 0.0)
+            // Non-finite rates (a corrupted scrape) keep last workload.
+            if (observed > 0.0 && std::isfinite(observed))
                 svc.workload = observed * workload_headroom;
         }
         BaselineContext ctx = context;
         ctx.interference = view != nullptr ? view->clusterInterference()
                                            : sim.clusterInterference();
+        // A NaN/Inf utilization would poison every latency estimate in
+        // the allocator; fall back to the profiling-time interference.
+        if (!finiteInterference(ctx.interference))
+            ctx.interference = context.interference;
         const GlobalPlan plan = allocator->allocate(services, ctx);
         sim.applyPlan(plan);
     };
@@ -61,8 +67,8 @@ makeFirmReactiveController(const MicroserviceCatalog &catalog,
             double p95 = 0.0;
             if (view != nullptr) {
                 p95 = view->serviceP95Ms(svc.id);
-                if (p95 <= 0.0)
-                    continue; // no sampled spans landed in the window
+                if (p95 <= 0.0 || !std::isfinite(p95))
+                    continue; // no sampled spans, or a corrupt scrape
             } else {
                 auto windows_it = metrics.endToEndByMinute.find(svc.id);
                 if (windows_it == metrics.endToEndByMinute.end())
@@ -173,6 +179,113 @@ makeDynamicController(const ErmsController &controller,
                       std::shared_ptr<const telemetry::TelemetryView> view)
 {
     return controller.makeAutoscaler(std::move(services), std::move(view));
+}
+
+std::function<void(Simulation &, int)>
+makeGuardedController(std::function<void(Simulation &, int)> inner,
+                      std::shared_ptr<telemetry::GuardedTelemetryView> guard,
+                      std::vector<MicroserviceId> managed,
+                      GuardrailConfig config)
+{
+    ERMS_ASSERT(inner != nullptr);
+    ERMS_ASSERT(guard != nullptr);
+    ERMS_ASSERT(!managed.empty());
+    ERMS_ASSERT(config.maxScaleStepFraction > 0.0);
+    ERMS_ASSERT(config.fallbackOverProvisionFactor >= 1.0);
+    struct State
+    {
+        std::map<MicroserviceId, int> lastGood;
+        std::uint64_t consecutiveFallback = 0;
+    };
+    auto state = std::make_shared<State>();
+    return [inner = std::move(inner), guard = std::move(guard),
+            managed = std::move(managed), config,
+            state](Simulation &sim, int minute) {
+        guard->beginCycle(sim.now());
+        const telemetry::GuardMode mode = guard->mode();
+        if (mode == telemetry::GuardMode::Fallback)
+            ++state->consecutiveFallback;
+        else
+            state->consecutiveFallback = 0;
+
+        const auto doctored = [&guard] {
+            const telemetry::GuardStats &s = guard->stats();
+            return s.rejectedBounds + s.rejectedOutliers +
+                   s.clampedOutliers;
+        };
+
+        std::map<MicroserviceId, int> before;
+        for (MicroserviceId ms : managed)
+            before[ms] = sim.containerCount(ms);
+
+        const std::uint64_t doctored_before = doctored();
+        inner(sim, minute);
+        // The mode machine only advances at beginCycle, but the inner
+        // controller's queries may have tripped the guard *this* cycle:
+        // a decision informed by doctored observations is not trusted
+        // even though the machine still reads NORMAL.
+        const bool clean_cycle = doctored() == doctored_before;
+
+        const bool limited = mode != telemetry::GuardMode::Normal ||
+                             !clean_cycle ||
+                             config.applyLimitsInNormalMode;
+        if (!limited) {
+            // NORMAL + clean queries: fully transparent — the inner
+            // controller's outcome stands and becomes last-known-good.
+            for (MicroserviceId ms : managed)
+                state->lastGood[ms] = sim.containerCount(ms);
+            return;
+        }
+
+        // SUSPECT / FALLBACK (or a NORMAL cycle that tripped the
+        // guard): the inner controller has already run — a degraded
+        // pipeline usually carries *some* signal; stale rates during a
+        // ramp still grow — but its decisions are treated as scale-up
+        // hints only: up-steps are rate-limited and scale-downs
+        // reverted, because the one catastrophic move corrupt telemetry
+        // can cause is tearing down needed capacity. In FALLBACK the
+        // allocation is additionally floored at last-known-good times
+        // an over-provision factor that escalates with every
+        // consecutive blind cycle: the longer the pipeline stays dark,
+        // the further the invisible workload may have drifted.
+        for (MicroserviceId ms : managed) {
+            const int was = before[ms];
+            const int now = sim.containerCount(ms);
+            int target = now;
+            if (now > was) {
+                const int max_step = std::max(
+                    1, static_cast<int>(std::ceil(
+                           was * config.maxScaleStepFraction)));
+                target = std::min(now, was + max_step);
+            } else if (now < was) {
+                const int hold_band = static_cast<int>(std::ceil(
+                    was * config.scaleDownHoldFraction));
+                const bool small_shrink = was - now <= hold_band;
+                const bool allow_down =
+                    mode == telemetry::GuardMode::Suspect &&
+                    config.allowScaleDownInSuspect;
+                if (!allow_down || small_shrink)
+                    target = was; // hysteresis: hold
+            }
+            if (mode == telemetry::GuardMode::Fallback) {
+                const auto it = state->lastGood.find(ms);
+                if (it != state->lastGood.end()) {
+                    const double factor = std::min(
+                        config.fallbackMaxOverProvisionFactor,
+                        config.fallbackOverProvisionFactor +
+                            config.fallbackEscalationPerCycle *
+                                static_cast<double>(
+                                    state->consecutiveFallback - 1));
+                    const int floor_count = static_cast<int>(
+                        std::ceil(it->second * factor));
+                    target = std::max(target, floor_count);
+                }
+            }
+            if (target != now)
+                sim.setContainerCount(ms, target);
+        }
+        // Doctored/suspect/fallback cycles never refresh last-known-good.
+    };
 }
 
 std::function<void(Simulation &, int)>

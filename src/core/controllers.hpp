@@ -15,6 +15,7 @@
 
 #include "baselines/baseline.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/guarded_view.hpp"
 #include "telemetry/view.hpp"
 
 namespace erms {
@@ -80,6 +81,66 @@ std::function<void(Simulation &, int)>
 makeDynamicController(
     const ErmsController &controller, std::vector<ServiceSpec> services,
     std::shared_ptr<const telemetry::TelemetryView> view = nullptr);
+
+/**
+ * Knobs of the scaling guardrails wrapped around a controller by
+ * makeGuardedController. Defaults keep NORMAL mode fully transparent:
+ * with healthy telemetry the guarded controller is byte-identical to
+ * the unguarded one (pinned by the chaos test suite).
+ */
+struct GuardrailConfig
+{
+    /** Max fractional up-step per cycle while rate-limited (SUSPECT or
+     *  `applyLimitsInNormalMode`): a microservice may grow by at most
+     *  ceil(before * fraction) containers (always at least one). */
+    double maxScaleStepFraction = 0.5;
+    /** Hysteresis: scale-downs smaller than this fraction of the
+     *  current count are reverted while rate-limited — churn this small
+     *  is noise, not signal, when telemetry is suspect. */
+    double scaleDownHoldFraction = 0.10;
+    /** Permit (large) scale-downs in SUSPECT mode. Off by default:
+     *  releasing capacity on evidence from a suspect pipeline is the
+     *  failure mode this layer exists to prevent. */
+    bool allowScaleDownInSuspect = false;
+    /** FALLBACK over-provision: hold each managed microservice at
+     *  ceil(last-known-good * factor) containers. */
+    double fallbackOverProvisionFactor = 1.25;
+    /** Each consecutive FALLBACK cycle adds this much to the
+     *  over-provision factor: the longer the pipeline stays dark, the
+     *  further the (invisible) workload may have drifted from the last
+     *  good observation, so the margin grows with the blindness. */
+    double fallbackEscalationPerCycle = 0.25;
+    /** Ceiling of the escalated over-provision factor. */
+    double fallbackMaxOverProvisionFactor = 2.5;
+    /** Apply the rate limits even in NORMAL mode (breaks the
+     *  transparency contract; for experiments only). */
+    bool applyLimitsInNormalMode = false;
+};
+
+/**
+ * Wrap any minute controller with self-defending scaling guardrails
+ * driven by a GuardedTelemetryView's degraded-mode state machine:
+ *
+ *  - NORMAL:   run the inner controller unmodified and record each
+ *              managed microservice's count as last-known-good;
+ *  - SUSPECT:  run the inner controller, then rate-limit its decisions
+ *              (bounded up-steps, scale-downs reverted by default);
+ *  - FALLBACK: skip the inner controller entirely and hold every
+ *              managed microservice at its last-known-good count times
+ *              `fallbackOverProvisionFactor` (hold current counts when
+ *              no good cycle has been observed yet).
+ *
+ * Recovery re-validates through SUSPECT (see GuardedTelemetryView), so
+ * one clean scrape after an incident resumes rate-limited — not
+ * unconstrained — scaling. The wrapper owns the guard's cycle clock:
+ * it calls guard->beginCycle(sim.now()) before the inner controller,
+ * which must observe through the same guarded view.
+ */
+std::function<void(Simulation &, int)>
+makeGuardedController(
+    std::function<void(Simulation &, int)> inner,
+    std::shared_ptr<telemetry::GuardedTelemetryView> guard,
+    std::vector<MicroserviceId> managed, GuardrailConfig config = {});
 
 /**
  * Run several minute controllers in sequence (e.g. capacity repair

@@ -1,5 +1,7 @@
 #include "erms.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace erms {
@@ -37,11 +39,14 @@ ErmsController::makeAutoscaler(
             const double observed = view != nullptr
                                         ? view->observedRate(svc.id)
                                         : sim.observedRate(svc.id);
-            if (observed <= 0.0)
+            // Keep the previous workload on no data *or* a corrupt
+            // (non-finite) scrape — never plan against NaN arrivals.
+            if (observed <= 0.0 || !std::isfinite(observed))
                 continue;
             double factor = config_.workloadHeadroom;
             if (view != nullptr) {
-                if (view->serviceP95Ms(svc.id) > svc.slaMs)
+                const double p95 = view->serviceP95Ms(svc.id);
+                if (std::isfinite(p95) && p95 > svc.slaMs)
                     factor *= 1.6; // drain the backlog
             } else if (auto it =
                            sim.metrics().endToEndByMinute.find(svc.id);
@@ -59,9 +64,12 @@ ErmsController::makeAutoscaler(
         // re-plan against a relaxed SLA rather than freezing the stale
         // deployment — an under-scaled cluster melts down, a best-effort
         // plan merely misses the target.
-        const Interference itf = view != nullptr
-                                     ? view->clusterInterference()
-                                     : sim.clusterInterference();
+        Interference itf = view != nullptr ? view->clusterInterference()
+                                           : sim.clusterInterference();
+        // A non-finite utilization poisons every latency estimate in
+        // the planner; degrade to a no-interference plan instead.
+        if (!finiteInterference(itf))
+            itf = Interference{};
         GlobalPlan next = plan(services, itf);
         if (!next.feasible) {
             std::vector<ServiceSpec> relaxed = services;

@@ -1,0 +1,318 @@
+#include "telemetry_fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace erms {
+
+namespace {
+
+using telemetry::MetricKind;
+using telemetry::SeriesSnapshot;
+using telemetry::TelemetrySnapshot;
+
+constexpr SimTime kMinuteUs = 60ULL * 1000ULL * 1000ULL;
+
+// Decision-stream indexes of the telemetry fault seed. Each fault class
+// draws from its own derived stream so changing one knob never shifts
+// another class's decisions (documented in docs/resilient_control.md).
+constexpr std::uint64_t kBlackoutStream = 0;
+constexpr std::uint64_t kDropStream = 1;
+constexpr std::uint64_t kDelayStream = 2;
+constexpr std::uint64_t kSpanLossStream = 3;
+constexpr std::uint64_t kOutlierStream = 4;
+constexpr std::uint64_t kCounterDropStream = 5;
+constexpr std::uint64_t kJitterStream = 6;
+
+/** Closed-form per-(stream, scrape) decision word. */
+std::uint64_t
+decisionWord(std::uint64_t seed, std::uint64_t stream,
+             std::uint64_t scrape_index)
+{
+    return deriveRunSeed(deriveRunSeed(seed, stream), scrape_index);
+}
+
+/** Mix a per-series salt into a decision word (one more finalize). */
+std::uint64_t
+saltWord(std::uint64_t word, std::uint64_t salt)
+{
+    return deriveRunSeed(word ^ salt, 0);
+}
+
+/** Uniform double in [0, 1) from a decision word. */
+double
+toUniform(std::uint64_t word)
+{
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+/** FNV-1a of a series identity (name + labels). */
+std::uint64_t
+seriesHash(const SeriesSnapshot &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const std::string &text) {
+        for (unsigned char c : text) {
+            h ^= c;
+            h *= 0x100000001b3ULL;
+        }
+        h ^= 0xff; // separator
+        h *= 0x100000001b3ULL;
+    };
+    mix(s.name);
+    for (const auto &[k, v] : s.labels) {
+        mix(k);
+        mix(v);
+    }
+    return h;
+}
+
+/** Poisson arrival times on [0, horizon) at `per_minute` events/min
+ *  (mirrors the data-plane schedule builder in fault.cpp). */
+std::vector<SimTime>
+poissonTimes(Rng &rng, double per_minute, SimTime horizon)
+{
+    std::vector<SimTime> times;
+    if (per_minute <= 0.0)
+        return times;
+    const double mean_gap_us = static_cast<double>(kMinuteUs) / per_minute;
+    double t = 0.0;
+    for (;;) {
+        t += std::max(1.0, rng.exponential(mean_gap_us));
+        if (t >= static_cast<double>(horizon))
+            break;
+        times.push_back(static_cast<SimTime>(t));
+    }
+    return times;
+}
+
+bool
+isHostGaugeSeries(const SeriesSnapshot &s)
+{
+    return s.name == "erms_host_cpu_util" || s.name == "erms_host_mem_util";
+}
+
+HostId
+hostOfSeries(const SeriesSnapshot &s)
+{
+    for (const auto &[key, value] : s.labels) {
+        if (key == "host")
+            return static_cast<HostId>(std::strtoul(value.c_str(),
+                                                    nullptr, 10));
+    }
+    return kInvalidHost;
+}
+
+} // namespace
+
+bool
+TelemetryFaultConfig::anyFaults() const
+{
+    return scrapeDropProbability > 0.0 || scrapeDelayProbability > 0.0 ||
+           blackoutsPerMinute > 0.0 || spanLossProbability > 0.0 ||
+           outlierProbability > 0.0 || counterDropProbability > 0.0 ||
+           clockSkewMs != 0.0 || clockJitterMs > 0.0;
+}
+
+TelemetryFaultSchedule
+buildTelemetryFaultSchedule(const TelemetryFaultConfig &config,
+                            int host_count, SimTime horizon)
+{
+    ERMS_ASSERT(host_count > 0);
+    TelemetryFaultSchedule schedule;
+    Rng rng(deriveRunSeed(config.seed, kBlackoutStream));
+    const SimTime duration = toSimTime(config.blackoutDurationMs);
+    for (SimTime at : poissonTimes(rng, config.blackoutsPerMinute,
+                                   horizon)) {
+        BlackoutWindow window;
+        window.start = at;
+        window.end = at + std::max<SimTime>(1, duration);
+        window.host = static_cast<HostId>(
+            rng.uniformInt(0, host_count - 1));
+        schedule.blackouts.push_back(window);
+    }
+    return schedule;
+}
+
+TelemetryFaultInjector::TelemetryFaultInjector(TelemetryFaultConfig config,
+                                               int host_count,
+                                               SimTime horizon)
+    : config_(config),
+      schedule_(buildTelemetryFaultSchedule(config, host_count, horizon))
+{
+    ERMS_ASSERT(config_.scrapeDropProbability >= 0.0 &&
+                config_.scrapeDropProbability <= 1.0);
+    ERMS_ASSERT(config_.scrapeDelayProbability >= 0.0 &&
+                config_.scrapeDelayProbability <= 1.0);
+    ERMS_ASSERT(config_.spanLossProbability >= 0.0 &&
+                config_.spanLossProbability <= 1.0);
+    ERMS_ASSERT(config_.outlierProbability >= 0.0 &&
+                config_.outlierProbability <= 1.0);
+    ERMS_ASSERT(config_.counterDropProbability >= 0.0 &&
+                config_.counterDropProbability <= 1.0);
+    ERMS_ASSERT(config_.counterDropFloor >= 0.0 &&
+                config_.counterDropFloor <= 0.9);
+}
+
+bool
+TelemetryFaultInjector::hostBlackedOut(HostId host, SimTime at) const
+{
+    for (const BlackoutWindow &window : schedule_.blackouts) {
+        if (window.host == host && at >= window.start && at < window.end)
+            return true;
+    }
+    return false;
+}
+
+std::vector<TelemetrySnapshot>
+TelemetryFaultInjector::perturb(
+    const std::vector<TelemetrySnapshot> &true_snaps) const
+{
+    if (!config_.anyFaults())
+        return true_snaps;
+
+    std::vector<TelemetrySnapshot> out;
+    out.reserve(true_snaps.size());
+    const SimTime newest_true =
+        true_snaps.empty() ? 0 : true_snaps.back().at;
+
+    for (std::size_t i = 0; i < true_snaps.size(); ++i) {
+        const TelemetrySnapshot &snap = true_snaps[i];
+
+        if (config_.scrapeDropProbability > 0.0 &&
+            toUniform(decisionWord(config_.seed, kDropStream, i)) <
+                config_.scrapeDropProbability)
+            continue; // this scrape never landed
+
+        if (config_.scrapeDelayProbability > 0.0 &&
+            toUniform(decisionWord(config_.seed, kDelayStream, i)) <
+                config_.scrapeDelayProbability) {
+            // A delayed scrape surfaces only once the pipeline has moved
+            // scrapeDelayMs past its stamp (measured against the newest
+            // true scrape — the injector's notion of "now").
+            const SimTime visible_at =
+                snap.at + toSimTime(config_.scrapeDelayMs);
+            if (newest_true < visible_at)
+                continue; // still in flight
+        }
+
+        TelemetrySnapshot p = snap;
+
+        // Clock skew + per-scrape jitter on the snapshot stamp. The
+        // perturbed stream keeps its original order even if stamps
+        // cross — exactly the corruption a real skewed scraper emits.
+        if (config_.clockSkewMs != 0.0 || config_.clockJitterMs > 0.0) {
+            double shift_ms = config_.clockSkewMs;
+            if (config_.clockJitterMs > 0.0) {
+                const double u = toUniform(
+                    decisionWord(config_.seed, kJitterStream, i));
+                shift_ms += (2.0 * u - 1.0) * config_.clockJitterMs;
+            }
+            const double shifted =
+                static_cast<double>(p.at) + shift_ms * 1000.0;
+            p.at = shifted <= 0.0 ? 0 : static_cast<SimTime>(shifted);
+        }
+
+        const std::uint64_t span_word =
+            decisionWord(config_.seed, kSpanLossStream, i);
+        const std::uint64_t outlier_word =
+            decisionWord(config_.seed, kOutlierStream, i);
+        const std::uint64_t counter_word =
+            decisionWord(config_.seed, kCounterDropStream, i);
+
+        std::vector<SeriesSnapshot> kept;
+        kept.reserve(p.series.size());
+        for (SeriesSnapshot &s : p.series) {
+            // Per-host blackout: the host's gauge series vanish from the
+            // scrape (windows are defined against true sim time).
+            if (isHostGaugeSeries(s) &&
+                hostBlackedOut(hostOfSeries(s), snap.at))
+                continue;
+
+            const std::uint64_t salt = seriesHash(s);
+
+            if (s.kind == MetricKind::Counter &&
+                config_.counterDropProbability > 0.0 &&
+                toUniform(saltWord(counter_word, salt)) <
+                    config_.counterDropProbability) {
+                // Partial scrape: a shard of the counter is lost, so the
+                // cumulative value under-reports (and will appear to
+                // regress relative to neighbouring scrapes).
+                const double u =
+                    toUniform(saltWord(counter_word, salt ^ 0x5eedULL));
+                const double f =
+                    config_.counterDropFloor +
+                    u * (0.9 - config_.counterDropFloor);
+                s.counterValue = static_cast<std::uint64_t>(
+                    static_cast<double>(s.counterValue) * f);
+            }
+
+            if (s.kind == MetricKind::Histogram) {
+                if (config_.spanLossProbability > 0.0) {
+                    // Collector backpressure: a uniform fraction of the
+                    // cumulative span mass is gone at this scrape.
+                    const double u =
+                        toUniform(saltWord(span_word, salt));
+                    const double f =
+                        1.0 - config_.spanLossProbability * u;
+                    std::uint64_t total = 0;
+                    for (std::uint64_t &b : s.bucketCounts) {
+                        b = static_cast<std::uint64_t>(
+                            static_cast<double>(b) * f);
+                        total += b;
+                    }
+                    s.count = total;
+                    s.sum *= f;
+                }
+                if (config_.outlierProbability > 0.0 &&
+                    !s.bucketCounts.empty() && s.count > 0 &&
+                    toUniform(saltWord(outlier_word, salt)) <
+                        config_.outlierProbability) {
+                    // A corrupted batch of spans: phantom mass in the
+                    // overflow bucket drags interval quantiles to the
+                    // top boundary.
+                    const std::uint64_t phantom = std::max<std::uint64_t>(
+                        1, static_cast<std::uint64_t>(
+                               static_cast<double>(s.count) *
+                               config_.outlierFraction));
+                    s.bucketCounts.back() += phantom;
+                    s.count += phantom;
+                    if (!s.boundaries.empty())
+                        s.sum += static_cast<double>(phantom) *
+                                 s.boundaries.back() * 4.0;
+                }
+            }
+
+            kept.push_back(std::move(s));
+        }
+        p.series = std::move(kept);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+FaultyTelemetryView::FaultyTelemetryView(
+    const telemetry::SimMonitor &monitor, TelemetryFaultConfig config,
+    int host_count, SimTime horizon)
+    : monitor_(&monitor), injector_(config, host_count, horizon)
+{
+}
+
+const std::vector<TelemetrySnapshot> &
+FaultyTelemetryView::visibleSnapshots() const
+{
+    const auto &true_snaps = monitor_->snapshots();
+    if (!cacheValid_ || cachedTrueCount_ != true_snaps.size()) {
+        cache_ = injector_.perturb(true_snaps);
+        cachedTrueCount_ = true_snaps.size();
+        cacheValid_ = true;
+    }
+    return cache_;
+}
+
+} // namespace erms

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Observability-fault injection — the telemetry-path counterpart of the
+ * data-plane fault layer in fault.hpp. The paper's §5 provisioning loop
+ * assumes Jaeger/Prometheus always deliver fresh, complete latency
+ * profiles; in production the observability path fails at least as
+ * often as the data plane. This layer perturbs the SimMonitor →
+ * ScrapedTelemetryView path with the failure classes that dominate real
+ * monitoring stacks:
+ *
+ *  - dropped scrapes (a scrape never lands),
+ *  - delayed scrapes (a snapshot becomes visible long after its stamp,
+ *    so controllers act on stale state),
+ *  - per-host metric blackouts (an exporter goes dark: the host's gauge
+ *    series vanish from snapshots for a window),
+ *  - span loss beyond the configured sampling floor (collector
+ *    backpressure thins latency histograms),
+ *  - outlier/corrupted latency samples (phantom mass lands in the
+ *    overflow bucket, yanking interval quantiles to the top boundary),
+ *  - partial counter scrapes (a counter shard is lost: cumulative
+ *    counts under-report and later appear to regress),
+ *  - clock skew/jitter on snapshot timestamps.
+ *
+ * Faults perturb only what controllers *see*: the simulator's request
+ * path, the monitor's true series, and every oracle read are untouched,
+ * so a run with telemetry faults active completes exactly the same
+ * requests at exactly the same times as one without.
+ *
+ * Determinism contract (same as buildFaultSchedule): every decision is
+ * a closed-form function of (config.seed, fault class, scrape index,
+ * series identity) — no sequential RNG draws — so the same seed yields
+ * the same perturbation no matter which queries run, in which order, or
+ * on how many runner workers.
+ */
+
+#ifndef ERMS_FAULT_TELEMETRY_FAULT_HPP
+#define ERMS_FAULT_TELEMETRY_FAULT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/view.hpp"
+
+namespace erms {
+
+/**
+ * Knobs of the observability-fault injector. All rates default to zero:
+ * a default-constructed config perturbs nothing, and the perturbed
+ * snapshot stream is byte-identical to the true one.
+ */
+struct TelemetryFaultConfig
+{
+    /** Seed of the injector's own decision streams (independent of both
+     *  SimConfig::seed and FaultConfig::seed). */
+    std::uint64_t seed = 0x0b5eULL;
+
+    // --- dropped scrapes -----------------------------------------------
+    /** Probability that any single scrape never lands. */
+    double scrapeDropProbability = 0.0;
+
+    // --- delayed / stale snapshots -------------------------------------
+    /** Probability that a (non-dropped) scrape arrives late. */
+    double scrapeDelayProbability = 0.0;
+    /** How late a delayed scrape becomes visible (ms). */
+    double scrapeDelayMs = 45000.0;
+
+    // --- per-host metric blackouts -------------------------------------
+    /** Poisson rate of blackout-window starts (windows/minute), each
+     *  silencing one uniformly chosen host's gauge series. */
+    double blackoutsPerMinute = 0.0;
+    /** Length of one blackout window (ms). */
+    double blackoutDurationMs = 60000.0;
+
+    // --- span loss beyond the sampling floor ---------------------------
+    /** Upper bound on the fraction of cumulative latency-span mass lost
+     *  at a scrape (each scrape loses a uniform fraction in
+     *  [0, spanLossProbability]). */
+    double spanLossProbability = 0.0;
+
+    // --- outlier / corrupted latency samples ---------------------------
+    /** Probability that a latency series at a scrape gains phantom
+     *  overflow-bucket mass (a corrupted batch of spans). */
+    double outlierProbability = 0.0;
+    /** Phantom mass as a fraction of the series' cumulative count. */
+    double outlierFraction = 0.15;
+
+    // --- partial counter scrapes ---------------------------------------
+    /** Probability that a counter series at a scrape under-reports
+     *  (a lost shard / partial scrape). */
+    double counterDropProbability = 0.0;
+    /** Lower bound of the surviving fraction; the survivor fraction is
+     *  uniform in [counterDropFloor, 0.9]. */
+    double counterDropFloor = 0.25;
+
+    // --- clock skew ----------------------------------------------------
+    /** Constant offset added to every snapshot timestamp (ms; may be
+     *  negative, clamped at time zero). */
+    double clockSkewMs = 0.0;
+    /** Additional per-scrape uniform jitter in [-clockJitterMs,
+     *  +clockJitterMs]. */
+    double clockJitterMs = 0.0;
+
+    /** True when any fault class is active. */
+    bool anyFaults() const;
+};
+
+/** One scheduled per-host metric blackout window. */
+struct BlackoutWindow
+{
+    SimTime start = 0;
+    SimTime end = 0;
+    HostId host = kInvalidHost;
+};
+
+/** Precomputed blackout schedule of one run (time-ascending). */
+struct TelemetryFaultSchedule
+{
+    std::vector<BlackoutWindow> blackouts;
+};
+
+/**
+ * Generate the blackout schedule for one run: Poisson window starts
+ * over [0, horizon) on a dedicated derived RNG stream, so changing any
+ * per-scrape knob never shifts the blackout windows (and vice versa).
+ * Pure function of (config, host_count, horizon).
+ */
+TelemetryFaultSchedule
+buildTelemetryFaultSchedule(const TelemetryFaultConfig &config,
+                            int host_count, SimTime horizon);
+
+/**
+ * Applies a TelemetryFaultConfig to a true snapshot stream, producing
+ * the perturbed stream an unlucky operator would see. Stateless beyond
+ * its precomputed blackout schedule; perturb() is a pure function of
+ * (config, schedule, true snapshots).
+ */
+class TelemetryFaultInjector
+{
+  public:
+    TelemetryFaultInjector(TelemetryFaultConfig config, int host_count,
+                           SimTime horizon);
+
+    const TelemetryFaultConfig &config() const { return config_; }
+    const TelemetryFaultSchedule &schedule() const { return schedule_; }
+
+    /**
+     * The perturbed snapshot stream visible once `true_snaps` have been
+     * scraped: dropped scrapes are removed, delayed ones withheld until
+     * a true scrape at least scrapeDelayMs newer exists, and every
+     * surviving snapshot is perturbed per the config. With no active
+     * faults the result equals the input.
+     */
+    std::vector<telemetry::TelemetrySnapshot>
+    perturb(const std::vector<telemetry::TelemetrySnapshot> &true_snaps)
+        const;
+
+  private:
+    bool hostBlackedOut(HostId host, SimTime at) const;
+
+    TelemetryFaultConfig config_;
+    TelemetryFaultSchedule schedule_;
+};
+
+/**
+ * TelemetryView over a perturbed scrape history: what the controllers
+ * consume when the observability path is failing. Decorates a
+ * SimMonitor with a TelemetryFaultInjector and answers every query via
+ * the shared SnapshotTelemetryView math over the perturbed stream.
+ */
+class FaultyTelemetryView : public telemetry::SnapshotTelemetryView
+{
+  public:
+    /** The monitor must outlive the view. `host_count` and `horizon`
+     *  size the blackout schedule (match the SimConfig). */
+    FaultyTelemetryView(const telemetry::SimMonitor &monitor,
+                        TelemetryFaultConfig config, int host_count,
+                        SimTime horizon);
+
+    const TelemetryFaultInjector &injector() const { return injector_; }
+
+  protected:
+    /** Lazily rebuilt whenever the monitor scraped since the last
+     *  query (scrape count is the sole cache key: the monitor only
+     *  appends snapshots). */
+    const std::vector<telemetry::TelemetrySnapshot> &
+    visibleSnapshots() const override;
+
+  private:
+    const telemetry::SimMonitor *monitor_;
+    TelemetryFaultInjector injector_;
+    mutable std::vector<telemetry::TelemetrySnapshot> cache_;
+    mutable bool cacheValid_ = false;
+    mutable std::size_t cachedTrueCount_ = 0;
+};
+
+} // namespace erms
+
+#endif // ERMS_FAULT_TELEMETRY_FAULT_HPP

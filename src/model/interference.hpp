@@ -9,6 +9,7 @@
 #define ERMS_MODEL_INTERFERENCE_HPP
 
 #include <algorithm>
+#include <cmath>
 
 namespace erms {
 
@@ -25,6 +26,15 @@ struct Interference
         return {std::clamp(cpuUtil, 0.0, 1.0), std::clamp(memUtil, 0.0, 1.0)};
     }
 };
+
+/** True when both components are finite numbers. A degraded telemetry
+ *  pipeline can surface NaN/Inf utilizations; controllers must never
+ *  feed those into the latency model (see docs/resilient_control.md). */
+inline bool
+finiteInterference(const Interference &itf)
+{
+    return std::isfinite(itf.cpuUtil) && std::isfinite(itf.memUtil);
+}
 
 /** Component-wise average of two interference readings. */
 inline Interference

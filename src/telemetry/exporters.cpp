@@ -2,7 +2,9 @@
 
 #include <charconv>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -12,20 +14,34 @@ namespace erms::telemetry {
 
 namespace {
 
-/** Shortest exactly-round-tripping decimal form of a double. */
+/** Shortest exactly-round-tripping decimal form of a double.
+ *  Non-finite values use the explicit spellings NaN / Infinity /
+ *  -Infinity (parsed back by strtod): strict JSON has no non-finite
+ *  literals, so like Python's json module we deviate loudly rather
+ *  than silently emitting an unreadable document. */
 std::string
 formatDouble(double v)
 {
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0.0 ? "Infinity" : "-Infinity";
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*g",
                   std::numeric_limits<double>::max_digits10, v);
     return buf;
 }
 
+/** Inverse of formatDouble; rejects loudly on any trailing garbage so
+ *  a corrupted export surfaces as an assertion, not a half-parsed 0. */
 double
 parseDouble(const std::string &s)
 {
-    return std::strtod(s.c_str(), nullptr);
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    ERMS_ASSERT_MSG(!s.empty() && end == s.c_str() + s.size(),
+                    "unparseable double in telemetry export");
+    return v;
 }
 
 std::uint64_t
@@ -135,6 +151,14 @@ toCsv(const std::vector<TelemetrySnapshot> &snapshots)
     std::string out =
         "at_us,name,labels,kind,counter,gauge,count,sum,boundaries,buckets\n";
     for (const TelemetrySnapshot &snap : snapshots) {
+        if (snap.series.empty()) {
+            // Marker row (empty name — no real series has one) so a
+            // scrape that captured zero series survives the round trip
+            // instead of silently vanishing from the stream.
+            out += std::to_string(snap.at);
+            out += ",,,counter,0,0,0,0,,\n";
+            continue;
+        }
         for (const SeriesSnapshot &s : snap.series) {
             out += std::to_string(snap.at);
             out += ',';
@@ -185,6 +209,8 @@ fromCsv(const std::string &csv)
             snap.at = at;
             snapshots.push_back(std::move(snap));
         }
+        if (fields[1].empty())
+            continue; // empty-snapshot marker row: scrape, no series
         SeriesSnapshot s;
         s.name = fields[1];
         s.labels = labelsFromString(fields[2]);

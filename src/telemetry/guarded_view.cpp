@@ -1,0 +1,242 @@
+#include "guarded_view.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace erms::telemetry {
+
+namespace {
+
+// Series-key kinds (first element of SeriesKey).
+constexpr int kRate = 0;
+constexpr int kServiceP95 = 1;
+constexpr int kMsTail = 2;
+constexpr int kContainers = 3;
+constexpr int kItfCpu = 4;
+constexpr int kItfMem = 5;
+
+/** Median of a small scratch vector (sorted in place). */
+double
+medianOf(std::vector<double> &values)
+{
+    ERMS_ASSERT(!values.empty());
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+} // namespace
+
+GuardedTelemetryView::GuardedTelemetryView(
+    std::shared_ptr<const TelemetryView> inner, GuardConfig config)
+    : inner_(std::move(inner)), config_(config)
+{
+    ERMS_ASSERT(inner_ != nullptr);
+    ERMS_ASSERT(config_.outlierHistory >= 2);
+    ERMS_ASSERT(config_.outlierMinHistory >= 2);
+    ERMS_ASSERT(config_.relativeGateFactor > 1.0);
+    ERMS_ASSERT(config_.suspectBadCyclesToFallback >= 1);
+    ERMS_ASSERT(config_.recoveryCleanCycles >= 1);
+}
+
+void
+GuardedTelemetryView::beginCycle(SimTime now)
+{
+    const double staleness = inner_->stalenessMs(now);
+    const bool stale = staleness > config_.maxStalenessMs;
+    const bool bad = stale || cycleRejects_ > 0;
+    cycleRejects_ = 0;
+
+    ++stats_.cycles;
+    if (stale)
+        ++stats_.staleCycles;
+
+    switch (mode_) {
+      case GuardMode::Normal:
+        if (bad) {
+            mode_ = GuardMode::Suspect;
+            badStreak_ = 0;
+        }
+        break;
+      case GuardMode::Suspect:
+        if (!bad) {
+            mode_ = GuardMode::Normal;
+            badStreak_ = 0;
+        } else if (++badStreak_ >= config_.suspectBadCyclesToFallback) {
+            mode_ = GuardMode::Fallback;
+            badStreak_ = 0;
+            cleanStreak_ = 0;
+        }
+        break;
+      case GuardMode::Fallback:
+        if (bad) {
+            cleanStreak_ = 0;
+        } else if (++cleanStreak_ >= config_.recoveryCleanCycles) {
+            // Re-validate through SUSPECT: scaling stays rate-limited
+            // for one more clean cycle before normal operation resumes.
+            mode_ = GuardMode::Suspect;
+            badStreak_ = 0;
+            cleanStreak_ = 0;
+        }
+        break;
+    }
+
+    if (mode_ == GuardMode::Suspect)
+        ++stats_.suspectCycles;
+    else if (mode_ == GuardMode::Fallback)
+        ++stats_.fallbackCycles;
+}
+
+double
+GuardedTelemetryView::guardValue(SeriesKey key, double x,
+                                 double max_bound,
+                                 bool outlier_gate) const
+{
+    // Zero is the inner view's no-data sentinel: pass through untouched
+    // so a guarded clean stream stays bit-identical to the raw one.
+    if (x == 0.0)
+        return 0.0;
+
+    SeriesGuard &guard = series_[key];
+    const auto reject = [&](std::uint64_t &counter) {
+        ++counter;
+        ++cycleRejects_;
+        if (guard.hasLastGood) {
+            ++stats_.substitutedLastGood;
+            return guard.lastGood;
+        }
+        return 0.0;
+    };
+    const auto remember = [&](double v) {
+        if (guard.history.size() < config_.outlierHistory) {
+            guard.history.push_back(v);
+        } else {
+            guard.history[guard.next] = v;
+            guard.next = (guard.next + 1) % config_.outlierHistory;
+        }
+        guard.hasLastGood = true;
+        guard.lastGood = v;
+        return v;
+    };
+
+    if (!std::isfinite(x) || x < 0.0 || x > max_bound)
+        return reject(stats_.rejectedBounds);
+
+    // Cold-start dynamics are honestly violent for most series — a
+    // bootstrap p95 spike settles 100x, host utilization climbs from
+    // near-idle — so the gate normally waits for outlierMinHistory
+    // accepted samples. Request rates are the exception: they move
+    // smoothly on a clean stream, and a corrupt rate accepted during
+    // warmup poisons last-known-good right when the controller trusts
+    // it most, so for rates the relative gate arms at the very first
+    // accepted sample (the median of one value is that value).
+    const std::size_t arm_at =
+        key.first == kRate ? 1 : config_.outlierMinHistory;
+    if (outlier_gate && guard.history.size() >= arm_at) {
+        std::vector<double> scratch = guard.history;
+        const double median = medianOf(scratch);
+        const double deviation = std::abs(x - median);
+        const double rel = config_.relativeGateFactor;
+        const bool far_in_ratio =
+            median > 0.0 && (x > rel * median || x * rel < median);
+        bool far_in_mad = true;
+        if (guard.history.size() >= config_.outlierMinHistory) {
+            // Settled history: the MAD gate must concur, so honest
+            // drift in a noisy series survives the ratio test.
+            for (double &v : scratch)
+                v = std::abs(v - median);
+            const double mad = medianOf(scratch);
+            // A constant history has MAD 0: any deviation is then
+            // infinitely many MADs out, so the gate falls through to
+            // the relative test.
+            far_in_mad =
+                mad > 1e-12 ? deviation > config_.madGateMultiplier * mad
+                            : deviation > 1e-12;
+        }
+        // Below outlierMinHistory the MAD estimate is meaningless, but
+        // a sample several-fold off the early median is still far more
+        // likely corruption than signal — the warmup window is exactly
+        // when a bad accepted value would poison last-known-good, so
+        // the relative gate stands alone there.
+        if (far_in_mad && far_in_ratio) {
+            if (x > median) {
+                // Fail-safe asymmetry: every guarded series (rates,
+                // latencies, utilizations) over-provisions when it errs
+                // high but tears down needed capacity when it errs low.
+                // A high-side outlier is therefore kept as a bounded up
+                // signal — serve the relative-gate ceiling instead of
+                // the raw spike, and record it so the median may climb
+                // at most relativeGateFactor per sample. A genuine
+                // regime change is tracked within a few cycles instead
+                // of being locked out forever.
+                ++stats_.clampedOutliers;
+                ++cycleRejects_;
+                return remember(rel * median);
+            }
+            return reject(stats_.rejectedOutliers);
+        }
+    }
+
+    return remember(x);
+}
+
+double
+GuardedTelemetryView::observedRate(ServiceId service) const
+{
+    return guardValue({kRate, service}, inner_->observedRate(service),
+                      config_.maxRateRpm);
+}
+
+Interference
+GuardedTelemetryView::clusterInterference() const
+{
+    const Interference raw = inner_->clusterInterference();
+    Interference guarded;
+    guarded.cpuUtil = guardValue({kItfCpu, 0}, raw.cpuUtil,
+                                 config_.maxInterferenceUtil);
+    guarded.memUtil = guardValue({kItfMem, 0}, raw.memUtil,
+                                 config_.maxInterferenceUtil);
+    return guarded;
+}
+
+double
+GuardedTelemetryView::serviceP95Ms(ServiceId service) const
+{
+    return guardValue({kServiceP95, service},
+                      inner_->serviceP95Ms(service), config_.maxLatencyMs);
+}
+
+double
+GuardedTelemetryView::microserviceTailMs(MicroserviceId ms) const
+{
+    return guardValue({kMsTail, ms}, inner_->microserviceTailMs(ms),
+                      config_.maxLatencyMs);
+}
+
+int
+GuardedTelemetryView::containerCount(MicroserviceId ms) const
+{
+    const int raw = inner_->containerCount(ms);
+    // -1 is the "series absent" sentinel; anything else must be a
+    // plausible container count.
+    if (raw == -1)
+        return -1;
+    // Bounds + last-known-good only: scaling legitimately moves
+    // container counts in large steps, so the outlier gate would
+    // misfire on honest scale events.
+    const double guarded = guardValue(
+        {kContainers, ms}, static_cast<double>(raw), 1.0e6,
+        /*outlier_gate=*/false);
+    return static_cast<int>(guarded);
+}
+
+double
+GuardedTelemetryView::stalenessMs(SimTime now) const
+{
+    return inner_->stalenessMs(now);
+}
+
+} // namespace erms::telemetry

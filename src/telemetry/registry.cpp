@@ -79,6 +79,16 @@ Histogram::Histogram(std::vector<double> boundaries)
 void
 Histogram::observe(double x)
 {
+    // Non-finite observations (a corrupt span) land in the +inf
+    // overflow bucket — NaN compares false against every boundary, so
+    // lower_bound would otherwise file it under the *smallest* bucket —
+    // and are excluded from the sum, which one NaN/Inf would poison
+    // permanently (cumulative sums never forget).
+    if (!std::isfinite(x)) {
+        buckets_.back().fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     const auto it =
         std::lower_bound(boundaries_.begin(), boundaries_.end(), x);
     const std::size_t bucket =
@@ -152,7 +162,11 @@ histogramQuantile(const std::vector<double> &boundaries,
                   const std::vector<std::uint64_t> &bucket_counts,
                   double q)
 {
-    ERMS_ASSERT(q >= 0.0 && q <= 1.0);
+    // Degenerate inputs answer "no estimate" (0) instead of reading
+    // boundaries.back() of an empty ladder or propagating a NaN rank —
+    // perturbed snapshot streams can surface both.
+    if (boundaries.empty() || !(q >= 0.0 && q <= 1.0))
+        return 0.0;
     ERMS_ASSERT(bucket_counts.size() == boundaries.size() + 1);
     std::uint64_t total = 0;
     for (std::uint64_t c : bucket_counts)
@@ -199,13 +213,36 @@ defaultLatencyBucketsMs()
 // Snapshots
 // ---------------------------------------------------------------------
 
+namespace {
+
+/** Bit-pattern double equality: NaN == NaN (same payload), so snapshot
+ *  comparison — and the exporter round-trip tests built on it — stay
+ *  meaningful for series that captured non-finite values. */
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+           std::bit_cast<std::uint64_t>(b);
+}
+
+bool
+sameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin(),
+                      [](double x, double y) { return sameBits(x, y); });
+}
+
+} // namespace
+
 bool
 SeriesSnapshot::operator==(const SeriesSnapshot &other) const
 {
     return name == other.name && labels == other.labels &&
            kind == other.kind && counterValue == other.counterValue &&
-           gaugeValue == other.gaugeValue && count == other.count &&
-           sum == other.sum && boundaries == other.boundaries &&
+           sameBits(gaugeValue, other.gaugeValue) &&
+           count == other.count && sameBits(sum, other.sum) &&
+           sameBits(boundaries, other.boundaries) &&
            bucketCounts == other.bucketCounts;
 }
 

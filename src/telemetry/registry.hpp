@@ -141,6 +141,8 @@ struct SeriesSnapshot
     std::vector<double> boundaries;
     std::vector<std::uint64_t> bucketCounts;
 
+    /** Equality compares doubles by bit pattern (NaN == NaN), so
+     *  round-trip checks work on series holding non-finite values. */
     bool operator==(const SeriesSnapshot &other) const;
 };
 

@@ -22,24 +22,27 @@ ScrapedTelemetryView::ScrapedTelemetryView(const SimMonitor &monitor)
 }
 
 const TelemetrySnapshot *
-ScrapedTelemetryView::latest() const
+SnapshotTelemetryView::latest() const
 {
-    const auto &snaps = monitor_->snapshots();
+    const auto &snaps = visibleSnapshots();
     return snaps.empty() ? nullptr : &snaps.back();
 }
 
 const TelemetrySnapshot *
-ScrapedTelemetryView::previous() const
+SnapshotTelemetryView::previous() const
 {
-    const auto &snaps = monitor_->snapshots();
+    const auto &snaps = visibleSnapshots();
     return snaps.size() < 2 ? nullptr : &snaps[snaps.size() - 2];
 }
 
 double
-ScrapedTelemetryView::observedRate(ServiceId service) const
+SnapshotTelemetryView::observedRate(ServiceId service) const
 {
-    const TelemetrySnapshot *now = latest();
-    const TelemetrySnapshot *prev = previous();
+    const auto &snaps = visibleSnapshots();
+    const TelemetrySnapshot *now =
+        snaps.empty() ? nullptr : &snaps.back();
+    const TelemetrySnapshot *prev =
+        snaps.size() < 2 ? nullptr : &snaps[snaps.size() - 2];
     if (now == nullptr || prev == nullptr || now->at <= prev->at)
         return 0.0;
     const Labels labels{{"service", std::to_string(service)}};
@@ -50,14 +53,14 @@ ScrapedTelemetryView::observedRate(ServiceId service) const
         prev->find("erms_requests_total", labels);
     const std::uint64_t before = prev_s ? prev_s->counterValue : 0;
     if (cur_s->counterValue <= before)
-        return 0.0;
+        return 0.0; // no arrivals, or a counter regression (reset)
     const double window_min =
         toMillis(now->at - prev->at) / (60.0 * 1000.0);
     return static_cast<double>(cur_s->counterValue - before) / window_min;
 }
 
 Interference
-ScrapedTelemetryView::clusterInterference() const
+SnapshotTelemetryView::clusterInterference() const
 {
     Interference avg;
     const TelemetrySnapshot *now = latest();
@@ -81,31 +84,41 @@ ScrapedTelemetryView::clusterInterference() const
 }
 
 double
-ScrapedTelemetryView::histogramDeltaQuantile(const std::string &name,
-                                             const Labels &labels,
-                                             double q) const
+SnapshotTelemetryView::histogramDeltaQuantile(const std::string &name,
+                                              const Labels &labels,
+                                              double q) const
 {
-    const TelemetrySnapshot *now = latest();
+    const auto &snaps = visibleSnapshots();
+    const TelemetrySnapshot *now =
+        snaps.empty() ? nullptr : &snaps.back();
     if (now == nullptr)
         return 0.0;
     const SeriesSnapshot *cur_s = now->find(name, labels);
-    if (cur_s == nullptr || cur_s->bucketCounts.empty())
+    if (cur_s == nullptr || cur_s->bucketCounts.empty() ||
+        cur_s->boundaries.empty() ||
+        cur_s->bucketCounts.size() != cur_s->boundaries.size() + 1)
         return 0.0;
     std::vector<std::uint64_t> delta = cur_s->bucketCounts;
-    const TelemetrySnapshot *prev = previous();
+    const TelemetrySnapshot *prev =
+        snaps.size() < 2 ? nullptr : &snaps[snaps.size() - 2];
     if (prev != nullptr) {
         const SeriesSnapshot *prev_s = prev->find(name, labels);
         if (prev_s != nullptr &&
             prev_s->bucketCounts.size() == delta.size()) {
+            // Clamp bucket regressions to an empty delta instead of
+            // letting the subtraction wrap: a perturbed pipeline can
+            // report fewer cumulative observations than the previous
+            // scrape (partial scrape, restarted exporter), and a wrapped
+            // uint64 would turn into an astronomically heavy bucket.
             for (std::size_t i = 0; i < delta.size(); ++i)
-                delta[i] -= prev_s->bucketCounts[i];
+                delta[i] -= std::min(delta[i], prev_s->bucketCounts[i]);
         }
     }
     return histogramQuantile(cur_s->boundaries, delta, q);
 }
 
 double
-ScrapedTelemetryView::serviceP95Ms(ServiceId service) const
+SnapshotTelemetryView::serviceP95Ms(ServiceId service) const
 {
     return histogramDeltaQuantile(
         "erms_request_latency_ms",
@@ -113,7 +126,7 @@ ScrapedTelemetryView::serviceP95Ms(ServiceId service) const
 }
 
 double
-ScrapedTelemetryView::microserviceTailMs(MicroserviceId ms) const
+SnapshotTelemetryView::microserviceTailMs(MicroserviceId ms) const
 {
     return histogramDeltaQuantile(
         "erms_ms_latency_ms",
@@ -121,7 +134,7 @@ ScrapedTelemetryView::microserviceTailMs(MicroserviceId ms) const
 }
 
 int
-ScrapedTelemetryView::containerCount(MicroserviceId ms) const
+SnapshotTelemetryView::containerCount(MicroserviceId ms) const
 {
     const TelemetrySnapshot *now = latest();
     if (now == nullptr)
@@ -134,7 +147,7 @@ ScrapedTelemetryView::containerCount(MicroserviceId ms) const
 }
 
 double
-ScrapedTelemetryView::stalenessMs(SimTime now) const
+SnapshotTelemetryView::stalenessMs(SimTime now) const
 {
     const TelemetrySnapshot *snap = latest();
     if (snap == nullptr)

@@ -13,6 +13,13 @@
  * value — keeps the original oracle reads (Simulation::observedRate,
  * clusterInterference, per-minute metrics), byte-identical to the
  * pre-telemetry code path.
+ *
+ * The query math lives in SnapshotTelemetryView, which answers every
+ * TelemetryView question from an abstract snapshot stream. Decorators
+ * that perturb the stream (FaultyTelemetryView in src/fault) reuse the
+ * exact same math over their own visibleSnapshots(), so an injected
+ * observability fault changes only what the controller *sees*, never
+ * how the seen data is interpreted.
  */
 
 #ifndef ERMS_TELEMETRY_VIEW_HPP
@@ -62,23 +69,35 @@ class TelemetryView
 bool oracleTelemetryRequested();
 
 /**
- * TelemetryView over a SimMonitor's scrape history. Rates and interval
- * quantiles are computed from the difference between the two newest
- * snapshots (Prometheus `rate()`/`histogram_quantile()` over one
- * scrape window); gauges come from the newest snapshot alone.
+ * TelemetryView answered from a time-ascending snapshot stream. Rates
+ * and interval quantiles are computed from the difference between the
+ * two newest snapshots (Prometheus `rate()`/`histogram_quantile()` over
+ * one scrape window); gauges come from the newest snapshot alone.
+ *
+ * Robustness of the delta math (these situations cannot arise from a
+ * healthy SimMonitor, but a perturbed stream produces all of them):
+ *  - counter/bucket regressions between snapshots clamp to a zero
+ *    delta, the way Prometheus `rate()` treats counter resets;
+ *  - a snapshot pair with non-increasing timestamps yields rate 0;
+ *  - histogram series with missing or mismatched bucket layouts fall
+ *    back to the newest snapshot's cumulative counts.
  */
-class ScrapedTelemetryView : public TelemetryView
+class SnapshotTelemetryView : public TelemetryView
 {
   public:
-    /** The monitor must outlive the view. */
-    explicit ScrapedTelemetryView(const SimMonitor &monitor);
-
     double observedRate(ServiceId service) const override;
     Interference clusterInterference() const override;
     double serviceP95Ms(ServiceId service) const override;
     double microserviceTailMs(MicroserviceId ms) const override;
     int containerCount(MicroserviceId ms) const override;
     double stalenessMs(SimTime now) const override;
+
+  protected:
+    /** The snapshot stream queries are answered from (time-ascending;
+     *  may be empty). The reference must stay valid until the next
+     *  visibleSnapshots() call. */
+    virtual const std::vector<TelemetrySnapshot> &visibleSnapshots()
+        const = 0;
 
   private:
     /** Newest snapshot, or nullptr before the first scrape. */
@@ -88,7 +107,25 @@ class ScrapedTelemetryView : public TelemetryView
 
     double histogramDeltaQuantile(const std::string &name,
                                   const Labels &labels, double q) const;
+};
 
+/**
+ * TelemetryView over a SimMonitor's scrape history: the undisturbed
+ * observability pipeline (every scrape lands, on time, unmodified).
+ */
+class ScrapedTelemetryView : public SnapshotTelemetryView
+{
+  public:
+    /** The monitor must outlive the view. */
+    explicit ScrapedTelemetryView(const SimMonitor &monitor);
+
+  protected:
+    const std::vector<TelemetrySnapshot> &visibleSnapshots() const override
+    {
+        return monitor_->snapshots();
+    }
+
+  private:
     const SimMonitor *monitor_;
 };
 

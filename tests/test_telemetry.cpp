@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 
 #include "apps/applications.hpp"
@@ -122,6 +124,36 @@ TEST(TelemetryHistogram, QuantileEdgeCases)
     EXPECT_DOUBLE_EQ(h.quantile(0.95), 2.0);
 }
 
+TEST(TelemetryHistogram, NonFiniteObservationsCannotPoisonTheSum)
+{
+    Histogram h({1.0, 2.0});
+    h.observe(std::numeric_limits<double>::quiet_NaN());
+    h.observe(std::numeric_limits<double>::infinity());
+    h.observe(-std::numeric_limits<double>::infinity());
+    h.observe(0.5);
+    // Corrupt observations count in the +inf overflow bucket (NaN would
+    // otherwise land in the *smallest* bucket via lower_bound) and are
+    // excluded from the cumulative sum, which one NaN poisons forever.
+    EXPECT_EQ(h.count(), 4u);
+    const auto counts = h.bucketCounts();
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[2], 3u);
+    EXPECT_TRUE(std::isfinite(h.sum()));
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+    EXPECT_TRUE(std::isfinite(h.quantile(0.95)));
+}
+
+TEST(TelemetryHistogram, QuantileGuardsDegenerateInputs)
+{
+    // Empty bucket ladders and non-finite ranks answer "no estimate"
+    // instead of reading boundaries.back() of nothing.
+    EXPECT_EQ(telemetry::histogramQuantile({}, {5}, 0.95), 0.0);
+    EXPECT_EQ(telemetry::histogramQuantile(
+                  {1.0}, {1, 0},
+                  std::numeric_limits<double>::quiet_NaN()),
+              0.0);
+}
+
 TEST(TelemetryHistogram, MergeAddsBucketCountsExactly)
 {
     Histogram a({1.0, 2.0});
@@ -161,6 +193,19 @@ TEST(TelemetryRegistry, RegistrationIsIdempotentAndSnapshotOrdered)
               (Labels{{"svc", "0"}}));
     EXPECT_EQ(snap.series[3].labels,
               (Labels{{"svc", "1"}}));
+}
+
+TEST(TelemetryRegistry, SnapshotEqualityIsNaNAware)
+{
+    telemetry::SeriesSnapshot a;
+    a.kind = MetricKind::Gauge;
+    a.gaugeValue = std::numeric_limits<double>::quiet_NaN();
+    telemetry::SeriesSnapshot b = a;
+    // Bit-pattern equality: identical NaNs compare equal, so exporter
+    // round-trip checks stay meaningful on non-finite captures.
+    EXPECT_TRUE(a == b);
+    b.gaugeValue = 1.0;
+    EXPECT_FALSE(a == b);
 }
 
 TEST(TelemetryRegistry, SnapshotFreezesValues)
@@ -252,6 +297,59 @@ TEST(TelemetryExporters, EmptyDocuments)
 {
     EXPECT_TRUE(telemetry::fromCsv(telemetry::toCsv({})).empty());
     EXPECT_TRUE(telemetry::fromJson(telemetry::toJson({})).empty());
+}
+
+TEST(TelemetryExporters, NonFiniteValuesRoundTripExactly)
+{
+    std::vector<TelemetrySnapshot> snaps(1);
+    snaps[0].at = 42;
+    telemetry::SeriesSnapshot nan_gauge;
+    nan_gauge.name = "g_nan";
+    nan_gauge.kind = MetricKind::Gauge;
+    nan_gauge.gaugeValue = std::numeric_limits<double>::quiet_NaN();
+    telemetry::SeriesSnapshot inf_gauge;
+    inf_gauge.name = "g_inf";
+    inf_gauge.kind = MetricKind::Gauge;
+    inf_gauge.gaugeValue = std::numeric_limits<double>::infinity();
+    telemetry::SeriesSnapshot hist;
+    hist.name = "h";
+    hist.kind = MetricKind::Histogram;
+    hist.count = 2;
+    hist.sum = -std::numeric_limits<double>::infinity();
+    hist.boundaries = {1.0, 2.0};
+    hist.bucketCounts = {1, 1, 0};
+    snaps[0].series = {nan_gauge, inf_gauge, hist};
+
+    const auto via_csv = telemetry::fromCsv(telemetry::toCsv(snaps));
+    const auto via_json = telemetry::fromJson(telemetry::toJson(snaps));
+    ASSERT_EQ(via_csv.size(), 1u);
+    ASSERT_EQ(via_json.size(), 1u);
+    EXPECT_TRUE(via_csv[0] == snaps[0]);
+    EXPECT_TRUE(via_json[0] == snaps[0]);
+    // The spellings are the explicit Python-json-style tokens, not
+    // whatever printf produces for a NaN on this libc.
+    EXPECT_NE(telemetry::toJson(snaps).find("NaN"), std::string::npos);
+    EXPECT_NE(telemetry::toJson(snaps).find("-Infinity"),
+              std::string::npos);
+}
+
+TEST(TelemetryExporters, EmptySnapshotSurvivesRoundTrip)
+{
+    // A scrape that captured zero series must not vanish from the
+    // stream: CSV writes a marker row, JSON an empty series array.
+    std::vector<TelemetrySnapshot> snaps(2);
+    snaps[0].at = 7;
+    snaps[1] = makeExportFixture()[0];
+    snaps[1].at = 99;
+
+    const auto via_csv = telemetry::fromCsv(telemetry::toCsv(snaps));
+    const auto via_json = telemetry::fromJson(telemetry::toJson(snaps));
+    ASSERT_EQ(via_csv.size(), 2u);
+    ASSERT_EQ(via_json.size(), 2u);
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        EXPECT_TRUE(via_csv[i] == snaps[i]) << "csv snapshot " << i;
+        EXPECT_TRUE(via_json[i] == snaps[i]) << "json snapshot " << i;
+    }
 }
 
 // ---------------------------------------------------------------------

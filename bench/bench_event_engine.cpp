@@ -69,7 +69,8 @@ main(int argc, char **argv)
         argc > 1 ? argv[1] : "BENCH_event_engine.json";
 
     constexpr std::uint64_t kRawEvents = 8'000'000;
-    constexpr int kSimMinutes = 3;
+    constexpr int kSimMinutes = 1;
+    constexpr int kSimScale = 8;
     constexpr int kReps = 5;
 
     std::fprintf(stderr, "raw queue: legacy engine...\n");
@@ -81,12 +82,34 @@ main(int argc, char **argv)
 
     std::fprintf(stderr, "simulation (largest config): legacy engine...\n");
     const EngineRun sim_legacy = bestOf(kReps, [] {
-        return runSimScenario(EventEngine::LegacyHeap, kSimMinutes);
+        return runSimScenario(EventEngine::LegacyHeap, kSimMinutes,
+                              kSimScale);
     });
     std::fprintf(stderr, "simulation (largest config): calendar engine...\n");
     const EngineRun sim_calendar = bestOf(kReps, [] {
-        return runSimScenario(EventEngine::Calendar, kSimMinutes);
+        return runSimScenario(EventEngine::Calendar, kSimMinutes,
+                              kSimScale);
     });
+
+    // Fairness gate: a speedup quoted over unequal event sets is
+    // meaningless. Both engines must process the identical workload.
+    bool fair = true;
+    if (raw_legacy.events != raw_calendar.events) {
+        std::fprintf(stderr,
+                     "FAIL: raw event counts diverge (legacy %llu, "
+                     "calendar %llu)\n",
+                     static_cast<unsigned long long>(raw_legacy.events),
+                     static_cast<unsigned long long>(raw_calendar.events));
+        fair = false;
+    }
+    if (sim_legacy.events != sim_calendar.events) {
+        std::fprintf(stderr,
+                     "FAIL: sim event counts diverge (legacy %llu, "
+                     "calendar %llu)\n",
+                     static_cast<unsigned long long>(sim_legacy.events),
+                     static_cast<unsigned long long>(sim_calendar.events));
+        fair = false;
+    }
 
     std::FILE *out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {
@@ -98,6 +121,7 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"raw_events_requested\": %llu,\n",
                  static_cast<unsigned long long>(kRawEvents));
     std::fprintf(out, "  \"sim_minutes\": %d,\n", kSimMinutes);
+    std::fprintf(out, "  \"sim_scale\": %d,\n", kSimScale);
     std::fprintf(out, "  \"reps\": %d,\n", kReps);
     writeSection(out, "raw_queue", raw_legacy, raw_calendar,
                  /*last=*/false);
@@ -117,5 +141,5 @@ main(int argc, char **argv)
                  sim_calendar.eventsPerSec() / 1e6,
                  sim_calendar.eventsPerSec() / sim_legacy.eventsPerSec(),
                  path.c_str());
-    return 0;
+    return fair ? 0 : 1;
 }

@@ -14,7 +14,22 @@ JOBS="${1:-2}"
 
 cmake -B build -S .
 cmake --build build -j"$JOBS" --target bench_event_engine
+# The benchmark itself exits nonzero when the two engines processed
+# different event sets; set -e stops the script right there.
 ./build/bench/bench_event_engine BENCH_event_engine.json
+
+# Belt-and-braces fairness gate on the written JSON: a speedup over
+# unequal legacy/calendar event counts must never land in the repo.
+python3 - BENCH_event_engine.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for section in ("raw_queue", "sim_largest"):
+    s = doc[section]
+    if s["legacy_events"] != s["calendar_events"]:
+        sys.exit(f"{section}: event counts diverge "
+                 f"(legacy {s['legacy_events']}, "
+                 f"calendar {s['calendar_events']})")
+EOF
 
 echo "== BENCH_event_engine.json =="
 cat BENCH_event_engine.json

@@ -50,11 +50,15 @@ UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_chaos
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
 
-echo "== tsan: parallel runner + event engine (build-tsan/) =="
+echo "== tsan: parallel runner + event engine + snapshot path (build-tsan/) =="
 cmake -B build-tsan -S . -DERMS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" \
     --target erms_tests_runner erms_tests_event_engine
 ./build-tsan/tests/erms_tests_runner
+# erms_tests_event_engine includes SnapshotThreads.*, which hammers the
+# double-buffered Simulation::clusterSnapshot() path from reader
+# threads while run() executes — the cross-thread surface the dispatch
+# refactor introduced.
 ./build-tsan/tests/erms_tests_event_engine
 
 echo "== runner determinism: golden tables with 1 worker vs default =="

@@ -9,6 +9,7 @@
 #ifndef ERMS_COMMON_RNG_HPP
 #define ERMS_COMMON_RNG_HPP
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +65,17 @@ class Rng
     /** Log-normal parameterized by the mean and coefficient of variation
      *  of the *resulting* distribution (not of the underlying normal). */
     double logNormalMeanCv(double mean, double cv);
+
+    /** Log-normal fast path for callers that draw repeatedly with a
+     *  fixed cv: sigma and half_sigma2 = sigma^2/2 are precomputed once
+     *  (sigma^2 = ln(1 + cv^2)), turning the per-draw cost into one exp
+     *  and one multiply. Consumes exactly one normal() draw, like
+     *  logNormalMeanCv. */
+    double
+    logNormalMeanSigma(double mean, double sigma, double half_sigma2)
+    {
+        return mean * std::exp(sigma * normal() - half_sigma2);
+    }
 
     /** Bernoulli draw with probability p of true. */
     bool bernoulli(double p);

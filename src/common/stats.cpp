@@ -91,14 +91,35 @@ SampleSet::quantile(double q) const
     ERMS_ASSERT(q >= 0.0 && q <= 1.0);
     if (samples_.empty())
         return 0.0;
-    ensureSorted();
     if (samples_.size() == 1)
         return samples_[0];
     const double pos = q * static_cast<double>(samples_.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);
     const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
     const double frac = pos - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    double vlo, vhi;
+    if (!sorted_ && samples_.size() >= kSelectThreshold) {
+        // One O(n) selection instead of an O(n log n) sort: the
+        // simulator's minute boundary queries a single quantile over a
+        // minute's worth of samples (millions at benchmark load), and
+        // full sorting there dominated the whole minute's bookkeeping.
+        // nth_element yields the exact lo-th order statistic, and the
+        // (lo+1)-th is the minimum of the upper partition, so the
+        // interpolated value is bit-identical to the sorted path.
+        std::nth_element(samples_.begin(),
+                         samples_.begin() + static_cast<std::ptrdiff_t>(lo),
+                         samples_.end());
+        vlo = samples_[lo];
+        vhi = hi == lo ? vlo
+                       : *std::min_element(samples_.begin() +
+                                               static_cast<std::ptrdiff_t>(lo + 1),
+                                           samples_.end());
+    } else {
+        ensureSorted();
+        vlo = samples_[lo];
+        vhi = samples_[hi];
+    }
+    return vlo * (1.0 - frac) + vhi * frac;
 }
 
 double

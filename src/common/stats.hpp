@@ -77,6 +77,10 @@ class SampleSet
     /**
      * Quantile in [0, 1] using linear interpolation between order
      * statistics. quantile(0.95) is the paper's P95.
+     *
+     * Large unsorted sets answer via an O(n) selection pass rather
+     * than a full sort; the value is bit-identical either way, but the
+     * buffer may be left partially reordered (see samples()).
      */
     double quantile(double q) const;
 
@@ -104,10 +108,18 @@ class SampleSet
      */
     std::vector<std::pair<double, double>> cdfSeries() const;
 
+    /** Raw sample buffer. Order is unspecified once any query has run
+     *  (queries may sort or partially reorder the buffer in place);
+     *  only the multiset of values is stable. */
     const std::vector<double> &samples() const { return samples_; }
     void clear();
 
   private:
+    /** Below this size a quantile query just sorts: repeated queries
+     *  on small (controller/test-sized) sets then hit the sorted fast
+     *  path instead of re-selecting each time. */
+    static constexpr std::size_t kSelectThreshold = 4096;
+
     void ensureSorted() const;
 
     mutable std::vector<double> samples_;

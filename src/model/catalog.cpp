@@ -14,24 +14,9 @@ MicroserviceCatalog::add(MicroserviceProfile profile)
 }
 
 void
-MicroserviceCatalog::checkId(MicroserviceId id) const
+MicroserviceCatalog::throwUnknownId(MicroserviceId id) const
 {
-    if (id >= profiles_.size())
-        throw ErmsError("unknown microservice id " + std::to_string(id));
-}
-
-const MicroserviceProfile &
-MicroserviceCatalog::profile(MicroserviceId id) const
-{
-    checkId(id);
-    return profiles_[id];
-}
-
-MicroserviceProfile &
-MicroserviceCatalog::profile(MicroserviceId id)
-{
-    checkId(id);
-    return profiles_[id];
+    throw ErmsError("unknown microservice id " + std::to_string(id));
 }
 
 const std::string &

@@ -28,8 +28,22 @@ class MicroserviceCatalog
 
     std::size_t size() const { return profiles_.size(); }
 
-    const MicroserviceProfile &profile(MicroserviceId id) const;
-    MicroserviceProfile &profile(MicroserviceId id);
+    // Inline: the simulator resolves a profile several times per
+    // dispatched event, so the lookup must compile down to a bounds
+    // check plus an index — not a cross-TU call.
+    const MicroserviceProfile &
+    profile(MicroserviceId id) const
+    {
+        checkId(id);
+        return profiles_[id];
+    }
+
+    MicroserviceProfile &
+    profile(MicroserviceId id)
+    {
+        checkId(id);
+        return profiles_[id];
+    }
 
     const std::string &name(MicroserviceId id) const;
 
@@ -46,7 +60,14 @@ class MicroserviceCatalog
     std::vector<MicroserviceId> ids() const;
 
   private:
-    void checkId(MicroserviceId id) const;
+    void
+    checkId(MicroserviceId id) const
+    {
+        if (id >= profiles_.size())
+            throwUnknownId(id);
+    }
+
+    [[noreturn]] void throwUnknownId(MicroserviceId id) const;
 
     std::vector<MicroserviceProfile> profiles_;
     std::unordered_map<MicroserviceId, PiecewiseLatencyModel> models_;

@@ -30,51 +30,6 @@ EventQueue::EventQueue(std::size_t bucket_count, SimTime bucket_width)
 }
 
 void
-EventQueue::post(SimTime t, EventRecord rec)
-{
-    ERMS_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-    rec.time = t;
-    rec.seq = next_seq_++;
-    ++pending_;
-
-    if (t < windowStart_) {
-        // The wheel advanced past t while hunting for a later event
-        // (e.g. the sim idled to a horizon, then scheduled from there).
-        // Rare by construction: park in the early heap, which always
-        // dispatches before the wheel (early times < windowStart_ <=
-        // every wheel/far time).
-        early_.push_back(rec);
-        std::push_heap(early_.begin(), early_.end(), Later{});
-        return;
-    }
-    if (t - windowStart_ >= span_) {
-        if (far_.empty() || t < farMin_)
-            farMin_ = t;
-        far_.push_back(rec);
-        return;
-    }
-    const std::size_t index =
-        static_cast<std::size_t>((t - windowStart_) / bucketWidth_);
-    if (index < cursor_) {
-        // Buckets before the cursor are empty (the cursor only advances
-        // past drained buckets), so reopening is just a rewind.
-        cursor_ = index;
-        activeHeapified_ = false;
-    }
-    std::vector<EventRecord> &bucket = buckets_[index];
-    bucket.push_back(rec);
-    if (index == cursor_ && activeHeapified_)
-        std::push_heap(bucket.begin(), bucket.end(), Later{});
-    ++wheelCount_;
-}
-
-void
-EventQueue::postAfter(SimTime delay, EventRecord rec)
-{
-    post(now_ + delay, rec);
-}
-
-void
 EventQueue::schedule(SimTime t, Callback cb)
 {
     std::uint32_t slot;
@@ -120,78 +75,6 @@ EventQueue::pourFar()
     }
     far_.resize(keep);
     farMin_ = keep_min;
-}
-
-bool
-EventQueue::peekTime(SimTime &t)
-{
-    if (!early_.empty()) {
-        t = early_.front().time;
-        return true;
-    }
-    if (pending_ == 0)
-        return false;
-    for (;;) {
-        if (wheelCount_ == 0) {
-            // Everything pending lives in the far list: jump the window
-            // straight to it instead of walking empty rotations.
-            windowStart_ = farMin_ - farMin_ % span_;
-            cursor_ = 0;
-            activeHeapified_ = false;
-            pourFar(); // farMin_ lands inside the new window
-            continue;
-        }
-        if (buckets_[cursor_].empty()) {
-            ++cursor_;
-            activeHeapified_ = false;
-            if (cursor_ == bucketCount_) {
-                windowStart_ += span_;
-                cursor_ = 0;
-                if (!far_.empty())
-                    pourFar();
-            }
-            continue;
-        }
-        std::vector<EventRecord> &bucket = buckets_[cursor_];
-        if (!activeHeapified_) {
-            std::make_heap(bucket.begin(), bucket.end(), Later{});
-            activeHeapified_ = true;
-        }
-        t = bucket.front().time;
-        return true;
-    }
-}
-
-EventRecord
-EventQueue::popTop()
-{
-    --pending_;
-    if (!early_.empty()) {
-        std::pop_heap(early_.begin(), early_.end(), Later{});
-        const EventRecord rec = early_.back();
-        early_.pop_back();
-        return rec;
-    }
-    std::vector<EventRecord> &bucket = buckets_[cursor_];
-    std::pop_heap(bucket.begin(), bucket.end(), Later{});
-    const EventRecord rec = bucket.back();
-    bucket.pop_back();
-    --wheelCount_;
-    return rec;
-}
-
-bool
-EventQueue::next(SimTime horizon, EventRecord &out)
-{
-    SimTime t;
-    if (!peekTime(t) || t > horizon) {
-        if (now_ < horizon)
-            now_ = horizon;
-        return false;
-    }
-    out = popTop();
-    now_ = t;
-    return true;
 }
 
 void

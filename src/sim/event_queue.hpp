@@ -6,7 +6,7 @@
  *
  * Design (see docs/event_engine.md):
  *  - Events are plain-old-data EventRecord values: a type tag plus two
- *    payload words and two payload pointers. Scheduling one copies 56
+ *    payload words and two payload pointers. Scheduling one copies 48
  *    bytes into a recycled bucket vector — no per-event heap
  *    allocation, no callable construction. The owner dispatches records
  *    through its own switch (Simulation::dispatchEvent).
@@ -16,10 +16,21 @@
  *  - Time ordering uses a calendar ("timing wheel") of power-of-two
  *    buckets over a sliding window, with a far list for events beyond
  *    the window and a tiny early heap for events scheduled behind an
- *    already-advanced window. Each bucket is heap-ordered by the strict
- *    total order (time, seq) when it becomes current, so dispatch order
- *    is exactly the order the old binary-heap engine produced — the
- *    determinism contract every golden table pins.
+ *    already-advanced window. When a bucket becomes current it is
+ *    sorted once (ascending) and consumed through a head index: spent
+ *    records stay in place as a stale prefix and the whole bucket is
+ *    discarded with one clear() when it drains. Events posted into the
+ *    already-sorted current bucket go to a small spill heap that
+ *    interleaves by (time, seq). Dispatch order is exactly the strict
+ *    total order (time, seq) the old binary-heap engine produced — the
+ *    determinism contract every golden table pins — but the
+ *    steady-state per-event cost is an index bump plus one comparison
+ *    instead of a heap sift.
+ *  - nextBatch() drains a maximal run of same-timestamp events in one
+ *    call so the owner can dispatch the whole run in one switch pass
+ *    without re-entering the queue's bookkeeping per event. Because
+ *    consumed records stay in the bucket, the common-case batch is a
+ *    zero-copy span over the sorted bucket itself.
  *
  * LegacyEventQueue (legacy_event_queue.hpp) is the pre-refactor binary
  * heap kept for differential tests and the perf trajectory.
@@ -28,10 +39,12 @@
 #ifndef ERMS_SIM_EVENT_QUEUE_HPP
 #define ERMS_SIM_EVENT_QUEUE_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace erms {
@@ -42,16 +55,45 @@ inline constexpr std::uint32_t kCallbackEvent = 0;
 /**
  * One scheduled event. POD: owners define their own type tags (> 0) and
  * payload conventions; the queue only reads/stamps time and seq.
+ *
+ * Packed to 48 bytes (b narrowed to 32 bits, which covers every id the
+ * simulator routes through it): the record is copied on post and moved
+ * during bucket sorts, so its size is hot-loop memory traffic.
  */
 struct EventRecord
 {
     SimTime time = 0;       ///< absolute dispatch time (stamped by post)
     std::uint64_t seq = 0;  ///< insertion order (stamped by post)
     std::uint64_t a = 0;    ///< payload word
-    std::uint64_t b = 0;    ///< payload word
     void *p1 = nullptr;     ///< payload pointer
     void *p2 = nullptr;     ///< payload pointer
+    std::uint32_t b = 0;    ///< payload word (ids are 32-bit)
     std::uint32_t type = kCallbackEvent;
+};
+
+static_assert(sizeof(EventRecord) == 48, "EventRecord is hot-loop "
+                                         "memory traffic; keep it packed");
+
+/**
+ * A run of ready events handed out by nextBatch(). Usually a zero-copy
+ * window into the queue's sorted active bucket; the span is valid until
+ * the next nextBatch()/next() call. Posting new events while a batch is
+ * live is safe and does not invalidate it (same-bucket posts are
+ * diverted to the spill heap, never appended to the sorted bucket).
+ *
+ * A batch may cover several timestamps, so the owner must call
+ * advanceTo(record.time) before dispatching each record, and after each
+ * dispatch ask interleavePending(next) whether a freshly posted event
+ * must run before the batch's next record — if so, hand the unconsumed
+ * tail back with returnTail() and re-enter nextBatch().
+ */
+struct EventBatch
+{
+    const EventRecord *data = nullptr;
+    std::size_t count = 0;
+
+    const EventRecord *begin() const { return data; }
+    const EventRecord *end() const { return data + count; }
 };
 
 /**
@@ -102,6 +144,57 @@ class EventQueue
      */
     bool next(SimTime horizon, EventRecord &out);
 
+    /**
+     * Take a run of ready events with times <= horizon (inclusive) as
+     * a span in exact (time, seq) order. In the common case the span
+     * is a zero-copy window over the sorted active bucket's whole
+     * unconsumed suffix (possibly many timestamps); with a live spill
+     * heap or early-heap events the run is the single earliest
+     * timestamp, merged into an internal scratch buffer. Either way
+     * the span stays valid until the next nextBatch()/next() call —
+     * posting during dispatch cannot touch it. The owner drives
+     * per-record time with advanceTo() and must honour
+     * interleavePending()/returnTail() between records (see
+     * EventBatch). On success advances now() to the first record's
+     * time and returns true; otherwise leaves events queued, advances
+     * now() to the horizon, and returns false with `out` empty.
+     */
+    bool nextBatch(SimTime horizon, EventBatch &out);
+
+    /** Advance now() to t (the next batch record's time). Must be
+     *  monotone; only valid for times handed out by nextBatch(). */
+    void advanceTo(SimTime t) { now_ = t; }
+
+    /**
+     * After dispatching one batch record: must a freshly posted event
+     * run before `next` (the batch's next record)? Only the spill heap
+     * can hold such an event — dispatch-time posts have t >= now(), so
+     * they cannot reach the early heap or an earlier bucket — and it
+     * interleaves only with a strictly smaller time (an equal-time
+     * post carries a higher seq and runs after the whole batch run of
+     * that timestamp).
+     */
+    bool
+    interleavePending(const EventRecord &next) const
+    {
+        return !spill_.empty() && spill_.front().time < next.time;
+    }
+
+    /**
+     * Hand the unconsumed tail of the current zero-copy batch back to
+     * the queue (records stay in place in the sorted bucket; this just
+     * rewinds the consumption bookkeeping). Only meaningful after
+     * interleavePending() returned true; scratch-merged batches never
+     * trigger it (they are single-timestamp).
+     */
+    void
+    returnTail(std::size_t count)
+    {
+        activeHead_ -= count;
+        pending_ += count;
+        wheelCount_ += count;
+    }
+
     /** Invoke and recycle a kCallbackEvent record returned by next().
      *  The slot is released before the callable runs, so a callback may
      *  schedule further callbacks (and reuse its own slot) safely. */
@@ -137,9 +230,21 @@ class EventQueue
         }
     };
 
+    struct Earlier
+    {
+        bool
+        operator()(const EventRecord &a, const EventRecord &b) const
+        {
+            if (a.time != b.time)
+                return a.time < b.time;
+            return a.seq < b.seq;
+        }
+    };
+
     /** Find the next event without popping: returns false when empty,
      *  else sets t to its time and leaves it at a known position
-     *  (early_ front, or the heapified cursor bucket's front). */
+     *  (early_ front, the sorted cursor bucket's head, or the spill
+     *  heap's front). */
     bool peekTime(SimTime &t);
 
     /** Pop the event found by the immediately preceding peekTime(). */
@@ -156,8 +261,26 @@ class EventQueue
     SimTime span_;          ///< bucketCount_ * bucketWidth_
     SimTime windowStart_ = 0;
     std::size_t cursor_ = 0;
-    bool activeHeapified_ = false;
-    std::size_t wheelCount_ = 0; ///< records currently in buckets
+    /** Current bucket sorted ascending; consumed entries are the
+     *  prefix [0, activeHead_), discarded in one clear() when the
+     *  bucket drains. Leaving consumed records in place is what makes
+     *  zero-copy batch spans possible. */
+    bool activeSorted_ = false;
+    /** First unconsumed entry of the current bucket. Nonzero only for
+     *  buckets_[cursor_], and only while activeSorted_. */
+    std::size_t activeHead_ = 0;
+    std::size_t wheelCount_ = 0; ///< records currently in buckets/spill
+
+    /** Merge buffer for nextBatch() runs that interleave spill/early
+     *  records (the zero-copy bucket window doesn't apply there). */
+    std::vector<EventRecord> scratchBatch_;
+
+    /** Events posted into the current bucket after it was sorted; a
+     *  min-heap on (time, seq) interleaved with the sorted bucket. Every
+     *  spill entry carries a higher seq than every sorted entry, so
+     *  equal-time ties always drain the sorted tail first — exactly
+     *  the order a single heap would produce. */
+    std::vector<EventRecord> spill_;
 
     // overflow levels ---------------------------------------------------
     std::vector<EventRecord> far_;   ///< time >= windowStart_ + span_
@@ -172,6 +295,248 @@ class EventQueue
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
 };
+
+// ---------------------------------------------------------------------
+// Hot path, defined inline: post/peek/pop run once (or more) per
+// simulated event, and the simulator's drain loop lives in another
+// translation unit — without these in the header every event pays
+// several opaque call boundaries. Cold paths (construction, callback
+// slots, pourFar) stay in event_queue.cpp.
+// ---------------------------------------------------------------------
+
+inline void
+EventQueue::post(SimTime t, EventRecord rec)
+{
+    ERMS_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    rec.time = t;
+    rec.seq = next_seq_++;
+    ++pending_;
+
+    if (t < windowStart_) {
+        // The wheel advanced past t while hunting for a later event
+        // (e.g. the sim idled to a horizon, then scheduled from there).
+        // Rare by construction: park in the early heap, which always
+        // dispatches before the wheel (early times < windowStart_ <=
+        // every wheel/far time).
+        early_.push_back(rec);
+        std::push_heap(early_.begin(), early_.end(), Later{});
+        return;
+    }
+    if (t - windowStart_ >= span_) {
+        if (far_.empty() || t < farMin_)
+            farMin_ = t;
+        far_.push_back(rec);
+        return;
+    }
+    const std::size_t index =
+        static_cast<std::size_t>((t - windowStart_) / bucketWidth_);
+    if (index < cursor_) {
+        // Buckets before the cursor are empty (the cursor only advances
+        // past drained buckets), so reopening is just a rewind. Drop
+        // the current bucket's consumed prefix and fold any spill back
+        // into it; it re-sorts as one unit when it becomes current
+        // again.
+        std::vector<EventRecord> &active = buckets_[cursor_];
+        if (activeHead_ > 0) {
+            active.erase(active.begin(),
+                         active.begin() +
+                             static_cast<std::ptrdiff_t>(activeHead_));
+            activeHead_ = 0;
+        }
+        if (!spill_.empty()) {
+            active.insert(active.end(), spill_.begin(), spill_.end());
+            spill_.clear();
+        }
+        cursor_ = index;
+        activeSorted_ = false;
+    }
+    if (index == cursor_ && activeSorted_) {
+        spill_.push_back(rec);
+        std::push_heap(spill_.begin(), spill_.end(), Later{});
+    } else {
+        buckets_[index].push_back(rec);
+    }
+    ++wheelCount_;
+}
+
+inline void
+EventQueue::postAfter(SimTime delay, EventRecord rec)
+{
+    post(now_ + delay, rec);
+}
+
+inline bool
+EventQueue::peekTime(SimTime &t)
+{
+    if (!early_.empty()) {
+        t = early_.front().time;
+        return true;
+    }
+    if (pending_ == 0)
+        return false;
+    for (;;) {
+        std::vector<EventRecord> &bucket = buckets_[cursor_];
+        if (activeHead_ == bucket.size() && spill_.empty()) {
+            // Bucket fully consumed (or plain empty): discard the stale
+            // prefix in one shot, then advance. The clear must happen
+            // before any cursor move or window jump so a later pour
+            // into this bucket can't resurrect consumed records.
+            bucket.clear();
+            activeHead_ = 0;
+            activeSorted_ = false;
+            if (wheelCount_ == 0) {
+                // Everything pending lives in the far list: jump the
+                // window straight to it instead of walking empty
+                // rotations.
+                windowStart_ = farMin_ - farMin_ % span_;
+                cursor_ = 0;
+                pourFar(); // farMin_ lands inside the new window
+                continue;
+            }
+            ++cursor_;
+            if (cursor_ == bucketCount_) {
+                windowStart_ += span_;
+                cursor_ = 0;
+                if (!far_.empty())
+                    pourFar();
+            }
+            continue;
+        }
+        if (!activeSorted_) {
+            // Sort ascending; consumption walks activeHead_ forward.
+            // The spill heap is necessarily empty here (it only fills
+            // after the sort and drains before the cursor moves on),
+            // and activeHead_ is 0 (nonzero only while sorted).
+            std::sort(bucket.begin(), bucket.end(), Earlier{});
+            activeSorted_ = true;
+        }
+        if (spill_.empty())
+            t = bucket[activeHead_].time;
+        else if (activeHead_ == bucket.size())
+            t = spill_.front().time;
+        else
+            t = std::min(bucket[activeHead_].time, spill_.front().time);
+        return true;
+    }
+}
+
+inline EventRecord
+EventQueue::popTop()
+{
+    --pending_;
+    if (!early_.empty()) {
+        std::pop_heap(early_.begin(), early_.end(), Later{});
+        const EventRecord rec = early_.back();
+        early_.pop_back();
+        return rec;
+    }
+    std::vector<EventRecord> &bucket = buckets_[cursor_];
+    --wheelCount_;
+    // Equal-time ties take the sorted bucket first: every spill entry
+    // was posted after the sort, so its seq is higher than any sorted
+    // entry's — exactly the single-heap order.
+    if (!spill_.empty() &&
+        (activeHead_ == bucket.size() ||
+         Later{}(bucket[activeHead_], spill_.front()))) {
+        std::pop_heap(spill_.begin(), spill_.end(), Later{});
+        const EventRecord rec = spill_.back();
+        spill_.pop_back();
+        return rec;
+    }
+    return bucket[activeHead_++];
+}
+
+inline bool
+EventQueue::next(SimTime horizon, EventRecord &out)
+{
+    SimTime t;
+    if (!peekTime(t) || t > horizon) {
+        if (now_ < horizon)
+            now_ = horizon;
+        return false;
+    }
+    out = popTop();
+    now_ = t;
+    return true;
+}
+
+inline bool
+EventQueue::nextBatch(SimTime horizon, EventBatch &out)
+{
+    SimTime t;
+    if (!peekTime(t) || t > horizon) {
+        if (now_ < horizon)
+            now_ = horizon;
+        out = EventBatch{};
+        return false;
+    }
+    now_ = t;
+    // peekTime() left the run's records at known positions, and no new
+    // records can arrive while we drain (dispatch happens after this
+    // returns), so the tail of the run is found with cheap time checks
+    // per event instead of re-running the peek loop.
+    if (!early_.empty()) {
+        // Early-heap run: wheel times are >= windowStart_ > t, so every
+        // same-time record lives in the early heap alone. Merged into
+        // scratch (rare by construction).
+        scratchBatch_.clear();
+        do {
+            --pending_;
+            std::pop_heap(early_.begin(), early_.end(), Later{});
+            scratchBatch_.push_back(early_.back());
+            early_.pop_back();
+        } while (!early_.empty() && early_.front().time == t);
+        out.data = scratchBatch_.data();
+        out.count = scratchBatch_.size();
+        return true;
+    }
+    // Wheel run: time t maps to exactly one bucket, so every same-time
+    // record is in the current (sorted) bucket or its spill heap.
+    std::vector<EventRecord> &bucket = buckets_[cursor_];
+    if (spill_.empty()) {
+        // Common case: hand out the bucket's whole unconsumed suffix
+        // up to the horizon, zero-copy — multiple timestamps in one
+        // span. Posts during dispatch go to the spill heap (the bucket
+        // is sorted), so the span survives until the next nextBatch()
+        // call; the owner's interleavePending() check decides when a
+        // spilled event forces an early re-entry.
+        std::size_t end = activeHead_ + 1;
+        while (end < bucket.size() && bucket[end].time <= horizon)
+            ++end;
+        const std::size_t n = end - activeHead_;
+        pending_ -= n;
+        wheelCount_ -= n;
+        out.data = bucket.data() + activeHead_;
+        out.count = n;
+        activeHead_ = end;
+        return true;
+    }
+    // Spill records interleave with the sorted window: merge the run
+    // into scratch. Equal-time ties drain the bucket first (spill seqs
+    // are strictly higher).
+    scratchBatch_.clear();
+    for (;;) {
+        --pending_;
+        --wheelCount_;
+        if (!spill_.empty() &&
+            (activeHead_ == bucket.size() ||
+             Later{}(bucket[activeHead_], spill_.front()))) {
+            std::pop_heap(spill_.begin(), spill_.end(), Later{});
+            scratchBatch_.push_back(spill_.back());
+            spill_.pop_back();
+        } else {
+            scratchBatch_.push_back(bucket[activeHead_++]);
+        }
+        const bool more = (activeHead_ < bucket.size() &&
+                           bucket[activeHead_].time == t) ||
+                          (!spill_.empty() && spill_.front().time == t);
+        if (!more)
+            break;
+    }
+    out.data = scratchBatch_.data();
+    out.count = scratchBatch_.size();
+    return true;
+}
 
 } // namespace erms
 

@@ -36,6 +36,20 @@ LegacyEventQueue::runUntil(SimTime horizon)
 }
 
 std::uint64_t
+LegacyEventQueue::runCount(std::uint64_t max_events)
+{
+    std::uint64_t dispatched = 0;
+    while (dispatched < max_events && !events_.empty()) {
+        Event event = std::move(const_cast<Event &>(events_.top()));
+        events_.pop();
+        now_ = event.time;
+        event.cb();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+std::uint64_t
 LegacyEventQueue::runAll()
 {
     std::uint64_t dispatched = 0;

@@ -56,6 +56,15 @@ class LegacyEventQueue
     /** Dispatch everything (no horizon). */
     std::uint64_t runAll();
 
+    /**
+     * Dispatch at most max_events in (time, seq) order, no horizon.
+     * Exists so benchmarks can drive both engines through *identical*
+     * event sets: runUntil's windowed horizon overshoots a target count
+     * by however many events share the final window.
+     * @return number of events dispatched (< max_events iff drained).
+     */
+    std::uint64_t runCount(std::uint64_t max_events);
+
   private:
     struct Event
     {

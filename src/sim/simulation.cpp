@@ -56,6 +56,11 @@ struct Simulation::HostState
     double cpuAllocated = 0.0; ///< sum of container CPU requests
     double memAllocated = 0.0; ///< sum of container memory requests
     double busyCores = 0.0;    ///< cores actively used by busy threads
+    /** Cached clamp(bgMem + memAllocated / memCapacity): memory
+     *  utilization only changes when containers are placed/removed or
+     *  background load is reset, so the division is paid per scale
+     *  event instead of per job start. Maintained by refreshMemUtil(). */
+    double memUtilCached = 0.0;
     double busyIntegral = 0.0; ///< core-usec within the current minute
     SimTime lastUpdate = 0;
     int containerCount = 0;
@@ -82,6 +87,9 @@ struct Simulation::CallContext
     RequestState *req = nullptr;
     MicroserviceId ms = kInvalidMicroservice;
     CallContext *parent = nullptr;
+    /** This node's stage list, resolved from stageFlat at creation so
+     *  fan-out and stage resumption skip the table walk. */
+    const std::vector<std::vector<DependencyGraph::Call>> *stages = nullptr;
     int stageIdx = -1;
     int pendingChildren = 0;
     SimTime clientSend = 0;
@@ -104,7 +112,13 @@ struct Simulation::ContainerState
     ContainerId id = 0;
     MicroserviceId ms = kInvalidMicroservice;
     HostId host = kInvalidHost;
+    /** Position in the owning deployment's slot vector (swap-and-pop
+     *  keeps it current; see eraseContainerSlot). */
+    std::size_t slot = 0;
     int threads = 1;
+    /** Cached cpuCores / threads: both operands are fixed at creation,
+     *  so startJob/finishJob skip the per-job division. */
+    double perThreadCores = 0.0;
     int busy = 0;
     bool draining = false;
     /** Killed by fault injection: in-flight results are discarded. */
@@ -117,6 +131,77 @@ struct Simulation::ContainerState
     std::size_t queuedTotal = 0;
     std::uint64_t callsThisMinute = 0;
 };
+
+/**
+ * One microservice's deployment: stable container pointers in
+ * swap-and-pop slot order. Scale-in is O(1) (no vector::erase shifting)
+ * at the cost of slot order diverging from insertion order — cold
+ * readers that the goldens pin to "deployment order" (FP accumulation
+ * at minute boundaries, eviction candidates, crash victims, views,
+ * backlog redistribution) re-sort by container id, which is assigned
+ * monotonically and therefore IS the insertion sequence.
+ */
+struct Simulation::Deployment
+{
+    std::vector<ContainerState *> slots;
+    /**
+     * Packed pick keys parallel to slots: (busy + queued) << 32 | id.
+     * Comparing keys is exactly the (load, id-tiebreak) least-loaded
+     * order, so the dispatch fast path scans one contiguous word per
+     * container instead of chasing every slot pointer. Maintained by
+     * refreshLoadKey() at every busy/queued mutation.
+     */
+    std::vector<std::uint64_t> loadKeys;
+    /** Slots the fast scan may not treat as universally eligible
+     *  (draining or dedicated to one service). */
+    int specials = 0;
+    /** Upper bound on every slot's readyAt (monotone under now()):
+     *  once now() passes it, no slot is still starting up. */
+    SimTime readyHorizon = 0;
+    /** Live (non-draining) containers across all partitions. */
+    int live = 0;
+    std::size_t rrCursor = 0;
+    /** A container existed here at least once (minute bookkeeping and
+     *  scrapes keep reporting a deployment after it scales to zero). */
+    bool everDeployed = false;
+    /** Log-normal parameters derived from the profile's serviceCv,
+     *  cached so the per-job service-time draw skips the log/sqrt
+     *  re-derivation. Revalidated against the live cv on every use, so
+     *  profiles may still be mutated mid-run. */
+    double cachedCv = -1.0;
+    double sigma = 0.0;
+    double halfSigma2 = 0.0;
+};
+
+/** Cold-path view of a deployment in insertion (container-id) order —
+ *  the pre-refactor vector order every order-sensitive reader expects. */
+std::vector<Simulation::ContainerState *>
+Simulation::insertionOrdered(const Deployment &dep)
+{
+    std::vector<ContainerState *> ordered(dep.slots);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const ContainerState *a, const ContainerState *b) {
+                  return a->id < b->id;
+              });
+    return ordered;
+}
+
+namespace {
+
+/** Sorted key list for deterministic unordered_map traversal. */
+template <typename Map>
+std::vector<typename Map::key_type>
+sortedKeys(const Map &map)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(map.size());
+    for (const auto &entry : map)
+        keys.push_back(entry.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
 
 struct Simulation::RequestState
 {
@@ -132,17 +217,47 @@ struct Simulation::RequestState
 
 struct Simulation::MinuteScratch
 {
-    std::unordered_map<MicroserviceId, SampleSet> msLatency;
-    std::unordered_map<ServiceId, std::uint64_t> arrivals;
-    // Stage layout cache: serviceIndex -> ms -> stages.
+    /**
+     * Dense per-microservice latency accumulators (index = catalog id).
+     * msTouched lists the ids with samples this minute, so the minute
+     * flush clears only those sets — clear() keeps each SampleSet's
+     * capacity, making the steady state allocation-free.
+     */
+    std::vector<SampleSet> msLatency;
+    std::vector<MicroserviceId> msTouched;
+    // Stage layout storage (node-based map: stable addresses) plus the
+    // flat index the hot fan-out path reads: stageFlat[serviceIndex][ms]
+    // points at that node's stage list.
     std::vector<std::unordered_map<
         MicroserviceId, std::vector<std::vector<DependencyGraph::Call>>>>
         stageCache;
+    std::vector<
+        std::vector<const std::vector<std::vector<DependencyGraph::Call>> *>>
+        stageFlat;
     // Context pools (freed wholesale on destruction).
     std::deque<CallContext> ctxStorage;
     std::vector<CallContext *> ctxFree;
     std::deque<RequestState> reqStorage;
     std::vector<RequestState *> reqFree;
+
+    SampleSet &
+    latencyFor(MicroserviceId ms)
+    {
+        if (static_cast<std::size_t>(ms) >= msLatency.size())
+            msLatency.resize(static_cast<std::size_t>(ms) + 1);
+        SampleSet &set = msLatency[ms];
+        if (set.empty())
+            msTouched.push_back(ms);
+        return set;
+    }
+
+    void
+    flushLatencies()
+    {
+        for (MicroserviceId ms : msTouched)
+            msLatency[ms].clear();
+        msTouched.clear();
+    }
 
     CallContext *
     acquireCtx()
@@ -157,7 +272,19 @@ struct Simulation::MinuteScratch
         return &ctxStorage.back();
     }
 
-    void releaseCtx(CallContext *ctx) { ctxFree.push_back(ctx); }
+    void
+    releaseCtx(CallContext *ctx)
+    {
+        // Double-release guard: a live context always has its request
+        // set (acquire's caller assigns it) and both attempt slots are
+        // retired before any release path runs. A stale queue entry that
+        // somehow re-released a pooled context would trip here.
+        ERMS_ASSERT_MSG(ctx->req != nullptr,
+                        "CallContext released twice");
+        ERMS_ASSERT(ctx->attempts[0].id == 0 && ctx->attempts[1].id == 0);
+        ctx->req = nullptr;
+        ctxFree.push_back(ctx);
+    }
 
     RequestState *
     acquireReq()
@@ -172,7 +299,13 @@ struct Simulation::MinuteScratch
         return &reqStorage.back();
     }
 
-    void releaseReq(RequestState *req) { reqFree.push_back(req); }
+    void
+    releaseReq(RequestState *req)
+    {
+        ERMS_ASSERT_MSG(req->id != 0, "RequestState released twice");
+        req->id = 0;
+        reqFree.push_back(req);
+    }
 };
 
 // ---------------------------------------------------------------------
@@ -187,13 +320,13 @@ Simulation::Simulation(const MicroserviceCatalog &catalog, SimConfig config)
     ERMS_ASSERT(config.hostCount > 0);
     ERMS_ASSERT(config.horizonMinutes > 0);
     ERMS_ASSERT(config.warmupMinutes >= 0);
-    hosts_.reserve(static_cast<std::size_t>(config.hostCount));
+    hosts_.resize(static_cast<std::size_t>(config.hostCount));
     for (int i = 0; i < config.hostCount; ++i) {
-        auto host = std::make_unique<HostState>();
-        host->id = static_cast<HostId>(i);
-        host->cpuCapacity = config.hostCpuCores;
-        host->memCapacity = config.hostMemMb;
-        hosts_.push_back(std::move(host));
+        HostState &host = hosts_[static_cast<std::size_t>(i)];
+        host.id = static_cast<HostId>(i);
+        host.cpuCapacity = config.hostCpuCores;
+        host.memCapacity = config.hostMemMb;
+        refreshMemUtil(host);
     }
     if (const char *env = std::getenv("ERMS_EVENT_ENGINE")) {
         setEventEngine(std::strcmp(env, "legacy") == 0
@@ -244,8 +377,9 @@ void
 Simulation::setBackgroundLoad(HostId host, double cpu_util, double mem_util)
 {
     ERMS_ASSERT(host < hosts_.size());
-    hosts_[host]->bgCpu = std::clamp(cpu_util, 0.0, 1.0);
-    hosts_[host]->bgMem = std::clamp(mem_util, 0.0, 1.0);
+    hosts_[host].bgCpu = std::clamp(cpu_util, 0.0, 1.0);
+    hosts_[host].bgMem = std::clamp(mem_util, 0.0, 1.0);
+    refreshMemUtil(hosts_[host]);
 }
 
 void
@@ -328,15 +462,29 @@ Simulation::addService(ServiceWorkload service)
                     "service added twice");
     serviceIndex_.emplace(service.id, services_.size());
 
-    // Cache each node's stage layout for fast fan-out.
+    // Cache each node's stage layout for fast fan-out. The map owns the
+    // storage (node-based, stable addresses); the flat per-id pointer
+    // table is what launchStage indexes per call.
     std::unordered_map<MicroserviceId,
                        std::vector<std::vector<DependencyGraph::Call>>>
         cache;
-    for (MicroserviceId id : service.graph->nodes())
+    MicroserviceId max_node = 0;
+    for (MicroserviceId id : service.graph->nodes()) {
         cache.emplace(id, service.graph->stages(id));
+        max_node = std::max(max_node, id);
+    }
+    std::vector<const std::vector<std::vector<DependencyGraph::Call>> *>
+        flat(static_cast<std::size_t>(max_node) + 1, nullptr);
+    for (const auto &[id, stages] : cache)
+        flat[id] = &stages;
     scratch_->stageCache.push_back(std::move(cache));
+    scratch_->stageFlat.push_back(std::move(flat));
 
     services_.push_back(std::move(service));
+    metricCache_.emplace_back();
+    arrivalsByIndex_.push_back(0);
+    lastMinuteArrivalsByIndex_.push_back(0);
+    rebuildRankTable();
 }
 
 // ---------------------------------------------------------------------
@@ -364,18 +512,24 @@ Simulation::hostCpuUtil(const HostState &host) const
     return std::clamp(util, 0.0, 1.0);
 }
 
+void
+Simulation::refreshMemUtil(HostState &host)
+{
+    host.memUtilCached = std::clamp(
+        host.bgMem + host.memAllocated / host.memCapacity, 0.0, 1.0);
+}
+
 double
 Simulation::hostMemUtil(const HostState &host) const
 {
-    return std::clamp(host.bgMem + host.memAllocated / host.memCapacity, 0.0,
-                      1.0);
+    return host.memUtilCached;
 }
 
 Interference
 Simulation::hostInterference(HostId host) const
 {
     ERMS_ASSERT(host < hosts_.size());
-    const HostState &h = *hosts_[host];
+    const HostState &h = hosts_[host];
     return Interference{hostCpuUtil(h), hostMemUtil(h)};
 }
 
@@ -383,9 +537,9 @@ Interference
 Simulation::clusterInterference() const
 {
     Interference avg;
-    for (const auto &host : hosts_) {
-        avg.cpuUtil += hostCpuUtil(*host);
-        avg.memUtil += hostMemUtil(*host);
+    for (const HostState &host : hosts_) {
+        avg.cpuUtil += hostCpuUtil(host);
+        avg.memUtil += hostMemUtil(host);
     }
     avg.cpuUtil /= static_cast<double>(hosts_.size());
     avg.memUtil /= static_cast<double>(hosts_.size());
@@ -397,17 +551,17 @@ Simulation::hostViews() const
 {
     std::vector<HostView> views;
     views.reserve(hosts_.size());
-    for (const auto &host : hosts_) {
+    for (const HostState &host : hosts_) {
         HostView view;
-        view.id = host->id;
-        view.cpuCapacityCores = host->cpuCapacity;
-        view.memCapacityMb = host->memCapacity;
-        view.cpuAllocatedCores = host->cpuAllocated;
-        view.memAllocatedMb = host->memAllocated;
-        view.backgroundCpuUtil = host->bgCpu;
-        view.backgroundMemUtil = host->bgMem;
-        view.cpuUtil = hostCpuUtil(*host);
-        view.memUtil = hostMemUtil(*host);
+        view.id = host.id;
+        view.cpuCapacityCores = host.cpuCapacity;
+        view.memCapacityMb = host.memCapacity;
+        view.cpuAllocatedCores = host.cpuAllocated;
+        view.memAllocatedMb = host.memAllocated;
+        view.backgroundCpuUtil = host.bgCpu;
+        view.backgroundMemUtil = host.bgMem;
+        view.cpuUtil = hostCpuUtil(host);
+        view.memUtil = hostMemUtil(host);
         views.push_back(view);
     }
     return views;
@@ -417,6 +571,68 @@ Simulation::hostViews() const
 // Deployment management
 // ---------------------------------------------------------------------
 
+Simulation::Deployment &
+Simulation::deploymentFor(MicroserviceId ms)
+{
+    if (static_cast<std::size_t>(ms) >= deployments_.size())
+        deployments_.resize(static_cast<std::size_t>(ms) + 1);
+    return deployments_[ms];
+}
+
+Simulation::ContainerState *
+Simulation::acquireContainer()
+{
+    if (!containerFree_.empty()) {
+        ContainerState *container = containerFree_.back();
+        containerFree_.pop_back();
+        *container = ContainerState{};
+        return container;
+    }
+    containerArena_.push_back(std::make_unique<ContainerState>());
+    return containerArena_.back().get();
+}
+
+inline void
+Simulation::refreshLoadKey(ContainerState &container)
+{
+    Deployment &dep = deployments_[container.ms];
+    dep.loadKeys[container.slot] =
+        ((static_cast<std::uint64_t>(container.busy) +
+          container.queuedTotal)
+         << 32) |
+        container.id;
+}
+
+inline void
+Simulation::markDraining(ContainerState &container)
+{
+    if (container.draining)
+        return;
+    container.draining = true;
+    // Dedicated slots are already counted special; don't double-count.
+    if (container.dedicatedService == kInvalidService)
+        ++deployments_[container.ms].specials;
+}
+
+void
+Simulation::eraseContainerSlot(ContainerState &victim)
+{
+    ERMS_ASSERT(victim.busy == 0 && victim.queuedTotal == 0);
+    Deployment &dep = deployments_[victim.ms];
+    auto &slots = dep.slots;
+    const std::size_t index = victim.slot;
+    ERMS_ASSERT(index < slots.size() && slots[index] == &victim);
+    slots[index] = slots.back();
+    slots[index]->slot = index;
+    slots.pop_back();
+    // Pick keys move with their slots.
+    dep.loadKeys[index] = dep.loadKeys.back();
+    dep.loadKeys.pop_back();
+    if (victim.draining || victim.dedicatedService != kInvalidService)
+        --dep.specials;
+    containerFree_.push_back(&victim);
+}
+
 Simulation::ContainerState *
 Simulation::addContainer(MicroserviceId ms, ServiceId dedicated)
 {
@@ -424,22 +640,32 @@ Simulation::addContainer(MicroserviceId ms, ServiceId dedicated)
     const std::size_t host_index = placement_->placeContainer(
         hostViews(), profile.resources.cpuCores, profile.resources.memoryMb);
     ERMS_ASSERT(host_index < hosts_.size());
-    HostState &host = *hosts_[host_index];
+    HostState &host = hosts_[host_index];
     host.cpuAllocated += profile.resources.cpuCores;
     host.memAllocated += profile.resources.memoryMb;
+    refreshMemUtil(host);
     ++host.containerCount;
 
-    auto container = std::make_unique<ContainerState>();
+    ContainerState *container = acquireContainer();
     container->id = nextContainer_++;
     container->ms = ms;
     container->host = host.id;
     container->threads = std::max(1, profile.threadsPerContainer);
+    container->perThreadCores =
+        profile.resources.cpuCores / container->threads;
     container->queues.resize(1);
     container->dedicatedService = dedicated;
     container->readyAt = now() + toSimTime(config_.containerStartupMs);
-    ContainerState *raw = container.get();
-    deployments_[ms].push_back(std::move(container));
-    return raw;
+    Deployment &dep = deploymentFor(ms);
+    container->slot = dep.slots.size();
+    dep.slots.push_back(container);
+    dep.loadKeys.push_back(container->id); // load 0
+    if (dedicated != kInvalidService)
+        ++dep.specials;
+    dep.readyHorizon = std::max(dep.readyHorizon, container->readyAt);
+    ++dep.live;
+    dep.everDeployed = true;
+    return container;
 }
 
 void
@@ -450,6 +676,7 @@ Simulation::reassignQueue(ContainerState &container)
             const QueuedJob job = queue.front();
             queue.pop_front();
             --container.queuedTotal;
+            refreshLoadKey(container);
             const int slot = slotOf(job.ctx, job.attempt);
             if (slot < 0)
                 continue; // stale entry (attempt already abandoned)
@@ -463,56 +690,57 @@ Simulation::reassignQueue(ContainerState &container)
 void
 Simulation::removeContainer(MicroserviceId ms, ServiceId dedicated)
 {
-    auto it = deployments_.find(ms);
-    ERMS_ASSERT_MSG(it != deployments_.end() && !it->second.empty(),
+    ERMS_ASSERT_MSG(static_cast<std::size_t>(ms) < deployments_.size() &&
+                        !deployments_[ms].slots.empty(),
                     "no container to remove");
-    auto &containers = it->second;
+    Deployment &dep = deployments_[ms];
 
-    // Candidates: non-draining containers of the requested pool.
+    // Candidates: non-draining containers of the requested pool, in
+    // insertion order (the eviction pick is an index into this list).
+    const std::vector<ContainerState *> ordered = insertionOrdered(dep);
     std::vector<std::size_t> candidate_hosts;
-    std::vector<std::size_t> candidate_indices;
-    for (std::size_t i = 0; i < containers.size(); ++i) {
-        if (!containers[i]->draining &&
-            containers[i]->dedicatedService == dedicated) {
-            candidate_hosts.push_back(containers[i]->host);
-            candidate_indices.push_back(i);
+    std::vector<ContainerState *> candidates;
+    for (ContainerState *container : ordered) {
+        if (!container->draining &&
+            container->dedicatedService == dedicated) {
+            candidate_hosts.push_back(container->host);
+            candidates.push_back(container);
         }
     }
-    if (candidate_indices.empty())
+    if (candidates.empty())
         return; // everything is already draining
 
     const MicroserviceProfile &profile = catalog_.profile(ms);
     const std::size_t pick = placement_->evictContainer(
         hostViews(), candidate_hosts, profile.resources.cpuCores,
         profile.resources.memoryMb);
-    ERMS_ASSERT(pick < candidate_indices.size());
-    const std::size_t index = candidate_indices[pick];
-    ContainerState &victim = *containers[index];
+    ERMS_ASSERT(pick < candidates.size());
+    ContainerState &victim = *candidates[pick];
 
     // Free host bookkeeping immediately (capacity is returned on drain
     // start; busy threads finish their current jobs).
-    HostState &host = *hosts_[victim.host];
+    HostState &host = hosts_[victim.host];
     host.cpuAllocated -= profile.resources.cpuCores;
     host.memAllocated -= profile.resources.memoryMb;
+    refreshMemUtil(host);
     --host.containerCount;
+    --dep.live;
 
     if (victim.busy == 0 && victim.queuedTotal == 0) {
-        containers.erase(containers.begin() +
-                         static_cast<std::ptrdiff_t>(index));
+        eraseContainerSlot(victim);
         return;
     }
-    victim.draining = true;
+    markDraining(victim);
     reassignQueue(victim);
 }
 
 int
 Simulation::countPool(MicroserviceId ms, ServiceId dedicated) const
 {
-    auto it = deployments_.find(ms);
-    if (it == deployments_.end())
+    if (static_cast<std::size_t>(ms) >= deployments_.size())
         return 0;
     int live = 0;
-    for (const auto &container : it->second) {
+    for (const ContainerState *container : deployments_[ms].slots) {
         if (!container->draining &&
             container->dedicatedService == dedicated)
             ++live;
@@ -527,11 +755,10 @@ Simulation::countPool(MicroserviceId ms, ServiceId dedicated) const
 void
 Simulation::redistributeBacklog(MicroserviceId ms)
 {
-    auto it = deployments_.find(ms);
-    if (it == deployments_.end())
+    if (static_cast<std::size_t>(ms) >= deployments_.size())
         return;
     std::vector<QueuedJob> backlog;
-    for (auto &container : it->second) {
+    for (ContainerState *container : insertionOrdered(deployments_[ms])) {
         for (auto &queue : container->queues) {
             while (!queue.empty()) {
                 backlog.push_back(queue.front());
@@ -539,6 +766,7 @@ Simulation::redistributeBacklog(MicroserviceId ms)
                 --container->queuedTotal;
             }
         }
+        refreshLoadKey(*container);
     }
     for (const QueuedJob &job : backlog) {
         const int slot = slotOf(job.ctx, job.attempt);
@@ -567,15 +795,9 @@ Simulation::setContainerCount(MicroserviceId ms, int count)
 int
 Simulation::containerCount(MicroserviceId ms) const
 {
-    auto it = deployments_.find(ms);
-    if (it == deployments_.end())
+    if (static_cast<std::size_t>(ms) >= deployments_.size())
         return 0;
-    int live = 0;
-    for (const auto &container : it->second) {
-        if (!container->draining)
-            ++live;
-    }
-    return live;
+    return deployments_[ms].live;
 }
 
 void
@@ -597,26 +819,30 @@ Simulation::setDedicatedContainerCount(MicroserviceId ms, ServiceId service,
 void
 Simulation::applyPlan(const GlobalPlan &plan)
 {
+    // Plan maps are unordered; apply in microservice-id order so the
+    // placement sequence (and with it every downstream draw) never
+    // depends on unspecified hash iteration order.
     if (plan.policy == SharingPolicy::NonSharing &&
         !plan.services.empty()) {
         // Faithful §2.3 non-sharing: a dedicated partition per service
         // at every microservice it uses, no shared pool.
         for (const auto &alloc : plan.services) {
-            for (const auto &[ms, ms_alloc] : alloc.perMicroservice) {
-                setDedicatedContainerCount(ms, alloc.service,
-                                           ms_alloc.containers);
+            for (MicroserviceId ms : sortedKeys(alloc.perMicroservice)) {
+                setDedicatedContainerCount(
+                    ms, alloc.service,
+                    alloc.perMicroservice.at(ms).containers);
             }
         }
-        for (const auto &[ms, count] : plan.containers)
+        for (MicroserviceId ms : sortedKeys(plan.containers))
             setContainerCount(ms, 0);
         clearPriorities();
         return;
     }
-    for (const auto &[ms, count] : plan.containers)
-        setContainerCount(ms, count);
+    for (MicroserviceId ms : sortedKeys(plan.containers))
+        setContainerCount(ms, plan.containers.at(ms));
     if (plan.policy == SharingPolicy::Priority) {
-        for (const auto &[ms, order] : plan.priorityOrder)
-            setPriorityOrder(ms, order);
+        for (MicroserviceId ms : sortedKeys(plan.priorityOrder))
+            setPriorityOrder(ms, plan.priorityOrder.at(ms));
     } else {
         clearPriorities();
     }
@@ -630,12 +856,14 @@ Simulation::setPriorityOrder(MicroserviceId ms,
     ranks.clear();
     for (std::size_t i = 0; i < order.size(); ++i)
         ranks[order[i]] = static_cast<int>(i);
+    rebuildRankTable();
 }
 
 void
 Simulation::clearPriorities()
 {
     priorityRanks_.clear();
+    rebuildRankTable();
 }
 
 int
@@ -650,15 +878,56 @@ Simulation::priorityRank(MicroserviceId ms, ServiceId service) const
     return rank_it->second;
 }
 
+// Project the configured priority orders onto a dense
+// [microservice][service-index] table so the per-enqueue rank lookup is
+// two array indexes instead of two hash probes.
+void
+Simulation::rebuildRankTable()
+{
+    anyPriorities_ = !priorityRanks_.empty();
+    rankTable_.clear();
+    if (!anyPriorities_)
+        return;
+    MicroserviceId max_ms = 0;
+    for (const auto &[ms, ranks] : priorityRanks_)
+        max_ms = std::max(max_ms, ms);
+    rankTable_.resize(static_cast<std::size_t>(max_ms) + 1);
+    for (const auto &[ms, ranks] : priorityRanks_) {
+        auto &row = rankTable_[ms];
+        row.resize(services_.size());
+        for (std::size_t i = 0; i < services_.size(); ++i)
+            row[i] = priorityRank(ms, services_[i].id);
+    }
+}
+
 Simulation::ContainerState *
 Simulation::pickContainer(MicroserviceId ms, ServiceId service)
 {
-    auto it = deployments_.find(ms);
-    if (it == deployments_.end() || containerCount(ms) == 0) {
+    if (static_cast<std::size_t>(ms) >= deployments_.size() ||
+        deployments_[ms].live == 0) {
         // Kubernetes keeps at least one replica; mirror that.
         return addContainer(ms);
     }
+    Deployment &dep = deployments_[ms];
     const SimTime t = now();
+
+    // Steady-state fast path (least-loaded only): no draining or
+    // dedicated slots and every startup window has passed, so all slots
+    // are eligible and the winner is simply the minimum packed
+    // (load, id) key — one contiguous word per container instead of a
+    // pointer chase through every ContainerState.
+    if (config_.dispatch != DispatchPolicy::RoundRobin &&
+        dep.specials == 0 && t >= dep.readyHorizon) {
+        const std::uint64_t *keys = dep.loadKeys.data();
+        const std::size_t n = dep.loadKeys.size();
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+            if (keys[i] < keys[best])
+                best = i;
+        }
+        return dep.slots[best];
+    }
+
     // A container is eligible if it is up, started, and either shared or
     // dedicated to this request's service.
     const auto eligible = [&](const ContainerState &container,
@@ -679,13 +948,12 @@ Simulation::pickContainer(MicroserviceId ms, ServiceId service)
             // falling through into the least-loaded scan. The cursor is
             // kept wrapped to the deployment size so it cannot grow
             // unbounded and self-rebases when the deployment shrinks.
-            auto &cursor = rrCursor_[ms];
-            const auto &containers = it->second;
-            cursor %= containers.size();
-            for (std::size_t probe = 0; probe < containers.size();
-                 ++probe) {
-                ContainerState *candidate = containers[cursor].get();
-                cursor = (cursor + 1) % containers.size();
+            std::size_t &cursor = dep.rrCursor;
+            const auto &slots = dep.slots;
+            cursor %= slots.size();
+            for (std::size_t probe = 0; probe < slots.size(); ++probe) {
+                ContainerState *candidate = slots[cursor];
+                cursor = (cursor + 1) % slots.size();
                 if (eligible(*candidate, allow_starting))
                     return candidate;
             }
@@ -693,14 +961,19 @@ Simulation::pickContainer(MicroserviceId ms, ServiceId service)
         }
         ContainerState *best = nullptr;
         std::size_t best_load = 0;
-        for (const auto &container : it->second) {
+        for (ContainerState *container : dep.slots) {
             if (!eligible(*container, allow_starting))
                 continue;
             const std::size_t load =
                 static_cast<std::size_t>(container->busy) +
                 container->queuedTotal;
-            if (best == nullptr || load < best_load) {
-                best = container.get();
+            // Tie-break on id: slots are swap-and-pop ordered, and ids
+            // are the insertion sequence, so min-(load, id) is exactly
+            // the pre-refactor "first lowest-load in deployment order"
+            // winner the goldens pin.
+            if (best == nullptr || load < best_load ||
+                (load == best_load && container->id < best->id)) {
+                best = container;
                 best_load = load;
             }
         }
@@ -760,7 +1033,7 @@ Simulation::startRequest(std::size_t service_index)
     req->telemetrySampled =
         monitor_ != nullptr && monitor_->sampleSpan(req->id);
     ++metrics_.requestsGenerated;
-    ++scratch_->arrivals[svc.id];
+    ++arrivalsByIndex_[service_index];
     if (monitor_ != nullptr)
         monitor_->onRequestArrival(svc.id);
 
@@ -768,6 +1041,7 @@ Simulation::startRequest(std::size_t service_index)
     root->req = req;
     root->ms = svc.graph->root();
     root->parent = nullptr;
+    root->stages = scratch_->stageFlat[service_index][root->ms];
     root->clientSend = now();
 
     issueCall(root);
@@ -812,12 +1086,21 @@ void
 Simulation::enqueueAttempt(ContainerState &container, CallContext *ctx,
                            std::uint64_t attempt)
 {
-    const int rank = priorityRank(ctx->ms, ctx->req->service);
+    // Dense rank lookup (rankTable_ mirrors priorityRank()): the common
+    // no-priorities case is a single flag test.
+    int rank = 0;
+    if (anyPriorities_ &&
+        static_cast<std::size_t>(ctx->ms) < rankTable_.size()) {
+        const auto &row = rankTable_[ctx->ms];
+        if (!row.empty())
+            rank = row[ctx->req->serviceIndex];
+    }
     if (static_cast<std::size_t>(rank) >= container.queues.size())
         container.queues.resize(static_cast<std::size_t>(rank) + 1);
     container.queues[static_cast<std::size_t>(rank)].push_back(
         QueuedJob{ctx, attempt});
     ++container.queuedTotal;
+    refreshLoadKey(container);
     const int slot = slotOf(ctx, attempt);
     ERMS_ASSERT(slot >= 0);
     ctx->attempts[slot].queued = true;
@@ -863,10 +1146,9 @@ Simulation::routeAttempt(CallContext *ctx, std::uint64_t attempt,
 void
 Simulation::onContainerReady(MicroserviceId ms, ContainerId id)
 {
-    auto dep = deployments_.find(ms);
-    if (dep == deployments_.end())
+    if (static_cast<std::size_t>(ms) >= deployments_.size())
         return;
-    for (const auto &candidate : dep->second) {
+    for (ContainerState *candidate : deployments_[ms].slots) {
         if (candidate->id != id)
             continue;
         while (candidate->busy < candidate->threads) {
@@ -884,11 +1166,10 @@ Simulation::startJob(ContainerState &container, CallContext *ctx,
                      std::uint64_t attempt)
 {
     const MicroserviceProfile &profile = catalog_.profile(container.ms);
-    HostState &host = *hosts_[container.host];
+    HostState &host = hosts_[container.host];
     ++container.busy;
-    const double per_thread_cores =
-        profile.resources.cpuCores / container.threads;
-    noteBusyChange(host, per_thread_cores);
+    refreshLoadKey(container);
+    noteBusyChange(host, container.perThreadCores);
 
     const double cpu = hostCpuUtil(host);
     const double mem = hostMemUtil(host);
@@ -898,8 +1179,21 @@ Simulation::startJob(ContainerState &container, CallContext *ctx,
     // Straggler window: every µs of work on this host takes longer.
     if (host.activeSlowdowns > 0)
         mean_ms *= faultConfig_.slowdownFactor;
-    const double proc_ms =
-        rng_.logNormalMeanCv(mean_ms, profile.serviceCv);
+    double proc_ms;
+    if (profile.serviceCv == 0.0) {
+        proc_ms = mean_ms;
+    } else {
+        Deployment &dep = deployments_[container.ms];
+        if (dep.cachedCv != profile.serviceCv) {
+            const double sigma2 =
+                std::log(1.0 + profile.serviceCv * profile.serviceCv);
+            dep.sigma = std::sqrt(sigma2);
+            dep.halfSigma2 = 0.5 * sigma2;
+            dep.cachedCv = profile.serviceCv;
+        }
+        proc_ms =
+            rng_.logNormalMeanSigma(mean_ms, dep.sigma, dep.halfSigma2);
+    }
     const SimTime proc = std::max<SimTime>(1, toSimTime(proc_ms));
     // Carry the container: ctx's attempt slots may be retargeted
     // before the job completes (timeout, hedge win), but the thread and
@@ -943,6 +1237,7 @@ Simulation::popQueuedJob(ContainerState &container)
         const QueuedJob job = container.queues[chosen].front();
         container.queues[chosen].pop_front();
         --container.queuedTotal;
+        refreshLoadKey(container);
         const int slot = slotOf(job.ctx, job.attempt);
         if (slot < 0)
             continue; // stale entry (abandoned attempt); drop it
@@ -956,13 +1251,12 @@ void
 Simulation::finishJob(CallContext *ctx, std::uint64_t attempt,
                       ContainerState *container)
 {
-    const MicroserviceProfile &profile = catalog_.profile(container->ms);
-    HostState &host = *hosts_[container->host];
+    HostState &host = hosts_[container->host];
     --container->busy;
-    noteBusyChange(host,
-                   -profile.resources.cpuCores / container->threads);
+    refreshLoadKey(*container);
+    noteBusyChange(host, -container->perThreadCores);
 
-    // Read fault state before the container can be erased below.
+    // Read fault state before the container can be recycled below.
     const bool crashed = container->crashed;
 
     // Give the freed thread to the next queued job (delta-priority rule).
@@ -971,16 +1265,9 @@ Simulation::finishJob(CallContext *ctx, std::uint64_t attempt,
         startJob(*container, next.ctx, next.attempt);
     } else if (container->draining && container->busy == 0 &&
                container->queuedTotal == 0) {
-        auto &containers = deployments_[container->ms];
-        for (std::size_t i = 0; i < containers.size(); ++i) {
-            if (containers[i].get() == container) {
-                containers.erase(containers.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-                break;
-            }
-        }
+        eraseContainerSlot(*container);
     }
-    // `container` may be dangling from here on.
+    // `container` may be recycled from here on; don't touch it.
 
     const int slot = slotOf(ctx, attempt);
     if (slot < 0)
@@ -1012,7 +1299,7 @@ Simulation::deliverCall(CallContext *ctx, int slot)
     // transmission (§2.2 includes transmission in L_i).
     const double own_ms =
         toMillis(ctx->procDone - ctx->receiveTime) + profile.networkMs;
-    scratch_->msLatency[ctx->ms].add(own_ms);
+    scratch_->latencyFor(ctx->ms).add(own_ms);
     if (monitor_ != nullptr)
         monitor_->onMicroserviceLatency(ctx->ms, own_ms,
                                         ctx->req->telemetrySampled);
@@ -1031,8 +1318,8 @@ Simulation::deliverCall(CallContext *ctx, int slot)
 void
 Simulation::launchStage(CallContext *ctx)
 {
-    const auto &stages =
-        scratch_->stageCache[ctx->req->serviceIndex].at(ctx->ms);
+    const auto &stages = *ctx->stages;
+    const auto &flat = scratch_->stageFlat[ctx->req->serviceIndex];
 
     while (static_cast<std::size_t>(ctx->stageIdx) < stages.size()) {
         const auto &stage = stages[static_cast<std::size_t>(ctx->stageIdx)];
@@ -1048,6 +1335,7 @@ Simulation::launchStage(CallContext *ctx)
                 child->req = ctx->req;
                 child->ms = call.callee;
                 child->parent = ctx;
+                child->stages = flat[call.callee];
                 child->clientSend = now();
                 ++launched;
                 issueCall(child);
@@ -1133,13 +1421,22 @@ Simulation::finishRequest(RequestState *req)
     const double latency_ms = toMillis(t - req->arrival);
     const std::uint64_t minute = t / kMinute;
 
+    // Lazily resolved pointers into the metrics maps: the maps keep
+    // their create-on-first-touch semantics (an unobserved service has
+    // no entry), but steady-state requests pay an array index instead
+    // of a hash probe per lookup.
+    ServiceMetricCache &cache = metricCache_[req->serviceIndex];
+
     if (req->failed) {
         // Failed requests violate their SLA by definition; they carry
         // no meaningful latency, so they are accounted separately (see
         // SimMetrics::sloViolationRate).
         ++metrics_.requestsFailed;
-        if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes))
-            ++metrics_.failedByService[req->service];
+        if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes)) {
+            if (cache.failed == nullptr)
+                cache.failed = &metrics_.failedByService[req->service];
+            ++*cache.failed;
+        }
         if (monitor_ != nullptr)
             monitor_->onRequestFailed(req->service);
         scratch_->releaseReq(req);
@@ -1147,9 +1444,14 @@ Simulation::finishRequest(RequestState *req)
     }
     ++metrics_.requestsCompleted;
 
-    metrics_.endToEndByMinute[req->service].add(minute, latency_ms);
-    if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes))
-        metrics_.endToEndMs[req->service].add(latency_ms);
+    if (cache.byMinute == nullptr)
+        cache.byMinute = &metrics_.endToEndByMinute[req->service];
+    cache.byMinute->add(minute, latency_ms);
+    if (minute >= static_cast<std::uint64_t>(config_.warmupMinutes)) {
+        if (cache.endToEnd == nullptr)
+            cache.endToEnd = &metrics_.endToEndMs[req->service];
+        cache.endToEnd->add(latency_ms);
+    }
     if (monitor_ != nullptr) {
         const double sla = services_[req->serviceIndex].slaMs;
         monitor_->onRequestComplete(req->service, latency_ms,
@@ -1187,6 +1489,7 @@ Simulation::dequeueAttempt(CallContext *ctx, int slot)
             if (it->ctx == ctx && it->attempt == attempt.id) {
                 queue.erase(it);
                 --attempt.container->queuedTotal;
+                refreshLoadKey(*attempt.container);
                 attempt.queued = false;
                 return;
             }
@@ -1283,19 +1586,14 @@ Simulation::failAttempt(CallContext *ctx, std::uint64_t attempt,
 void
 Simulation::onCrashEvent(std::uint64_t victim_draw)
 {
-    // Deterministic victim order: microservice id, then deployment
-    // order (unordered_map iteration order is unspecified).
-    std::vector<MicroserviceId> ids;
-    ids.reserve(deployments_.size());
-    for (const auto &[ms, containers] : deployments_)
-        ids.push_back(ms);
-    std::sort(ids.begin(), ids.end());
-
+    // Deterministic victim order: microservice id (the dense table is
+    // id-ascending by construction), then insertion order within each
+    // deployment.
     std::vector<ContainerState *> candidates;
-    for (MicroserviceId ms : ids) {
-        for (const auto &container : deployments_[ms]) {
+    for (const Deployment &dep : deployments_) {
+        for (ContainerState *container : insertionOrdered(dep)) {
             if (!container->draining)
-                candidates.push_back(container.get());
+                candidates.push_back(container);
         }
     }
     if (candidates.empty())
@@ -1311,16 +1609,18 @@ Simulation::crashContainer(ContainerState &victim)
     if (monitor_ != nullptr)
         monitor_->onContainerCrash(victim.ms);
     victim.crashed = true;
-    victim.draining = true;
+    markDraining(victim);
+    --deployments_[victim.ms].live;
 
     // Capacity is lost immediately: countPool()/containerCount() drop,
     // so controllers observe the loss and the ordinary scaling path
     // (applyPlan/setContainerCount) replaces the capacity on its next
     // pass even without auto-restart.
     const MicroserviceProfile &profile = catalog_.profile(victim.ms);
-    HostState &host = *hosts_[victim.host];
+    HostState &host = hosts_[victim.host];
     host.cpuAllocated -= profile.resources.cpuCores;
     host.memAllocated -= profile.resources.memoryMb;
+    refreshMemUtil(host);
     --host.containerCount;
 
     // Queued work fails over (resilience permitting).
@@ -1333,6 +1633,7 @@ Simulation::crashContainer(ContainerState &victim)
     for (auto &queue : victim.queues)
         queue.clear(); // drop stale leftovers, if any
     victim.queuedTotal = 0;
+    refreshLoadKey(victim);
 
     // Model the kubelet restarting the pod after a delay; the restart
     // then pays the usual containerStartupMs before accepting work.
@@ -1345,16 +1646,8 @@ Simulation::crashContainer(ContainerState &victim)
 
     // In-flight jobs keep their threads until completion; finishJob
     // discards their results and erases the container once drained.
-    if (victim.busy == 0) {
-        auto &containers = deployments_[victim.ms];
-        for (std::size_t i = 0; i < containers.size(); ++i) {
-            if (containers[i].get() == &victim) {
-                containers.erase(containers.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-                break;
-            }
-        }
-    }
+    if (victim.busy == 0)
+        eraseContainerSlot(victim);
 }
 
 void
@@ -1383,38 +1676,67 @@ Simulation::installFaultSchedule(SimTime horizon)
 // Telemetry scraping
 // ---------------------------------------------------------------------
 
-// Refresh the gauge series from live state and freeze all series into
-// a snapshot. Strictly read-only with respect to simulation state: no
-// RNG draws, no request events — attaching a monitor cannot change
-// what the simulation computes, only what observers get to see.
+// Fill the back buffer from live dispatch state and swap it to the
+// front. The only writer, and it runs on the simulation thread; readers
+// copy the front buffer under the mutex (clusterSnapshot), so the hot
+// structures themselves are never shared across threads.
+void
+Simulation::publishSnapshot()
+{
+    ClusterSnapshot &snap = snapBuffers_[1 - snapFront_];
+    snap.at = now();
+    snap.sequence = snapBuffers_[snapFront_].sequence + 1;
+    snap.hosts.clear();
+    for (const HostState &host : hosts_) {
+        snap.hosts.push_back(ClusterSnapshot::HostSample{
+            host.id, hostCpuUtil(host), hostMemUtil(host)});
+    }
+    snap.deployments.clear();
+    for (MicroserviceId ms = 0;
+         static_cast<std::size_t>(ms) < deployments_.size(); ++ms) {
+        const Deployment &dep = deployments_[ms];
+        if (!dep.everDeployed)
+            continue;
+        ClusterSnapshot::DeploymentSample sample;
+        sample.ms = ms;
+        for (const ContainerState *container : dep.slots) {
+            if (container->draining)
+                continue;
+            ++sample.live;
+            sample.busy += container->busy;
+            sample.queued += container->queuedTotal;
+        }
+        snap.deployments.push_back(sample);
+    }
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    snapFront_ = 1 - snapFront_;
+}
+
+ClusterSnapshot
+Simulation::clusterSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    return snapBuffers_[snapFront_];
+}
+
+// Freeze the gauge series into the monitor from the published snapshot
+// (never the live dispatch structures). Strictly read-only with respect
+// to simulation state: no RNG draws, no request events — attaching a
+// monitor cannot change what the simulation computes, only what
+// observers get to see.
 void
 Simulation::scrapeTelemetry()
 {
     ERMS_ASSERT(monitor_ != nullptr);
-    for (const auto &host : hosts_)
-        monitor_->recordHostUtil(host->id, hostCpuUtil(*host),
-                                 hostMemUtil(*host));
-
-    // Deterministic series order: microservice id ascending.
-    std::vector<MicroserviceId> ids;
-    ids.reserve(deployments_.size());
-    for (const auto &[ms, containers] : deployments_)
-        ids.push_back(ms);
-    std::sort(ids.begin(), ids.end());
-    for (MicroserviceId ms : ids) {
-        int live = 0;
-        int busy = 0;
-        std::size_t queued = 0;
-        for (const auto &container : deployments_[ms]) {
-            if (container->draining)
-                continue;
-            ++live;
-            busy += container->busy;
-            queued += container->queuedTotal;
-        }
-        monitor_->recordDeployment(ms, live, queued, busy);
-    }
-    monitor_->takeSnapshot(now());
+    publishSnapshot();
+    // Reading the front buffer without the lock is safe here: this is
+    // the writer thread, so no swap can happen concurrently.
+    const ClusterSnapshot &snap = snapBuffers_[snapFront_];
+    for (const ClusterSnapshot::HostSample &host : snap.hosts)
+        monitor_->recordHostUtil(host.id, host.cpuUtil, host.memUtil);
+    for (const ClusterSnapshot::DeploymentSample &dep : snap.deployments)
+        monitor_->recordDeployment(dep.ms, dep.live, dep.queued, dep.busy);
+    monitor_->takeSnapshot(snap.at);
 }
 
 void
@@ -1438,7 +1760,7 @@ Simulation::onMinuteBoundary()
     std::vector<double> host_cpu_avg(hosts_.size(), 0.0);
     std::vector<double> host_mem_avg(hosts_.size(), 0.0);
     for (std::size_t i = 0; i < hosts_.size(); ++i) {
-        HostState &host = *hosts_[i];
+        HostState &host = hosts_[i];
         noteBusyChange(host, 0.0); // flush integral to now
         const double avg_busy =
             host.busyIntegral / static_cast<double>(kMinute);
@@ -1448,12 +1770,21 @@ Simulation::onMinuteBoundary()
         host.busyIntegral = 0.0;
     }
 
-    // Emit profiling records d_i^j per microservice.
-    for (auto &[ms, deployment] : deployments_) {
+    // Emit profiling records d_i^j per microservice, id ascending —
+    // fixed, specified order (the old map traversal emitted records in
+    // unspecified hash order, which the goldens now pin away).
+    for (MicroserviceId ms = 0;
+         static_cast<std::size_t>(ms) < deployments_.size(); ++ms) {
+        Deployment &deployment = deployments_[ms];
+        if (!deployment.everDeployed)
+            continue;
         int live = 0;
         double cpu_sum = 0.0, mem_sum = 0.0;
         std::uint64_t calls = 0;
-        for (const auto &container : deployment) {
+        // Insertion order (id ascending) for the floating-point sums:
+        // swap-and-pop slots permute the raw vector, and FP addition is
+        // not associative, so the slot order must never leak in here.
+        for (ContainerState *container : insertionOrdered(deployment)) {
             if (container->draining)
                 continue;
             ++live;
@@ -1466,17 +1797,17 @@ Simulation::onMinuteBoundary()
         if (live == 0)
             continue;
 
-        auto latency_it = scratch_->msLatency.find(ms);
-        if (latency_it == scratch_->msLatency.end() ||
-            latency_it->second.empty())
+        if (static_cast<std::size_t>(ms) >= scratch_->msLatency.size() ||
+            scratch_->msLatency[ms].empty())
             continue;
+        SampleSet &latency = scratch_->msLatency[ms];
 
         ProfilingRecord record;
         record.microservice = ms;
         record.minute = minute;
-        record.tailLatencyMs = latency_it->second.p95();
-        record.meanLatencyMs = latency_it->second.mean();
-        record.sampleCount = latency_it->second.count();
+        record.tailLatencyMs = latency.p95();
+        record.meanLatencyMs = latency.mean();
+        record.sampleCount = latency.count();
         record.perContainerCalls =
             static_cast<double>(calls) / static_cast<double>(live);
         record.cpuUtil = cpu_sum / live;
@@ -1484,12 +1815,12 @@ Simulation::onMinuteBoundary()
         record.containers = live;
         metrics_.profiling.push_back(record);
     }
-    scratch_->msLatency.clear();
+    scratch_->flushLatencies();
 
-    lastMinuteArrivals_.clear();
-    for (const auto &[service, count] : scratch_->arrivals)
-        lastMinuteArrivals_[service] = count;
-    scratch_->arrivals.clear();
+    lastMinuteArrivalsByIndex_ = arrivalsByIndex_;
+    std::fill(arrivalsByIndex_.begin(), arrivalsByIndex_.end(), 0);
+
+    publishSnapshot();
 
     const int ended_minute = currentMinute_;
     ++currentMinute_;
@@ -1507,11 +1838,12 @@ std::vector<ContainerView>
 Simulation::containerViews(MicroserviceId ms) const
 {
     std::vector<ContainerView> views;
-    auto it = deployments_.find(ms);
-    if (it == deployments_.end())
+    if (static_cast<std::size_t>(ms) >= deployments_.size())
         return views;
-    views.reserve(it->second.size());
-    for (const auto &container : it->second) {
+    const Deployment &dep = deployments_[ms];
+    views.reserve(dep.slots.size());
+    // Insertion order (id ascending), matching the pre-slot-map API.
+    for (const ContainerState *container : insertionOrdered(dep)) {
         ContainerView view;
         view.id = container->id;
         view.host = container->host;
@@ -1530,17 +1862,18 @@ Simulation::containerViews(MicroserviceId ms) const
 std::size_t
 Simulation::roundRobinCursor(MicroserviceId ms) const
 {
-    auto it = rrCursor_.find(ms);
-    return it == rrCursor_.end() ? 0 : it->second;
+    return static_cast<std::size_t>(ms) < deployments_.size()
+               ? deployments_[ms].rrCursor
+               : 0;
 }
 
 double
 Simulation::observedRate(ServiceId service) const
 {
-    auto it = lastMinuteArrivals_.find(service);
-    if (it == lastMinuteArrivals_.end())
+    auto it = serviceIndex_.find(service);
+    if (it == serviceIndex_.end())
         return 0.0;
-    return static_cast<double>(it->second);
+    return static_cast<double>(lastMinuteArrivalsByIndex_[it->second]);
 }
 
 // The engine-hot path: one typed record in, one handler out. Keeping
@@ -1595,14 +1928,14 @@ Simulation::dispatchEvent(const EventRecord &event)
         break;
       case kEvSlowdownStart: {
         const HostId host = static_cast<HostId>(event.a);
-        ++hosts_[host]->activeSlowdowns;
+        ++hosts_[host].activeSlowdowns;
         ++metrics_.faults.slowdownWindows;
         if (monitor_ != nullptr)
             monitor_->onSlowdownWindow(host);
         break;
       }
       case kEvSlowdownEnd:
-        --hosts_[static_cast<HostId>(event.a)]->activeSlowdowns;
+        --hosts_[static_cast<HostId>(event.a)].activeSlowdowns;
         break;
       case kEvContainerRestart: {
         const MicroserviceId ms = static_cast<MicroserviceId>(event.a);
@@ -1653,15 +1986,38 @@ Simulation::run()
         scheduleScrape(interval, horizon);
     }
 
+    publishSnapshot();
+
     if (engine_ == EventEngine::LegacyHeap) {
         metrics_.eventsDispatched = legacy_->runUntil(horizon);
         return;
     }
+    // Drain bucket-sized runs in one pass: the queue hands back a span
+    // (usually zero-copy into its sorted bucket, covering many
+    // timestamps), so the per-event cost inside a run is the dispatch
+    // switch plus one clock store and one spill probe. Dispatch may
+    // post freely — same-bucket posts divert to the spill heap, so the
+    // span stays valid; when a spilled event must run before the
+    // span's next record, the unconsumed tail goes back to the queue
+    // and the loop re-enters. The resulting order is exactly what
+    // one-at-a-time next() would produce — the determinism contract
+    // the goldens pin.
     std::uint64_t dispatched = 0;
-    EventRecord event;
-    while (events_.next(horizon, event)) {
-        dispatchEvent(event);
-        ++dispatched;
+    EventBatch batch;
+    while (events_.nextBatch(horizon, batch)) {
+        std::size_t consumed = 0;
+        while (consumed < batch.count) {
+            const EventRecord &event = batch.data[consumed];
+            events_.advanceTo(event.time);
+            dispatchEvent(event);
+            ++consumed;
+            if (consumed < batch.count &&
+                events_.interleavePending(batch.data[consumed])) {
+                events_.returnTail(batch.count - consumed);
+                break;
+            }
+        }
+        dispatched += consumed;
     }
     metrics_.eventsDispatched = dispatched;
 }

@@ -34,6 +34,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -131,6 +132,38 @@ struct ContainerView
     bool crashed = false;
     /** Simulated time the container starts accepting work. */
     SimTime readyAt = 0;
+};
+
+/**
+ * Read-only cross-thread snapshot of hot-loop cluster state, published
+ * by the simulation thread at minute boundaries and telemetry scrapes
+ * through a double buffer. Observers (dashboards, controllers polling
+ * from other threads, the SimMonitor scrape path) read this instead of
+ * the live dispatch structures, so a scrape can never race the event
+ * loop.
+ */
+struct ClusterSnapshot
+{
+    struct HostSample
+    {
+        HostId id = kInvalidHost;
+        double cpuUtil = 0.0;
+        double memUtil = 0.0;
+    };
+    struct DeploymentSample
+    {
+        MicroserviceId ms = kInvalidMicroservice;
+        int live = 0;
+        int busy = 0;
+        std::uint64_t queued = 0;
+    };
+
+    SimTime at = 0;
+    /** Monotonic publish counter (0 = never published). */
+    std::uint64_t sequence = 0;
+    std::vector<HostSample> hosts;
+    /** Every microservice ever deployed, id ascending. */
+    std::vector<DeploymentSample> deployments;
 };
 
 /** The cluster simulator. */
@@ -263,9 +296,19 @@ class Simulation
      *  dispatch happened; 0 when untouched). Test/debug observability. */
     std::size_t roundRobinCursor(MicroserviceId ms) const;
 
+    /**
+     * Copy of the most recently published cluster snapshot. Thread-safe:
+     * may be called from any thread while run() executes — readers copy
+     * the front buffer under a mutex while the simulation thread fills
+     * the back buffer and swaps at publish points (minute boundaries and
+     * telemetry scrapes). sequence == 0 until the first publish.
+     */
+    ClusterSnapshot clusterSnapshot() const;
+
   private:
     struct HostState;
     struct ContainerState;
+    struct Deployment;
     struct RequestState;
     struct CallContext;
     struct QueuedJob;
@@ -294,6 +337,23 @@ class Simulation
     ContainerState *pickContainer(MicroserviceId ms, ServiceId service);
     void reassignQueue(ContainerState &container);
     void redistributeBacklog(MicroserviceId ms);
+    Deployment &deploymentFor(MicroserviceId ms);
+    static std::vector<ContainerState *>
+    insertionOrdered(const Deployment &dep);
+    ContainerState *acquireContainer();
+    /** Swap-and-pop the container out of its deployment's slot vector
+     *  (O(1) via the stored slot index) and recycle the object. */
+    void eraseContainerSlot(ContainerState &victim);
+    /** Re-pack the container's (load, id) pick key after any busy or
+     *  queued-count change (see Deployment::loadKeys). */
+    void refreshLoadKey(ContainerState &container);
+    /** Start draining: flips the flag and keeps the deployment's
+     *  special-slot count consistent for the dispatch fast path. */
+    void markDraining(ContainerState &container);
+    /** Recompute the host's cached memory utilization; called at every
+     *  memAllocated / bgMem / memCapacity mutation site. */
+    static void refreshMemUtil(HostState &host);
+    void rebuildRankTable();
 
     // request execution internals
     void scheduleArrival(std::size_t service_index);
@@ -335,6 +395,9 @@ class Simulation
     // telemetry internals
     void scheduleScrape(SimTime at, SimTime horizon);
     void scrapeTelemetry();
+    /** Fill the back snapshot buffer from live state and swap it to the
+     *  front (the only writer; runs on the simulation thread). */
+    void publishSnapshot();
 
     // time bookkeeping
     void onMinuteBoundary();
@@ -361,22 +424,55 @@ class Simulation
     telemetry::SimMonitor *monitor_ = nullptr;
     std::function<void(Simulation &, int)> minuteCallback_;
 
-    std::vector<std::unique_ptr<HostState>> hosts_;
-    std::unordered_map<MicroserviceId,
-                       std::vector<std::unique_ptr<ContainerState>>>
-        deployments_;
+    /** Dense host table, indexed by HostId. */
+    std::vector<HostState> hosts_;
+    /**
+     * Dense deployment table, indexed by MicroserviceId (catalog ids are
+     * sequential). Each deployment holds stable ContainerState pointers
+     * in swap-and-pop slot order; the objects live in containerArena_
+     * and are recycled through containerFree_, so in-flight events that
+     * captured a container pointer always dereference a live object.
+     */
+    std::vector<Deployment> deployments_;
+    std::vector<std::unique_ptr<ContainerState>> containerArena_;
+    std::vector<ContainerState *> containerFree_;
     std::vector<ServiceWorkload> services_;
     std::unordered_map<ServiceId, std::size_t> serviceIndex_;
     std::unordered_map<MicroserviceId,
                        std::unordered_map<ServiceId, int>>
         priorityRanks_;
+    /**
+     * Dense priority-rank table rebuilt from priorityRanks_ whenever the
+     * order or service set changes: rankTable_[ms][serviceIndex] is the
+     * queue class the hot enqueue path reads without hashing. Empty rows
+     * mean rank 0 (no order configured at that microservice).
+     */
+    std::vector<std::vector<int>> rankTable_;
+    bool anyPriorities_ = false;
 
-    std::unordered_map<MicroserviceId, std::size_t> rrCursor_;
     SimMetrics metrics_;
+    /** Lazy per-service pointers into metrics_ maps (node-based, so the
+     *  pointers are stable); resolved on first touch to preserve the
+     *  maps' lazy entry-creation semantics. Indexed by service index. */
+    struct ServiceMetricCache
+    {
+        SampleSet *endToEnd = nullptr;
+        WindowedSamples *byMinute = nullptr;
+        std::uint64_t *failed = nullptr;
+    };
+    std::vector<ServiceMetricCache> metricCache_;
+
     // per-minute scratch accumulators
     struct MinuteScratch;
     std::unique_ptr<MinuteScratch> scratch_;
-    std::unordered_map<ServiceId, std::uint64_t> lastMinuteArrivals_;
+    /** Dense per-service arrival counters (index = service index). */
+    std::vector<std::uint64_t> arrivalsByIndex_;
+    std::vector<std::uint64_t> lastMinuteArrivalsByIndex_;
+
+    // double-buffered observer snapshot (see clusterSnapshot())
+    ClusterSnapshot snapBuffers_[2];
+    int snapFront_ = 0;
+    mutable std::mutex snapMutex_;
 
     RequestId nextRequest_ = 1;
     ContainerId nextContainer_ = 1;

@@ -297,7 +297,7 @@ TEST(EventEngineTyped, RecordsRoundTripThroughNext)
 {
     EventQueue q;
     int anchor = 0;
-    q.post(5, EventRecord{.a = 11, .b = 22, .p1 = &anchor, .type = 7});
+    q.post(5, EventRecord{.a = 11, .p1 = &anchor, .b = 22, .type = 7});
     q.post(3, EventRecord{.a = 1, .type = 9});
     q.post(3, EventRecord{.a = 2, .type = 9}); // same time: FIFO
 

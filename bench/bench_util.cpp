@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/controllers.hpp"
+#include "shard/sharded_sim.hpp"
 
 namespace erms::bench {
 
@@ -105,6 +106,61 @@ ValidationResult::meanSloViolationRate() const
 
 namespace {
 
+/**
+ * Sharded-coordinator validation path, selected by ERMS_SHARDS: the
+ * same deployment sequence as validateImpl, executed across K shard
+ * simulations in minute lockstep with merged metrics. ERMS_SHARDS=1 is
+ * byte-identical to the unsharded path (the golden differential pins
+ * it); K > 1 changes the partition geometry and RNG streams, so it is
+ * a different — equally deterministic — experiment at larger scale.
+ */
+ValidationResult
+validateSharded(const MicroserviceCatalog &catalog,
+                const std::vector<ServiceSpec> &services,
+                const GlobalPlan &plan, const Interference &itf,
+                const FaultConfig *fault,
+                const ResilienceConfig *resilience, int horizon_minutes,
+                std::uint64_t seed, int shards)
+{
+    shard::ShardedSimConfig config;
+    config.base.horizonMinutes = horizon_minutes;
+    config.base.warmupMinutes = 1;
+    config.base.seed = seed;
+    config.shards = shards;
+    shard::ShardedSimulation sim(catalog, config);
+    sim.setBackgroundLoadAll(itf.cpuUtil, itf.memUtil);
+    for (const ServiceSpec &svc : services) {
+        ServiceWorkload workload;
+        workload.id = svc.id;
+        workload.graph = svc.graph;
+        workload.slaMs = svc.slaMs;
+        workload.rate = svc.workload;
+        sim.addService(workload);
+    }
+    sim.applyPlan(plan);
+    if (fault != nullptr) {
+        sim.setFaultConfig(*fault);
+        sim.setResilienceConfig(*resilience);
+        for (int k = 0; k < sim.shardCount(); ++k)
+            sim.setShardMinuteController(
+                k, makeCapacityRepairController(sim.shardLocalPlan(k)));
+    }
+    sim.run();
+
+    ValidationResult result;
+    for (const ServiceSpec &svc : services) {
+        result.p95Ms.push_back(sim.metrics().p95(svc.id));
+        result.violationRate.push_back(
+            sim.metrics().violationRate(svc.id, svc.slaMs));
+        result.sloViolationRate.push_back(
+            sim.metrics().sloViolationRate(svc.id, svc.slaMs));
+    }
+    result.requestsCompleted = sim.metrics().requestsCompleted;
+    result.requestsFailed = sim.metrics().requestsFailed;
+    result.faults = sim.metrics().faults;
+    return result;
+}
+
 ValidationResult
 validateImpl(const MicroserviceCatalog &catalog,
              const std::vector<ServiceSpec> &services, const GlobalPlan &plan,
@@ -112,6 +168,10 @@ validateImpl(const MicroserviceCatalog &catalog,
              const ResilienceConfig *resilience, int horizon_minutes,
              std::uint64_t seed)
 {
+    if (const int shards = shard::shardsRequested(); shards >= 1) {
+        return validateSharded(catalog, services, plan, itf, fault,
+                               resilience, horizon_minutes, seed, shards);
+    }
     SimConfig config;
     config.horizonMinutes = horizon_minutes;
     config.warmupMinutes = 1;

@@ -7,10 +7,13 @@
 # property suites, an UndefinedBehaviorSanitizer pass over the
 # numeric-heavy telemetry/guard/chaos paths (quantile interpolation,
 # counter deltas, NaN/Inf guards), a ThreadSanitizer pass over the
-# parallel runner and the event engine, and determinism passes (the
-# golden tables must come out identical with one worker vs the
-# hardware default, and under the legacy binary-heap event engine vs
-# the calendar engine).
+# parallel runner, the event engine, and the sharded coordinator's
+# merge path (concurrent shard controllers reading the merged
+# telemetry view), determinism passes (the golden tables must come out
+# identical with one worker vs the hardware default, under the legacy
+# binary-heap event engine vs the calendar engine, and through the
+# K=1 sharded coordinator vs the unsharded path), and the
+# documentation link-and-symbol checker.
 #
 # Usage: scripts/check.sh [jobs]   (default: 2)
 
@@ -53,13 +56,18 @@ UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_sim \
 echo "== tsan: parallel runner + event engine + snapshot path (build-tsan/) =="
 cmake -B build-tsan -S . -DERMS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" \
-    --target erms_tests_runner erms_tests_event_engine
+    --target erms_tests_runner erms_tests_event_engine erms_tests_shard
 ./build-tsan/tests/erms_tests_runner
 # erms_tests_event_engine includes SnapshotThreads.*, which hammers the
 # double-buffered Simulation::clusterSnapshot() path from reader
 # threads while run() executes — the cross-thread surface the dispatch
 # refactor introduced.
 ./build-tsan/tests/erms_tests_event_engine
+# The sharded coordinator's cross-thread surface: lockstep rounds run
+# shard resumes on runner workers while every shard's minute controller
+# reads the shared merged telemetry view.
+./build-tsan/tests/erms_tests_shard \
+    --gtest_filter='ShardCoordinator.*'
 
 echo "== runner determinism: golden tables with 1 worker vs default =="
 ERMS_RUNNER_THREADS=1 ./build/tests/erms_tests_golden
@@ -67,5 +75,11 @@ ERMS_RUNNER_THREADS=1 ./build/tests/erms_tests_golden
 
 echo "== event-engine determinism: golden tables on the legacy engine =="
 ERMS_EVENT_ENGINE=legacy ./build/tests/erms_tests_golden
+
+echo "== shard determinism: golden tables through the K=1 coordinator =="
+ERMS_SHARDS=1 ./build/tests/erms_tests_golden
+
+echo "== docs: link and symbol check =="
+scripts/check_docs.sh
 
 echo "== all checks passed =="

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Documentation link-and-symbol checker: every relative markdown link in
+# README.md and docs/ must resolve to a file in the repo, and every
+# backticked C++-looking symbol (Foo::bar, makeThing(), CamelCase type)
+# must still exist somewhere in the sources — so a refactor that renames
+# or deletes a symbol fails CI until the docs are swept too.
+#
+# Usage: scripts/check_docs.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import os, re, sys, subprocess
+
+DOCS = ["README.md"] + sorted(
+    os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md")
+)
+# Where a symbol must exist to be alive. Deliberately excludes docs/:
+# a symbol that survives only in prose is exactly the drift we hunt.
+SOURCE_DIRS = ["src", "tests", "bench", "scripts"]
+
+# Symbols that legitimately live outside the grep scope (standard
+# library, build system, external tools) or are illustrative pseudocode.
+ALLOW = {
+    # standard library / toolchain
+    "std::function", "std::unordered_map", "std::vector", "std::deque",
+    "std::priority_queue", "std::sort", "std::stable_sort", "std::thread",
+    "std::atomic", "std::shared_ptr", "std::unique_ptr", "std::string",
+    "cmake", "ctest", "gtest", "CMakeLists.txt",
+    # illustrative / generic names used in prose examples
+    "O(1)", "O(N)", "O(log N)",
+}
+
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+tick_re = re.compile(r"`([^`\n]+)`")
+# A backticked token worth checking: a C++ identifier path — contains ::
+# or a trailing (), or is CamelCase (an exported type name). Plain
+# lowercase words ("shard", "events") are prose, not symbols.
+symbol_re = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_~][A-Za-z0-9_]*)*(\(\))?$")
+
+def looks_like_symbol(token: str) -> bool:
+    if not symbol_re.match(token):
+        return False
+    if "::" in token or token.endswith("()"):
+        return True
+    # CamelCase type name: uppercase start, a lowercase-to-uppercase hump.
+    return bool(re.match(r"^[A-Z][a-z0-9]+[A-Z]", token))
+
+def symbol_exists(token: str, cache={}) -> bool:
+    if token in cache:
+        return cache[token]
+    needle = token[:-2] if token.endswith("()") else token
+    # Qualified names appear unqualified at their definition site: check
+    # the last path component too.
+    candidates = {needle, needle.split("::")[-1]}
+    found = False
+    for cand in candidates:
+        result = subprocess.run(
+            ["grep", "-rqF", cand] + SOURCE_DIRS, check=False)
+        if result.returncode == 0:
+            found = True
+            break
+    cache[token] = found
+    return found
+
+errors = []
+for doc in DOCS:
+    text = open(doc, encoding="utf-8").read()
+    base = os.path.dirname(doc)
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#")[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            errors.append(f"{doc}: broken link -> {target}")
+    for token in tick_re.findall(text):
+        token = token.strip()
+        if token in ALLOW or not looks_like_symbol(token):
+            continue
+        if token.startswith("std::"):
+            continue
+        if not symbol_exists(token):
+            errors.append(f"{doc}: dead symbol `{token}`")
+
+if errors:
+    print("\n".join(errors))
+    sys.exit(f"check_docs: {len(errors)} problem(s)")
+print(f"check_docs: {len(DOCS)} documents OK")
+EOF

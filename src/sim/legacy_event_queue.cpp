@@ -18,7 +18,7 @@ LegacyEventQueue::scheduleAfter(SimTime delay, Callback cb)
 }
 
 std::uint64_t
-LegacyEventQueue::runUntil(SimTime horizon)
+LegacyEventQueue::runUntil(SimTime horizon, const bool *stop)
 {
     std::uint64_t dispatched = 0;
     while (!events_.empty() && events_.top().time <= horizon) {
@@ -29,6 +29,8 @@ LegacyEventQueue::runUntil(SimTime horizon)
         now_ = event.time;
         event.cb();
         ++dispatched;
+        if (stop != nullptr && *stop)
+            return dispatched; // paused: leave now_ at the event time
     }
     if (now_ < horizon)
         now_ = horizon;

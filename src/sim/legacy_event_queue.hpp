@@ -49,9 +49,15 @@ class LegacyEventQueue
      * dispatched too if they fall within the horizon (inclusive: an
      * event scheduled exactly at the horizon during dispatch fires in
      * the same call). On return now() == max(now, horizon).
+     *
+     * When stop is non-null it is checked after every callback: if a
+     * callback sets *stop, dispatch halts immediately and now() stays
+     * at the last dispatched event's time (no bump to the horizon), so
+     * a later call resumes the identical (time, seq) order. Used by
+     * the sharded coordinator's minute-lockstep stepping (src/shard).
      * @return number of events dispatched.
      */
-    std::uint64_t runUntil(SimTime horizon);
+    std::uint64_t runUntil(SimTime horizon, const bool *stop = nullptr);
 
     /** Dispatch everything (no horizon). */
     std::uint64_t runAll();

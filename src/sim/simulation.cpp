@@ -1825,9 +1825,26 @@ Simulation::onMinuteBoundary()
     const int ended_minute = currentMinute_;
     ++currentMinute_;
 
+    if (coordinatedPause_) {
+        // Hand control back to the coordinator at exactly the callback
+        // point: the callback slot and the next boundary post run on
+        // resume (advanceToMinuteBoundary), after the coordinator had
+        // its turn — so coordinator mutations land at the same event-
+        // sequence position as an inline minute callback would.
+        pausedMinute_ = ended_minute;
+        pauseRequested_ = true;
+        return;
+    }
+
     if (minuteCallback_)
         minuteCallback_(*this, ended_minute);
 
+    postNextMinuteBoundary();
+}
+
+void
+Simulation::postNextMinuteBoundary()
+{
     if (currentMinute_ < config_.horizonMinutes) {
         post(static_cast<SimTime>(currentMinute_ + 1) * kMinute,
              EventRecord{.type = kEvMinuteBoundary});
@@ -1963,16 +1980,22 @@ Simulation::dispatchEvent(const EventRecord &event)
 }
 
 void
-Simulation::run()
+Simulation::setCoordinatedPause(bool on)
+{
+    ERMS_ASSERT_MSG(!ran_, "setCoordinatedPause must precede beginRun()");
+    coordinatedPause_ = on;
+}
+
+void
+Simulation::beginRun()
 {
     ERMS_ASSERT_MSG(!ran_, "Simulation::run may only be called once");
     ran_ = true;
 
-    const SimTime horizon =
-        static_cast<SimTime>(config_.horizonMinutes) * kMinute;
+    runHorizon_ = static_cast<SimTime>(config_.horizonMinutes) * kMinute;
     // Fault schedule first: with faults disabled this adds no events,
     // keeping the event sequence identical to a fault-free build.
-    installFaultSchedule(horizon);
+    installFaultSchedule(runHorizon_);
     for (std::size_t i = 0; i < services_.size(); ++i)
         scheduleArrival(i);
     post(kMinute, EventRecord{.type = kEvMinuteBoundary});
@@ -1983,15 +2006,15 @@ Simulation::run()
         scrapeTelemetry();
         const SimTime interval = std::max<SimTime>(
             1, toSimTime(monitor_->config().scrapeIntervalSec * 1000.0));
-        scheduleScrape(interval, horizon);
+        scheduleScrape(interval, runHorizon_);
     }
 
     publishSnapshot();
+}
 
-    if (engine_ == EventEngine::LegacyHeap) {
-        metrics_.eventsDispatched = legacy_->runUntil(horizon);
-        return;
-    }
+void
+Simulation::drainCalendar()
+{
     // Drain bucket-sized runs in one pass: the queue hands back a span
     // (usually zero-copy into its sorted bucket, covering many
     // timestamps), so the per-event cost inside a run is the dispatch
@@ -2004,13 +2027,22 @@ Simulation::run()
     // the goldens pin.
     std::uint64_t dispatched = 0;
     EventBatch batch;
-    while (events_.nextBatch(horizon, batch)) {
+    while (events_.nextBatch(runHorizon_, batch)) {
         std::size_t consumed = 0;
         while (consumed < batch.count) {
             const EventRecord &event = batch.data[consumed];
             events_.advanceTo(event.time);
             dispatchEvent(event);
             ++consumed;
+            if (pauseRequested_) {
+                // A minute boundary paused the run: hand the untouched
+                // tail back so resume re-enters at the exact next
+                // record — identical order to an uninterrupted drain.
+                if (consumed < batch.count)
+                    events_.returnTail(batch.count - consumed);
+                metrics_.eventsDispatched += dispatched + consumed;
+                return;
+            }
             if (consumed < batch.count &&
                 events_.interleavePending(batch.data[consumed])) {
                 events_.returnTail(batch.count - consumed);
@@ -2019,7 +2051,49 @@ Simulation::run()
         }
         dispatched += consumed;
     }
-    metrics_.eventsDispatched = dispatched;
+    metrics_.eventsDispatched += dispatched;
+}
+
+void
+Simulation::run()
+{
+    ERMS_ASSERT_MSG(!coordinatedPause_,
+                    "coordinated simulations step via advanceToMinuteBoundary");
+    beginRun();
+
+    if (engine_ == EventEngine::LegacyHeap) {
+        metrics_.eventsDispatched = legacy_->runUntil(runHorizon_);
+        return;
+    }
+    drainCalendar();
+}
+
+int
+Simulation::advanceToMinuteBoundary()
+{
+    ERMS_ASSERT_MSG(coordinatedPause_ && ran_,
+                    "advanceToMinuteBoundary requires setCoordinatedPause + "
+                    "beginRun");
+    if (pauseRequested_) {
+        // Resume: run the deferred callback slot for the minute that
+        // just ended, then post the next boundary — the exact sequence
+        // onMinuteBoundary performs inline in uncoordinated runs, so
+        // any events the callback posts get the same seq numbers.
+        pauseRequested_ = false;
+        const int ended_minute = pausedMinute_;
+        pausedMinute_ = -1;
+        if (minuteCallback_)
+            minuteCallback_(*this, ended_minute);
+        postNextMinuteBoundary();
+    }
+
+    if (engine_ == EventEngine::LegacyHeap) {
+        metrics_.eventsDispatched +=
+            legacy_->runUntil(runHorizon_, &pauseRequested_);
+    } else {
+        drainCalendar();
+    }
+    return pausedMinute_;
 }
 
 } // namespace erms

@@ -268,6 +268,41 @@ class Simulation
     /** Run the configured horizon. May be called once per Simulation. */
     void run();
 
+    // --- coordinated stepping (sharded execution, src/shard) ------------
+
+    /**
+     * Enable minute-pause mode (before beginRun()): instead of invoking
+     * the minute callback inline, the drain loop returns control to the
+     * caller at every minute boundary — after that minute's metrics
+     * flush and snapshot publish, but *before* the callback slot and the
+     * next boundary post. A shard coordinator uses the pause to merge
+     * cross-shard telemetry and run controllers at exactly the point in
+     * the event sequence where an inline callback would have run, so a
+     * single-shard coordinated run is byte-identical to run().
+     */
+    void setCoordinatedPause(bool on);
+
+    /**
+     * Setup phase of run(): installs the fault schedule, seeds arrivals,
+     * posts the first minute boundary and scrape, publishes the initial
+     * snapshot. Counts as the one permitted run() call.
+     */
+    void beginRun();
+
+    /**
+     * Advance the simulation to the next minute pause or to the horizon.
+     * If the simulation is currently paused, the paused minute is first
+     * finished (minute callback if installed, then the next boundary
+     * post) — any mutation the caller performed while paused lands at
+     * the exact event-sequence position of an inline minute callback.
+     * @return the ended minute index of the new pause, or -1 once the
+     *         horizon has been drained.
+     */
+    int advanceToMinuteBoundary();
+
+    /** Minute index the simulation is paused at; -1 when not paused. */
+    int pausedMinute() const { return pausedMinute_; }
+
     // --- observation -----------------------------------------------------
 
     const SimMetrics &metrics() const { return metrics_; }
@@ -401,6 +436,10 @@ class Simulation
 
     // time bookkeeping
     void onMinuteBoundary();
+    /** Post the boundary event for the next minute (if any remain). */
+    void postNextMinuteBoundary();
+    /** Drain the calendar engine until pause or horizon (see run()). */
+    void drainCalendar();
     void noteBusyChange(HostState &host, double delta_cores);
     double hostCpuUtil(const HostState &host) const;
     double hostMemUtil(const HostState &host) const;
@@ -478,6 +517,14 @@ class Simulation
     ContainerId nextContainer_ = 1;
     int currentMinute_ = 0;
     bool ran_ = false;
+
+    // coordinated stepping state (see setCoordinatedPause())
+    bool coordinatedPause_ = false;
+    /** Set by onMinuteBoundary() in coordinated mode; the drain loops
+     *  check it after each dispatched event and unwind. */
+    bool pauseRequested_ = false;
+    int pausedMinute_ = -1;
+    SimTime runHorizon_ = 0;
 };
 
 } // namespace erms

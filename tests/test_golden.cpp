@@ -107,5 +107,22 @@ TEST(EventEngineDifferential, LegacyEngineMatchesCalendarByteForByte)
     expectSame(calendar, legacy, "fig12 (legacy vs calendar engine)");
 }
 
+/**
+ * Sharded differential: ERMS_SHARDS=1 routes validation through the
+ * sharded coordinator (src/shard) with a single shard — coordinated
+ * minute stepping, merged metrics, the full lockstep machinery — which
+ * must reproduce the unsharded engine byte for byte. Any drift in the
+ * pause/resume event ordering or the metric merge shows up here.
+ */
+TEST(ShardedDifferential, SingleShardMatchesUnshardedByteForByte)
+{
+    unsetenv("ERMS_SHARDS");
+    const std::string direct = golden::fig12Golden();
+    setenv("ERMS_SHARDS", "1", 1);
+    const std::string sharded = golden::fig12Golden();
+    unsetenv("ERMS_SHARDS");
+    expectSame(direct, sharded, "fig12 (sharded K=1 vs unsharded)");
+}
+
 } // namespace
 } // namespace erms

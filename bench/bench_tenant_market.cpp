@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Multi-tenant resource-market bench (docs/market.md): four tenants,
+ * each an independent motivation-shared deployment on a phase-shifted
+ * diurnal workload, run the Erms autoscaler under per-tenant market
+ * caps (makeMarketController). Sweeps honest-vs-strategic tenant mixes
+ * against {no market, static max-min, Karma credits} and reports
+ * cluster utilization, long-term fairness (per-tenant useful-allocation
+ * integral against the all-honest baseline of the same scheme), welfare
+ * and per-tenant SLA attainment.
+ *
+ * The no-market row runs the unwrapped controller — byte-identical to
+ * the pre-market dynamic benches (the wrapper adds no RNG draws; pinned
+ * by the market byte-identity tests). The table is identical however
+ * many ERMS_RUNNER_THREADS execute the sweep.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/controllers.hpp"
+#include "market/market.hpp"
+#include "workload/generators.hpp"
+
+namespace erms {
+namespace {
+
+using bench::runSweep;
+using market::KarmaAllocator;
+using market::KarmaConfig;
+using market::MarketAllocator;
+using market::MaxMinAllocator;
+using market::TenantKind;
+using market::TenantMarket;
+using market::TenantPolicy;
+using market::Units;
+
+constexpr int kTenants = 4;
+constexpr int kMinutes = 24;
+constexpr int kWarmupMinutes = 1;
+constexpr double kSlaMs = 240.0;
+constexpr std::uint64_t kRateSeedBase = 0x6d6b7462ULL;
+constexpr std::uint64_t kSimSeed = 42;
+
+enum class Scheme
+{
+    Off,
+    MaxMin,
+    Karma,
+};
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+    case Scheme::Off:
+        return "off";
+    case Scheme::MaxMin:
+        return "max-min";
+    case Scheme::Karma:
+        return "karma";
+    }
+    return "?";
+}
+
+struct Mix
+{
+    std::string name;
+    std::vector<TenantKind> kinds;
+};
+
+std::vector<Mix>
+makeMixes()
+{
+    using enum TenantKind;
+    return {
+        {"all-honest", {Honest, Honest, Honest, Honest}},
+        {"1-greedy", {Greedy, Honest, Honest, Honest}},
+        {"2-greedy", {Greedy, Honest, Greedy, Honest}},
+        {"1-adaptive", {Adaptive, Honest, Honest, Honest}},
+    };
+}
+
+/** One tenant's diurnal rate series: all tenants share one shape at
+ *  staggered phases, so the aggregate stays near four mean rates while
+ *  individual tenants swing trough-to-peak. Seeds depend on the tenant
+ *  only, so every arm faces identical workloads. */
+std::vector<double>
+tenantSeries(int tenant)
+{
+    return phaseShiftedDiurnalSeries(
+        kMinutes, 3000.0, 9000.0, static_cast<double>(kMinutes),
+        tenant * (kMinutes / static_cast<double>(kTenants)), 0.05,
+        deriveRunSeed(kRateSeedBase, static_cast<std::uint64_t>(tenant)));
+}
+
+struct World
+{
+    MicroserviceCatalog catalog;
+    std::vector<Application> apps;
+    std::vector<ServiceSpec> services;
+    std::vector<std::vector<double>> series; // per tenant
+    std::vector<MarketTenantServices> tenants;
+    Units capacity = 0;
+};
+
+/** Per-arm results; per-tenant vectors are tenant-ordered. */
+struct ArmResult
+{
+    std::vector<std::int64_t> useful;
+    std::vector<std::int64_t> trueDemand;
+    std::vector<std::int64_t> allocated;
+    std::int64_t servable = 0;
+    std::int64_t idle = 0;
+    std::int64_t borrowed = 0;
+    std::int64_t containerMinutes = 0;
+    std::vector<double> slaAttainment;
+};
+
+std::unique_ptr<World>
+makeWorld()
+{
+    auto world = std::make_unique<World>();
+    for (int t = 0; t < kTenants; ++t) {
+        world->apps.push_back(
+            makeMotivationShared(world->catalog, 2 * t));
+        world->series.push_back(tenantSeries(t));
+    }
+    for (int t = 0; t < kTenants; ++t) {
+        const Application &app = world->apps[static_cast<std::size_t>(t)];
+        for (std::size_t i = 0; i < app.graphs.size(); ++i) {
+            ServiceSpec svc;
+            svc.id = app.graphs[i].service();
+            svc.name = app.serviceNames[i];
+            svc.graph = &app.graphs[i];
+            svc.slaMs = kSlaMs;
+            svc.workload =
+                world->series[static_cast<std::size_t>(t)].front() * 1.3;
+            world->services.push_back(svc);
+        }
+        MarketTenantServices tenant;
+        tenant.tenant = static_cast<market::TenantId>(t);
+        for (const auto &graph : app.graphs)
+            for (MicroserviceId id : graph.nodes())
+                if (std::find(tenant.microservices.begin(),
+                              tenant.microservices.end(),
+                              id) == tenant.microservices.end())
+                    tenant.microservices.push_back(id);
+        world->tenants.push_back(std::move(tenant));
+    }
+
+    // Cluster capacity: what Erms plans for every tenant at the mean
+    // rate, scaled up to the autoscaler's 1.2 workload headroom and
+    // trimmed by a small contention margin. Staggered phases keep the
+    // aggregate near the mean, so the market sits just below the
+    // cluster's steady wants — caps bind mostly around tenant peaks,
+    // where each tenant's demand exceeds its fair share.
+    auto sized = world->services;
+    for (ServiceSpec &svc : sized)
+        svc.workload = 6000.0;
+    ErmsController planner(world->catalog, {});
+    const GlobalPlan plan = planner.plan(sized, {0.25, 0.2});
+    Units total = 0;
+    for (const auto &[ms, count] : plan.containers)
+        total += count;
+    world->capacity = total * 5 / 4;
+    return world;
+}
+
+std::unique_ptr<MarketAllocator>
+makeAllocator(Scheme scheme, Units capacity)
+{
+    if (scheme == Scheme::MaxMin)
+        return std::make_unique<MaxMinAllocator>();
+    KarmaConfig config;
+    config.initialCredits = capacity / kTenants; // one epoch's fair share
+    return std::make_unique<KarmaAllocator>(kTenants, config);
+}
+
+ArmResult
+runArm(const World &world, Scheme scheme,
+       const std::vector<TenantKind> &kinds)
+{
+    SimConfig config;
+    config.horizonMinutes = kMinutes;
+    config.warmupMinutes = kWarmupMinutes;
+    config.seed = kSimSeed;
+    Simulation sim(world.catalog, config);
+    sim.setBackgroundLoadAll(0.25, 0.2);
+    for (std::size_t s = 0; s < world.services.size(); ++s) {
+        const ServiceSpec &svc = world.services[s];
+        ServiceWorkload workload;
+        workload.id = svc.id;
+        workload.graph = svc.graph;
+        workload.slaMs = svc.slaMs;
+        workload.rateSeries = world.series[s / 2];
+        sim.addService(workload);
+    }
+    ErmsController controller(world.catalog, {});
+    sim.applyPlan(controller.plan(world.services, {0.25, 0.2}));
+
+    // The inner controller records what it wanted to deploy before any
+    // market trim: those wants are the no-market trajectory and the
+    // true-demand accounting of the market arms.
+    std::vector<std::vector<std::int64_t>> wants; // [minute][tenant]
+    auto inner = controller.makeAutoscaler(world.services);
+    auto recorder = [&](Simulation &s, int minute) {
+        inner(s, minute);
+        wants.emplace_back();
+        for (const auto &tenant : world.tenants) {
+            std::int64_t total = 0;
+            for (MicroserviceId id : tenant.microservices)
+                total += s.containerCount(id);
+            wants.back().push_back(total);
+        }
+    };
+
+    std::shared_ptr<TenantMarket> market;
+    std::function<void(Simulation &, int)> minuteController = recorder;
+    if (scheme != Scheme::Off) {
+        std::vector<std::unique_ptr<TenantPolicy>> policies;
+        for (TenantKind kind : kinds)
+            policies.push_back(market::makeTenantPolicy(kind));
+        market = std::make_shared<TenantMarket>(
+            world.capacity, makeAllocator(scheme, world.capacity),
+            std::move(policies));
+        minuteController =
+            makeMarketController(recorder, market, world.tenants);
+    }
+
+    ArmResult result;
+    sim.setMinuteCallback([&](Simulation &s, int minute) {
+        minuteController(s, minute);
+        for (const auto &tenant : world.tenants)
+            for (MicroserviceId id : tenant.microservices)
+                result.containerMinutes += s.containerCount(id);
+        (void)minute;
+    });
+    sim.run();
+
+    if (market != nullptr) {
+        for (int t = 0; t < kTenants; ++t) {
+            const auto &account =
+                market->accounts()[static_cast<std::size_t>(t)];
+            result.useful.push_back(account.usefulIntegral);
+            result.trueDemand.push_back(account.trueIntegral);
+            result.allocated.push_back(account.allocatedIntegral);
+        }
+        result.servable = market->servableIntegral();
+        result.idle = market->idleIntegral();
+        result.borrowed = market->borrowedIntegral();
+    } else {
+        // No market: the wants are served as-is; account them against
+        // the same capacity so the utilization column is comparable.
+        result.useful.assign(kTenants, 0);
+        result.trueDemand.assign(kTenants, 0);
+        result.allocated.assign(kTenants, 0);
+        for (const auto &minute : wants) {
+            std::int64_t total = 0;
+            for (int t = 0; t < kTenants; ++t) {
+                const auto w = minute[static_cast<std::size_t>(t)];
+                result.useful[static_cast<std::size_t>(t)] += w;
+                result.trueDemand[static_cast<std::size_t>(t)] += w;
+                result.allocated[static_cast<std::size_t>(t)] += w;
+                total += w;
+            }
+            result.servable += std::min<std::int64_t>(
+                world.capacity, total);
+        }
+    }
+
+    // Per-tenant SLA attainment: fraction of post-warmup minutes where
+    // every service of the tenant held its P95 under the SLA.
+    for (const auto &tenant : world.tenants) {
+        int ok = 0;
+        int minutes = 0;
+        const Application &app = world.apps[tenant.tenant];
+        for (int m = kWarmupMinutes; m < kMinutes; ++m) {
+            bool within = true;
+            for (const auto &graph : app.graphs) {
+                auto it = sim.metrics().endToEndByMinute.find(
+                    graph.service());
+                if (it == sim.metrics().endToEndByMinute.end())
+                    continue;
+                if (it->second.window(static_cast<std::uint64_t>(m))
+                        .p95() > kSlaMs)
+                    within = false;
+            }
+            ++minutes;
+            if (within)
+                ++ok;
+        }
+        result.slaAttainment.push_back(
+            minutes > 0 ? 100.0 * ok / minutes : 100.0);
+    }
+    return result;
+}
+
+double
+utilizationPct(const ArmResult &r)
+{
+    std::int64_t useful = 0;
+    for (const auto u : r.useful)
+        useful += u;
+    return r.servable > 0 ? 100.0 * static_cast<double>(useful) /
+                                static_cast<double>(r.servable)
+                          : 100.0;
+}
+
+double
+welfarePct(const ArmResult &r)
+{
+    double sum = 0.0;
+    for (int t = 0; t < kTenants; ++t) {
+        const auto truei = r.trueDemand[static_cast<std::size_t>(t)];
+        sum += truei > 0
+                   ? static_cast<double>(
+                         r.useful[static_cast<std::size_t>(t)]) /
+                         static_cast<double>(truei)
+                   : 1.0;
+    }
+    return 100.0 * sum / kTenants;
+}
+
+/** Long-term fairness: worst honest tenant's useful integral relative
+ *  to its useful integral in the all-honest run of the same scheme. */
+double
+fairnessRatio(const ArmResult &r, const ArmResult &baseline,
+              const std::vector<TenantKind> &kinds)
+{
+    double worst = 1.0;
+    for (int t = 0; t < kTenants; ++t) {
+        if (kinds[static_cast<std::size_t>(t)] != TenantKind::Honest)
+            continue;
+        const auto base =
+            baseline.useful[static_cast<std::size_t>(t)];
+        if (base <= 0)
+            continue;
+        worst = std::min(
+            worst, static_cast<double>(
+                       r.useful[static_cast<std::size_t>(t)]) /
+                       static_cast<double>(base));
+    }
+    return worst;
+}
+
+double
+worstSla(const ArmResult &r, const std::vector<TenantKind> &kinds,
+         bool honest)
+{
+    double worst = 100.0;
+    bool any = false;
+    for (int t = 0; t < kTenants; ++t) {
+        const bool is_honest =
+            kinds[static_cast<std::size_t>(t)] == TenantKind::Honest;
+        if (is_honest != honest)
+            continue;
+        any = true;
+        worst = std::min(worst,
+                         r.slaAttainment[static_cast<std::size_t>(t)]);
+    }
+    return any ? worst : -1.0;
+}
+
+} // namespace
+} // namespace erms
+
+int
+main()
+{
+    using namespace erms;
+
+    printBanner(std::cout,
+                "Tenant market — honest vs strategic tenant mixes "
+                "under {off, max-min, karma} epoch allocation "
+                "(4x motivation-shared, phase-shifted diurnal)");
+
+    const auto world = makeWorld();
+    std::cout << "capacity " << world->capacity
+              << " units, fair share " << world->capacity / kTenants
+              << "/tenant, karma endowment "
+              << world->capacity / kTenants << " credits\n\n";
+
+    const auto mixes = makeMixes();
+
+    struct Arm
+    {
+        std::size_t mix;
+        Scheme scheme;
+    };
+    std::vector<Arm> arms;
+    arms.push_back({0, Scheme::Off}); // the no-market reference row
+    for (std::size_t m = 0; m < mixes.size(); ++m)
+        for (Scheme scheme : {Scheme::MaxMin, Scheme::Karma})
+            arms.push_back({m, scheme});
+
+    std::vector<std::function<ArmResult()>> tasks;
+    for (const Arm &arm : arms)
+        tasks.push_back([&, arm] {
+            return runArm(*world, arm.scheme, mixes[arm.mix].kinds);
+        });
+    const auto results = runSweep("tenant-market", std::move(tasks));
+
+    // All-honest baselines per scheme, for the fairness ratio.
+    const ArmResult *baseMaxMin = nullptr;
+    const ArmResult *baseKarma = nullptr;
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        if (arms[i].mix != 0)
+            continue;
+        if (arms[i].scheme == Scheme::MaxMin)
+            baseMaxMin = &results[i];
+        else if (arms[i].scheme == Scheme::Karma)
+            baseKarma = &results[i];
+    }
+
+    TextTable table({"mix", "market", "container-min", "util %",
+                     "fairness", "welfare %", "SLA honest %",
+                     "SLA strategic %", "idle", "borrowed"});
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        const Arm &arm = arms[i];
+        const ArmResult &r = results[i];
+        const auto &kinds = mixes[arm.mix].kinds;
+        table.row()
+            .cell(mixes[arm.mix].name)
+            .cell(schemeName(arm.scheme))
+            .cell(static_cast<double>(r.containerMinutes), 0)
+            .cell(utilizationPct(r), 2);
+        if (arm.scheme == Scheme::Off) {
+            table.cell("-");
+        } else {
+            const ArmResult *base = arm.scheme == Scheme::MaxMin
+                                        ? baseMaxMin
+                                        : baseKarma;
+            table.cell(fairnessRatio(r, *base, kinds), 3);
+        }
+        table.cell(welfarePct(r), 2)
+            .cell(worstSla(r, kinds, true), 1);
+        const double strategic = worstSla(r, kinds, false);
+        if (strategic < 0.0)
+            table.cell("-");
+        else
+            table.cell(strategic, 1);
+        table.cell(static_cast<double>(r.idle), 0)
+            .cell(static_cast<double>(r.borrowed), 0);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nshapes to check: the off row is byte-identical to the "
+           "unwrapped autoscaler\n(no-market contract; pinned by the "
+           "market byte-identity tests). In the all-honest\nmix both "
+           "schemes report fairness 1.000 and max-min tracks the off "
+           "row. Under\ngreedy mixes max-min's fairness drops (the "
+           "overclaim drags the water level at\nhonest tenants' "
+           "peaks) while karma's stays strictly above it with "
+           "utilization\nwithin a few percent: the hoarder never "
+           "donates, never earns, and is priced\nout once its "
+           "endowment drains. The adaptive strategist degenerates to "
+           "honest\nunder max-min (no credits to exploit) and is "
+           "neutralized like greedy under\nkarma.\n";
+    return 0;
+}

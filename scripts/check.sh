@@ -3,8 +3,8 @@
 # AddressSanitizer build exercising the fault-injection, telemetry
 # chaos, and runner tests (the code paths with the hairiest object
 # lifetimes: pooled call contexts, container erasure on crash, hedge
-# cancellation, lazily cached perturbed snapshots), the golden and
-# property suites, an UndefinedBehaviorSanitizer pass over the
+# cancellation, lazily cached perturbed snapshots), the golden,
+# market, and property suites, an UndefinedBehaviorSanitizer pass over the
 # numeric-heavy telemetry/guard/chaos paths (quantile interpolation,
 # counter deltas, NaN/Inf guards), a ThreadSanitizer pass over the
 # parallel runner, the event engine, and the sharded coordinator's
@@ -12,8 +12,9 @@
 # telemetry view), determinism passes (the golden tables must come out
 # identical with one worker vs the hardware default, under the legacy
 # binary-heap event engine vs the calendar engine, and through the
-# K=1 sharded coordinator vs the unsharded path), and the
-# documentation link-and-symbol checker.
+# K=1 sharded coordinator vs the unsharded path; the tenant-market
+# bench table must come out identical with one runner worker vs the
+# hardware default), and the documentation link-and-symbol checker.
 #
 # Usage: scripts/check.sh [jobs]   (default: 2)
 
@@ -26,12 +27,13 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== asan: fault + chaos + runner + golden + property tests (build-asan/) =="
+echo "== asan: fault + chaos + runner + golden + market + property tests (build-asan/) =="
 cmake -B build-asan -S . -DERMS_SANITIZE=address
 cmake --build build-asan -j"$JOBS" \
     --target erms_tests_sim erms_tests_runner erms_tests_golden \
              erms_tests_system erms_tests_telemetry erms_tests_chaos \
-             erms_tests_event_engine erms_tests_queueing
+             erms_tests_event_engine erms_tests_queueing \
+             erms_tests_market
 ./build-asan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
 ./build-asan/tests/erms_tests_runner
@@ -43,6 +45,7 @@ cmake --build build-asan -j"$JOBS" \
 ./build-asan/tests/erms_tests_event_engine
 ./build-asan/tests/erms_tests_queueing \
     --gtest_filter='QueueingValidation.MM1*:QueueingValidation.ErlangC*'
+./build-asan/tests/erms_tests_market
 
 echo "== ubsan: telemetry + guard + chaos numeric paths (build-ubsan/) =="
 cmake -B build-ubsan -S . -DERMS_SANITIZE=undefined
@@ -78,6 +81,13 @@ ERMS_EVENT_ENGINE=legacy ./build/tests/erms_tests_golden
 
 echo "== shard determinism: golden tables through the K=1 coordinator =="
 ERMS_SHARDS=1 ./build/tests/erms_tests_golden
+
+echo "== market determinism: tenant-market bench with 1 worker vs default =="
+cmake --build build -j"$JOBS" --target bench_tenant_market
+./build/bench/bench_tenant_market > /tmp/erms_market_default.txt
+ERMS_RUNNER_THREADS=1 ./build/bench/bench_tenant_market \
+    > /tmp/erms_market_serial.txt
+cmp /tmp/erms_market_default.txt /tmp/erms_market_serial.txt
 
 echo "== docs: link and symbol check =="
 scripts/check_docs.sh

@@ -289,6 +289,76 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
 }
 
 std::function<void(Simulation &, int)>
+makeMarketController(std::function<void(Simulation &, int)> inner,
+                     std::shared_ptr<market::TenantMarket> tenant_market,
+                     std::vector<MarketTenantServices> tenants)
+{
+    ERMS_ASSERT(inner != nullptr);
+    ERMS_ASSERT(tenant_market != nullptr);
+    ERMS_ASSERT(tenants.size() == tenant_market->tenantCount());
+    for (const MarketTenantServices &tenant : tenants) {
+        ERMS_ASSERT(tenant.tenant < tenants.size());
+        ERMS_ASSERT(!tenant.microservices.empty());
+    }
+    return [inner = std::move(inner),
+            tenant_market = std::move(tenant_market),
+            tenants = std::move(tenants)](Simulation &sim, int minute) {
+        inner(sim, minute);
+
+        // True demand = what the inner controller just deployed.
+        std::vector<market::Units> wants(tenants.size(), 0);
+        for (const MarketTenantServices &tenant : tenants)
+            for (MicroserviceId ms : tenant.microservices)
+                wants[tenant.tenant] += sim.containerCount(ms);
+
+        const market::MarketEpoch epoch = tenant_market->runEpoch(wants);
+
+        for (const MarketTenantServices &tenant : tenants) {
+            const market::Units want = wants[tenant.tenant];
+            // A tenant cannot run below one container per deployed
+            // microservice, so tiny caps are floored there; the market
+            // accounting still charges only the emitted cap.
+            market::Units target = epoch.caps[tenant.tenant];
+            if (want <= target)
+                continue; // cap does not bind; never scale up to hoard
+
+            std::vector<std::pair<MicroserviceId, int>> counts;
+            market::Units deployed_floor = 0;
+            for (MicroserviceId ms : tenant.microservices) {
+                const int count = sim.containerCount(ms);
+                if (count > 0) {
+                    counts.emplace_back(ms, count);
+                    ++deployed_floor;
+                }
+            }
+            target = std::max(target, deployed_floor);
+
+            // Trim the largest deployments first (ties to the earliest
+            // listed one) until the tenant total meets its cap —
+            // deterministic, exact, and floored at one container each.
+            market::Units excess = want - target;
+            while (excess > 0) {
+                std::size_t biggest = counts.size();
+                for (std::size_t i = 0; i < counts.size(); ++i) {
+                    if (counts[i].second <= 1)
+                        continue;
+                    if (biggest == counts.size() ||
+                        counts[i].second > counts[biggest].second)
+                        biggest = i;
+                }
+                if (biggest == counts.size())
+                    break; // everything at the one-container floor
+                --counts[biggest].second;
+                --excess;
+            }
+            for (const auto &[ms, count] : counts)
+                if (count != sim.containerCount(ms))
+                    sim.setContainerCount(ms, count);
+        }
+    };
+}
+
+std::function<void(Simulation &, int)>
 chainControllers(
     std::vector<std::function<void(Simulation &, int)>> controllers)
 {

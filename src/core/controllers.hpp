@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "baselines/baseline.hpp"
+#include "market/market.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/guarded_view.hpp"
 #include "telemetry/view.hpp"
@@ -141,6 +142,47 @@ makeGuardedController(
     std::function<void(Simulation &, int)> inner,
     std::shared_ptr<telemetry::GuardedTelemetryView> guard,
     std::vector<MicroserviceId> managed, GuardrailConfig config = {});
+
+/**
+ * Which microservices a market tenant owns. Tenants must not share
+ * microservices with each other (each tenant deploys its own
+ * application instances); ownership is over shared pools, so market
+ * enforcement applies to Priority/FcfsSharing plans (dedicated
+ * NonSharing partitions are not scaled by the market layer).
+ */
+struct MarketTenantServices
+{
+    market::TenantId tenant = 0;
+    std::vector<MicroserviceId> microservices;
+};
+
+/**
+ * Wrap any minute controller with per-tenant resource caps from a
+ * multi-tenant market (docs/market.md) — the same decorator shape as
+ * makeGuardedController. Each minute is one allocation epoch:
+ *
+ *  1. the inner controller runs unmodified (Erms, a baseline
+ *     autoscaler, or a guarded variant — anything);
+ *  2. each tenant's *true demand* is the containers the inner
+ *     controller just deployed across that tenant's microservices;
+ *  3. the market turns true demands into declarations (per-tenant
+ *     policy), settles credits, and emits per-tenant caps;
+ *  4. any tenant deployed above its cap is scaled down to it,
+ *     proportionally across its microservices (largest counts trimmed
+ *     first, deterministic, never below one container per deployed
+ *     microservice).
+ *
+ * The wrapper never scales *up* (hoarded cap surplus is charged to the
+ * tenant's allocation integral but not physically deployed) and runs
+ * pure integer arithmetic — no RNG draws, no extra events — so with
+ * caps that never bind (capacity >= every tenant's demand) the wrapped
+ * run is byte-identical to the unwrapped controller (pinned by the
+ * market byte-identity tests on both event engines).
+ */
+std::function<void(Simulation &, int)>
+makeMarketController(std::function<void(Simulation &, int)> inner,
+                     std::shared_ptr<market::TenantMarket> tenant_market,
+                     std::vector<MarketTenantServices> tenants);
 
 /**
  * Run several minute controllers in sequence (e.g. capacity repair

@@ -1,0 +1,234 @@
+#include "allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace erms::market {
+
+namespace {
+
+Units
+sum(const std::vector<Units> &values)
+{
+    return std::accumulate(values.begin(), values.end(),
+                           static_cast<Units>(0));
+}
+
+void
+checkDemands(const std::vector<Units> &declared, Units capacity)
+{
+    ERMS_ASSERT(!declared.empty());
+    ERMS_ASSERT(capacity >= 0);
+    for (Units d : declared)
+        ERMS_ASSERT(d >= 0);
+}
+
+} // namespace
+
+std::vector<Units>
+equalShares(Units capacity, std::size_t tenants)
+{
+    ERMS_ASSERT(capacity >= 0 && tenants > 0);
+    const Units n = static_cast<Units>(tenants);
+    std::vector<Units> shares(tenants, capacity / n);
+    const Units remainder = capacity % n;
+    for (Units i = 0; i < remainder; ++i)
+        ++shares[static_cast<std::size_t>(i)];
+    return shares;
+}
+
+std::vector<Units>
+waterFill(const std::vector<Units> &demand, Units capacity)
+{
+    checkDemands(demand, capacity);
+    std::vector<Units> alloc(demand.size(), 0);
+
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < demand.size(); ++i)
+        if (demand[i] > 0)
+            order.push_back(i);
+    std::sort(order.begin(), order.end(),
+              [&demand](std::size_t a, std::size_t b) {
+                  return demand[a] != demand[b] ? demand[a] < demand[b]
+                                                : a < b;
+              });
+
+    Units remaining = capacity;
+    for (std::size_t k = 0; k < order.size() && remaining > 0; ++k) {
+        const Units active = static_cast<Units>(order.size() - k);
+        const Units share = remaining / active;
+        const std::size_t i = order[k];
+        if (demand[i] <= share) {
+            // Fully satisfiable at the current level: grant and raise
+            // the water level for everyone still unsatisfied.
+            alloc[i] = demand[i];
+            remaining -= demand[i];
+            continue;
+        }
+        // Everyone left is capped at the level; the integer remainder
+        // goes one unit each to the lowest ids (all of them demand more
+        // than `share`, so level + 1 never exceeds a demand).
+        std::vector<std::size_t> capped(order.begin() +
+                                            static_cast<std::ptrdiff_t>(k),
+                                        order.end());
+        std::sort(capped.begin(), capped.end());
+        const Units extra = remaining - share * active;
+        for (std::size_t j = 0; j < capped.size(); ++j)
+            alloc[capped[j]] =
+                share + (static_cast<Units>(j) < extra ? 1 : 0);
+        remaining = 0;
+    }
+    return alloc;
+}
+
+std::vector<Units>
+proportionalSplit(const std::vector<Units> &weights, Units total)
+{
+    ERMS_ASSERT(total >= 0);
+    std::vector<Units> parts(weights.size(), 0);
+    if (total == 0)
+        return parts;
+    const Units weight_sum = sum(weights);
+    ERMS_ASSERT(weight_sum > 0);
+
+    // Floor parts via 128-bit intermediates; the numerator remainders
+    // decide who receives the leftover units (largest first, ties to
+    // the lowest id), so the parts always sum to `total` exactly.
+    std::vector<__int128> remainders(weights.size(), 0);
+    Units assigned = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        ERMS_ASSERT(weights[i] >= 0);
+        const __int128 numer =
+            static_cast<__int128>(total) * static_cast<__int128>(weights[i]);
+        parts[i] = static_cast<Units>(numer / weight_sum);
+        remainders[i] = numer - static_cast<__int128>(parts[i]) * weight_sum;
+        assigned += parts[i];
+    }
+    Units leftover = total - assigned;
+    std::vector<std::size_t> order(weights.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&remainders](std::size_t a, std::size_t b) {
+                  return remainders[a] != remainders[b]
+                             ? remainders[a] > remainders[b]
+                             : a < b;
+              });
+    for (std::size_t k = 0; leftover > 0; ++k, --leftover)
+        ++parts[order[k]];
+    return parts;
+}
+
+EpochAllocation
+MaxMinAllocator::allocate(const std::vector<Units> &declared, Units capacity)
+{
+    checkDemands(declared, capacity);
+    EpochAllocation out;
+    out.caps = waterFill(declared, capacity);
+    out.idle = capacity - sum(out.caps);
+    return out;
+}
+
+KarmaAllocator::KarmaAllocator(std::size_t tenant_count, KarmaConfig config)
+    : config_(config),
+      ledger_(tenant_count,
+              CreditLedgerConfig{config.initialCredits, config.creditFloor})
+{
+}
+
+EpochAllocation
+KarmaAllocator::allocate(const std::vector<Units> &declared, Units capacity)
+{
+    const std::size_t n = ledger_.tenantCount();
+    ERMS_ASSERT(declared.size() == n);
+    checkDemands(declared, capacity);
+
+    EpochAllocation out;
+    const std::vector<Units> fair = equalShares(capacity, n);
+    out.caps.assign(n, 0);
+    std::vector<Units> want(n, 0);
+    std::vector<Units> donation(n, 0);
+    Units pool = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.caps[i] = std::min(declared[i], fair[i]);
+        donation[i] = fair[i] - out.caps[i];
+        want[i] = std::max<Units>(0, declared[i] - fair[i]);
+        pool += donation[i];
+    }
+    out.donated = pool;
+
+    // Credit-priced borrowing, richest first (ties to the lowest id):
+    // each batch keeps the pick the richest eligible borrower, so a
+    // tenant that borrows heavily drains its balance and cedes priority
+    // — the Karma incentive. Batches are bounded by the gap to the
+    // runner-up's balance, so the loop settles in O(n) picks per
+    // distinct balance level instead of unit by unit.
+    while (pool > 0) {
+        std::size_t best = n;
+        Credits best_balance = 0;
+        Credits runner_up = std::numeric_limits<Credits>::min();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (want[i] <= 0 || ledger_.spendable(
+                                    static_cast<TenantId>(i)) <= 0)
+                continue;
+            const Credits bal = ledger_.balance(static_cast<TenantId>(i));
+            if (best == n) {
+                best = i;
+                best_balance = bal;
+            } else if (bal > best_balance) {
+                runner_up = best_balance;
+                best_balance = bal;
+                best = i;
+            } else {
+                runner_up = std::max(runner_up, bal);
+            }
+        }
+        if (best == n)
+            break; // nobody left who both wants and can pay
+
+        const TenantId tenant = static_cast<TenantId>(best);
+        Units batch = std::min({want[best], pool,
+                                static_cast<Units>(
+                                    ledger_.spendable(tenant))});
+        if (runner_up != std::numeric_limits<Credits>::min())
+            batch = std::min(
+                batch, std::max<Units>(1, static_cast<Units>(
+                                              best_balance - runner_up) +
+                                              1));
+        const Credits paid = ledger_.borrow(tenant, batch);
+        ERMS_ASSERT(paid == batch);
+        want[best] -= batch;
+        out.caps[best] += batch;
+        out.borrowed += batch;
+        pool -= batch;
+    }
+
+    // Settle the donors: one credit per donated-and-borrowed unit,
+    // split in proportion to the donations (exact, largest-remainder),
+    // so paid and earned credits cancel and the ledger conserves.
+    if (out.borrowed > 0) {
+        const std::vector<Units> earned =
+            proportionalSplit(donation, out.borrowed);
+        for (std::size_t i = 0; i < n; ++i)
+            if (earned[i] > 0)
+                ledger_.donate(static_cast<TenantId>(i), earned[i]);
+    }
+
+    if (config_.workConserving && pool > 0) {
+        // Unpriced work-conserving pass: max-min the leftover donated
+        // units over the residual wants (see KarmaConfig for the
+        // strategy-proofness trade).
+        const std::vector<Units> free_units = waterFill(want, pool);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.caps[i] += free_units[i];
+            out.freeRemainder += free_units[i];
+        }
+        pool -= out.freeRemainder;
+    }
+    out.idle = pool;
+    return out;
+}
+
+} // namespace erms::market

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Epoch allocators of the multi-tenant resource market (docs/market.md):
+ * tenants declare demand in integer resource units (container slots),
+ * the allocator splits the cluster capacity into per-tenant caps.
+ *
+ *  - MaxMinAllocator: classic work-conserving max-min water-fill over
+ *    the *declarations*. Utilization-optimal but not strategy-proof —
+ *    a tenant that overclaims raises its own cap at honest tenants'
+ *    expense (the gap the differential test pins).
+ *  - KarmaAllocator (after arXiv 2305.17222): every tenant owns an
+ *    equal fair share per epoch; declaring below it donates the slack,
+ *    declaring above it borrows donated units by spending credits, and
+ *    donated-and-borrowed units earn their donors credits. Borrowing
+ *    priority is richest-first, so long-term heavy borrowers drain
+ *    their balance and lose priority — overclaiming cannot raise a
+ *    tenant's long-term allocation integral.
+ *
+ * All arithmetic is integer (largest-remainder rounding, fixed
+ * tie-breaks by tenant id), so a market trajectory is bit-reproducible
+ * and the invariants the property suite checks are exact.
+ */
+
+#ifndef ERMS_MARKET_ALLOCATOR_HPP
+#define ERMS_MARKET_ALLOCATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "market/credit_ledger.hpp"
+
+namespace erms::market {
+
+/** Outcome of one allocation epoch. */
+struct EpochAllocation
+{
+    /** Per-tenant resource cap; never exceeds the declaration, and the
+     *  caps sum to at most the capacity. */
+    std::vector<Units> caps;
+    /** Units offered below fair shares (declared-below-fair slack). */
+    Units donated = 0;
+    /** Donated units bought with credits this epoch. */
+    Units borrowed = 0;
+    /** Donated units handed out unpriced by the work-conserving pass
+     *  (always 0 under strict Karma and under max-min). */
+    Units freeRemainder = 0;
+    /** Capacity left unallocated this epoch. */
+    Units idle = 0;
+};
+
+/** Abstract epoch allocator. */
+class MarketAllocator
+{
+  public:
+    virtual ~MarketAllocator() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Split `capacity` among the declared demands (one per tenant). */
+    virtual EpochAllocation allocate(const std::vector<Units> &declared,
+                                     Units capacity) = 0;
+
+    /** The credit ledger, for allocators that keep one (else null). */
+    virtual const CreditLedger *ledger() const { return nullptr; }
+};
+
+/**
+ * Equal split of `capacity` into `tenants` integer fair shares; the
+ * remainder goes to the lowest tenant ids (largest-remainder with equal
+ * weights, deterministic).
+ */
+std::vector<Units> equalShares(Units capacity, std::size_t tenants);
+
+/**
+ * Work-conserving integer max-min water-fill: raise every tenant's
+ * allocation toward its demand at an equal level until demand or
+ * capacity is exhausted; integer remainders go to the lowest ids among
+ * the still-unsatisfied. Never leaves capacity idle while any demand is
+ * unmet.
+ */
+std::vector<Units> waterFill(const std::vector<Units> &demand,
+                             Units capacity);
+
+/**
+ * Split `total` in proportion to `weights` (largest-remainder, ties to
+ * the lowest id); the parts sum to `total` exactly. weights must sum
+ * to a positive value when total > 0.
+ */
+std::vector<Units> proportionalSplit(const std::vector<Units> &weights,
+                                     Units total);
+
+/** Naive dynamic max-min fairness over declarations (no credits). */
+class MaxMinAllocator : public MarketAllocator
+{
+  public:
+    std::string name() const override { return "max-min"; }
+
+    EpochAllocation allocate(const std::vector<Units> &declared,
+                             Units capacity) override;
+};
+
+/** Knobs of the Karma mechanism. */
+struct KarmaConfig
+{
+    /** Per-tenant credit endowment (see CreditLedgerConfig). */
+    Credits initialCredits = 0;
+    /** Debit floor of the ledger (0 = no overdraft). */
+    Credits creditFloor = 0;
+    /**
+     * Hand leftover donated units to still-capped tenants for free
+     * (max-min over the residual wants) once no eligible borrower can
+     * pay. Keeps the market unconditionally Pareto-efficient at the
+     * cost of strict strategy-proofness: a broke overclaimer can hoard
+     * freebies again. Off = strict Karma, where idle capacity can
+     * remain only when every capped tenant is out of credits.
+     */
+    bool workConserving = false;
+};
+
+/** Credit-based Karma allocator; owns the tenants' credit ledger. */
+class KarmaAllocator : public MarketAllocator
+{
+  public:
+    KarmaAllocator(std::size_t tenant_count, KarmaConfig config = {});
+
+    std::string name() const override { return "karma"; }
+
+    EpochAllocation allocate(const std::vector<Units> &declared,
+                             Units capacity) override;
+
+    const CreditLedger *ledger() const override { return &ledger_; }
+    const KarmaConfig &config() const { return config_; }
+
+  private:
+    KarmaConfig config_;
+    CreditLedger ledger_;
+};
+
+} // namespace erms::market
+
+#endif // ERMS_MARKET_ALLOCATOR_HPP

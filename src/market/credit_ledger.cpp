@@ -1,0 +1,62 @@
+#include "credit_ledger.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace erms::market {
+
+CreditLedger::CreditLedger(std::size_t tenant_count,
+                           CreditLedgerConfig config)
+    : config_(config),
+      balances_(tenant_count, config.initialCredits)
+{
+    ERMS_ASSERT(tenant_count > 0);
+    ERMS_ASSERT(config.initialCredits >= config.creditFloor);
+}
+
+Credits
+CreditLedger::balance(TenantId tenant) const
+{
+    ERMS_ASSERT(tenant < balances_.size());
+    return balances_[tenant];
+}
+
+Credits
+CreditLedger::spendable(TenantId tenant) const
+{
+    return balance(tenant) - config_.creditFloor;
+}
+
+void
+CreditLedger::donate(TenantId tenant, Credits amount)
+{
+    ERMS_ASSERT(tenant < balances_.size());
+    ERMS_ASSERT(amount >= 0);
+    balances_[tenant] += amount;
+}
+
+Credits
+CreditLedger::borrow(TenantId tenant, Credits amount)
+{
+    ERMS_ASSERT(tenant < balances_.size());
+    ERMS_ASSERT(amount >= 0);
+    const Credits debit = std::min(amount, spendable(tenant));
+    balances_[tenant] -= debit;
+    return debit;
+}
+
+Credits
+CreditLedger::totalBalance() const
+{
+    return std::accumulate(balances_.begin(), balances_.end(),
+                           static_cast<Credits>(0));
+}
+
+Credits
+CreditLedger::totalEndowment() const
+{
+    return static_cast<Credits>(balances_.size()) * config_.initialCredits;
+}
+
+} // namespace erms::market

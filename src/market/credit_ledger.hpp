@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-tenant credit accounting for the multi-tenant resource market
+ * (docs/market.md). Credits are the long-term fairness currency of the
+ * Karma mechanism (arXiv 2305.17222): a tenant that declares less than
+ * its fair share *donates* the slack and earns one credit per donated
+ * unit another tenant actually uses; a tenant that wants more than its
+ * fair share *borrows* donated units by spending credits, one per unit.
+ *
+ * Balances are integers (one credit == one resource unit for one
+ * epoch), so credit conservation is exact: across any number of epochs
+ * the sum of all balance deltas is zero — every credit a borrower pays
+ * is earned by some donor. The property suite pins this with no
+ * floating-point slack.
+ */
+
+#ifndef ERMS_MARKET_CREDIT_LEDGER_HPP
+#define ERMS_MARKET_CREDIT_LEDGER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace erms::market {
+
+/** Identifier of a tenant (dense, 0-based). */
+using TenantId = std::uint32_t;
+
+/** Resource units (container slots for one allocation epoch). */
+using Units = std::int64_t;
+
+/** Credit amount (1 credit buys 1 borrowed unit for 1 epoch). */
+using Credits = std::int64_t;
+
+/** Knobs of the ledger. */
+struct CreditLedgerConfig
+{
+    /** Endowment every tenant starts with. A small endowment lets a
+     *  tenant borrow before it has ever donated (cold-start liquidity);
+     *  a large one weakens the strategy-proofness penalty, since
+     *  overclaiming is bankrolled for longer. */
+    Credits initialCredits = 0;
+    /** Balances are never debited below this floor (0 = credits must
+     *  be earned before they can be spent; negative values permit an
+     *  overdraft of |creditFloor| units). */
+    Credits creditFloor = 0;
+};
+
+/** Per-tenant credit balances with donate/borrow semantics. */
+class CreditLedger
+{
+  public:
+    CreditLedger(std::size_t tenant_count, CreditLedgerConfig config = {});
+
+    std::size_t tenantCount() const { return balances_.size(); }
+    const CreditLedgerConfig &config() const { return config_; }
+
+    /** Current balance (may sit at the floor, never below). */
+    Credits balance(TenantId tenant) const;
+
+    /** Credits the tenant can still spend: balance - creditFloor. */
+    Credits spendable(TenantId tenant) const;
+
+    /** Earn credits for donated units another tenant borrowed. */
+    void donate(TenantId tenant, Credits amount);
+
+    /**
+     * Spend up to `amount` credits for borrowed units, clamped at the
+     * floor. @return the amount actually debited (<= amount).
+     */
+    Credits borrow(TenantId tenant, Credits amount);
+
+    /** Sum of all balances (== tenantCount * initialCredits whenever
+     *  every paid credit was matched by an earned one). */
+    Credits totalBalance() const;
+
+    /** Sum of the initial endowments, the conservation baseline. */
+    Credits totalEndowment() const;
+
+  private:
+    CreditLedgerConfig config_;
+    std::vector<Credits> balances_;
+};
+
+} // namespace erms::market
+
+#endif // ERMS_MARKET_CREDIT_LEDGER_HPP

@@ -1,0 +1,88 @@
+#include "market.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace erms::market {
+
+TenantMarket::TenantMarket(
+    Units capacity, std::unique_ptr<MarketAllocator> allocator,
+    std::vector<std::unique_ptr<TenantPolicy>> policies)
+    : capacity_(capacity),
+      allocator_(std::move(allocator)),
+      policies_(std::move(policies)),
+      accounts_(policies_.size())
+{
+    ERMS_ASSERT(capacity_ >= 0);
+    ERMS_ASSERT(allocator_ != nullptr);
+    ERMS_ASSERT(!policies_.empty());
+    for (const auto &policy : policies_)
+        ERMS_ASSERT(policy != nullptr);
+    const CreditLedger *ledger = allocator_->ledger();
+    ERMS_ASSERT(ledger == nullptr ||
+                ledger->tenantCount() == policies_.size());
+}
+
+const TenantPolicy &
+TenantMarket::policy(TenantId tenant) const
+{
+    ERMS_ASSERT(tenant < policies_.size());
+    return *policies_[tenant];
+}
+
+MarketEpoch
+TenantMarket::runEpoch(const std::vector<Units> &true_demand)
+{
+    const std::size_t n = policies_.size();
+    ERMS_ASSERT(true_demand.size() == n);
+
+    MarketEpoch epoch;
+    epoch.trueDemand = true_demand;
+    epoch.declared.resize(n);
+
+    const std::vector<Units> fair = equalShares(capacity_, n);
+    const CreditLedger *ledger = allocator_->ledger();
+    for (std::size_t i = 0; i < n; ++i) {
+        ERMS_ASSERT(true_demand[i] >= 0);
+        PolicyContext context;
+        context.epoch = epochs_;
+        context.trueDemand = true_demand[i];
+        context.fairShare = fair[i];
+        if (ledger != nullptr) {
+            context.balance = ledger->balance(static_cast<TenantId>(i));
+            context.spendable =
+                ledger->spendable(static_cast<TenantId>(i));
+        }
+        epoch.declared[i] = policies_[i]->declare(context);
+        ERMS_ASSERT(epoch.declared[i] >= 0);
+    }
+
+    epoch.allocation = allocator_->allocate(epoch.declared, capacity_);
+    epoch.caps = epoch.allocation.caps;
+
+    Units true_total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        accounts_[i].allocatedIntegral += epoch.caps[i];
+        accounts_[i].usefulIntegral +=
+            std::min(epoch.caps[i], true_demand[i]);
+        accounts_[i].trueIntegral += true_demand[i];
+        accounts_[i].declaredIntegral += epoch.declared[i];
+        true_total += true_demand[i];
+    }
+    servableIntegral_ += std::min(capacity_, true_total);
+    idleIntegral_ += epoch.allocation.idle;
+    borrowedIntegral_ += epoch.allocation.borrowed;
+    ++epochs_;
+    lastEpoch_ = epoch;
+    return epoch;
+}
+
+const MarketEpoch &
+TenantMarket::lastEpoch() const
+{
+    ERMS_ASSERT(epochs_ > 0);
+    return lastEpoch_;
+}
+
+} // namespace erms::market

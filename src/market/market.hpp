@@ -1,0 +1,99 @@
+/**
+ * @file
+ * TenantMarket — the per-epoch orchestration of the multi-tenant
+ * resource market (docs/market.md): true demands go in, each tenant's
+ * policy turns them into declarations, the allocator settles credits
+ * and emits per-tenant caps, and running integrals (allocated, useful,
+ * true, declared units) accumulate for the long-term fairness and
+ * welfare metrics of bench_tenant_market.
+ *
+ * The market is pure integer arithmetic over its inputs — no RNG, no
+ * floating point — so a market trajectory is bit-reproducible and a
+ * controller wrapped by makeMarketController stays byte-identical to
+ * the unwrapped controller whenever the caps never bind.
+ */
+
+#ifndef ERMS_MARKET_MARKET_HPP
+#define ERMS_MARKET_MARKET_HPP
+
+#include <memory>
+#include <vector>
+
+#include "market/allocator.hpp"
+#include "market/tenant_policy.hpp"
+
+namespace erms::market {
+
+/** Running per-tenant accounting across epochs. */
+struct TenantAccount
+{
+    /** Σ caps — resources allocated (hoarded units included). */
+    std::int64_t allocatedIntegral = 0;
+    /** Σ min(cap, trueDemand) — resources the tenant could use. */
+    std::int64_t usefulIntegral = 0;
+    /** Σ trueDemand. */
+    std::int64_t trueIntegral = 0;
+    /** Σ declared. */
+    std::int64_t declaredIntegral = 0;
+};
+
+/** Outcome of one market epoch. */
+struct MarketEpoch
+{
+    std::vector<Units> trueDemand;
+    std::vector<Units> declared;
+    /** Per-tenant caps (== allocation.caps, kept for convenience). */
+    std::vector<Units> caps;
+    EpochAllocation allocation;
+};
+
+/** The market: capacity + allocator + one policy per tenant. */
+class TenantMarket
+{
+  public:
+    TenantMarket(Units capacity,
+                 std::unique_ptr<MarketAllocator> allocator,
+                 std::vector<std::unique_ptr<TenantPolicy>> policies);
+
+    std::size_t tenantCount() const { return policies_.size(); }
+    Units capacity() const { return capacity_; }
+    int epochsRun() const { return epochs_; }
+
+    const MarketAllocator &allocator() const { return *allocator_; }
+    /** Credit ledger, when the allocator keeps one (else null). */
+    const CreditLedger *ledger() const { return allocator_->ledger(); }
+    const TenantPolicy &policy(TenantId tenant) const;
+
+    /** Run one allocation epoch over the tenants' true demands. */
+    MarketEpoch runEpoch(const std::vector<Units> &true_demand);
+
+    /** The most recent epoch (asserts at least one epoch has run);
+     *  how callers that hand runEpoch's result to a controller — e.g.
+     *  makeMarketController — still read the caps just applied. */
+    const MarketEpoch &lastEpoch() const;
+
+    const std::vector<TenantAccount> &accounts() const { return accounts_; }
+
+    /** Σ over epochs of min(capacity, Σ_i trueDemand_i) — the demand
+     *  the cluster could have served; utilization denominator. */
+    std::int64_t servableIntegral() const { return servableIntegral_; }
+    /** Σ idle capacity across epochs. */
+    std::int64_t idleIntegral() const { return idleIntegral_; }
+    /** Σ credit-financed borrowed units across epochs. */
+    std::int64_t borrowedIntegral() const { return borrowedIntegral_; }
+
+  private:
+    Units capacity_;
+    std::unique_ptr<MarketAllocator> allocator_;
+    std::vector<std::unique_ptr<TenantPolicy>> policies_;
+    std::vector<TenantAccount> accounts_;
+    MarketEpoch lastEpoch_;
+    int epochs_ = 0;
+    std::int64_t servableIntegral_ = 0;
+    std::int64_t idleIntegral_ = 0;
+    std::int64_t borrowedIntegral_ = 0;
+};
+
+} // namespace erms::market
+
+#endif // ERMS_MARKET_MARKET_HPP

@@ -1,0 +1,118 @@
+#include "tenant_policy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace erms::market {
+
+namespace {
+
+/** ceil(demand * factor) in exact integer arithmetic for the factors
+ *  policies use (factor >= 1). */
+Units
+inflate(Units demand, double factor)
+{
+    ERMS_ASSERT(factor >= 1.0);
+    return static_cast<Units>(
+        std::ceil(static_cast<double>(demand) * factor));
+}
+
+class HonestPolicy final : public TenantPolicy
+{
+  public:
+    std::string name() const override { return "honest"; }
+    TenantKind kind() const override { return TenantKind::Honest; }
+
+    Units
+    declare(const PolicyContext &context) override
+    {
+        return context.trueDemand;
+    }
+};
+
+class GreedyPolicy final : public TenantPolicy
+{
+  public:
+    explicit GreedyPolicy(double factor) : factor_(factor) {}
+
+    std::string name() const override { return "greedy"; }
+    TenantKind kind() const override { return TenantKind::Greedy; }
+
+    Units
+    declare(const PolicyContext &context) override
+    {
+        // Inflated demand, floored at the fair share: a hoarder never
+        // donates, even when its true demand is low.
+        return std::max(inflate(context.trueDemand, factor_),
+                        context.fairShare);
+    }
+
+  private:
+    double factor_;
+};
+
+class AdaptivePolicy final : public TenantPolicy
+{
+  public:
+    AdaptivePolicy(double factor, Credits reserve)
+        : factor_(factor), reserve_(reserve)
+    {
+    }
+
+    std::string name() const override { return "adaptive"; }
+    TenantKind kind() const override { return TenantKind::Adaptive; }
+
+    Units
+    declare(const PolicyContext &context) override
+    {
+        // Rich: exploit. Broke: declare honestly (donating troughs) to
+        // rebuild the balance before the next exploitation phase.
+        if (context.spendable > reserve_)
+            return std::max(inflate(context.trueDemand, factor_),
+                            context.fairShare);
+        return context.trueDemand;
+    }
+
+  private:
+    double factor_;
+    Credits reserve_;
+};
+
+} // namespace
+
+std::unique_ptr<TenantPolicy>
+makeHonestPolicy()
+{
+    return std::make_unique<HonestPolicy>();
+}
+
+std::unique_ptr<TenantPolicy>
+makeGreedyPolicy(double overclaim_factor)
+{
+    return std::make_unique<GreedyPolicy>(overclaim_factor);
+}
+
+std::unique_ptr<TenantPolicy>
+makeAdaptivePolicy(double overclaim_factor, Credits credit_reserve)
+{
+    return std::make_unique<AdaptivePolicy>(overclaim_factor,
+                                            credit_reserve);
+}
+
+std::unique_ptr<TenantPolicy>
+makeTenantPolicy(TenantKind kind)
+{
+    switch (kind) {
+    case TenantKind::Honest:
+        return makeHonestPolicy();
+    case TenantKind::Greedy:
+        return makeGreedyPolicy();
+    case TenantKind::Adaptive:
+        return makeAdaptivePolicy();
+    }
+    ERMS_ASSERT(false);
+    return nullptr;
+}
+
+} // namespace erms::market

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tenant declaration policies for the resource market (docs/market.md):
+ * given a tenant's *true* per-epoch demand (derived from the diurnal
+ * generators in src/workload, or from the containers a controller wants
+ * to deploy), a policy decides what the tenant *declares* to the
+ * allocator.
+ *
+ *  - honest: declares the true demand;
+ *  - greedy-overclaim: inflates the true demand by a factor and never
+ *    declares below its fair share (it would rather hoard than donate);
+ *  - adaptive/strategic: overclaims while its credit balance is above a
+ *    reserve, then plays honest to rebuild credits — the cleverest
+ *    misreporter the strategy-proofness battery checks against.
+ */
+
+#ifndef ERMS_MARKET_TENANT_POLICY_HPP
+#define ERMS_MARKET_TENANT_POLICY_HPP
+
+#include <memory>
+#include <string>
+
+#include "market/credit_ledger.hpp"
+
+namespace erms::market {
+
+/** Kinds of declaration behaviour. */
+enum class TenantKind
+{
+    Honest,
+    Greedy,
+    Adaptive,
+};
+
+/** What a policy sees when declaring for one epoch. */
+struct PolicyContext
+{
+    /** Epoch index (0-based allocation round). */
+    int epoch = 0;
+    /** The tenant's true demand this epoch (units). */
+    Units trueDemand = 0;
+    /** The tenant's fair share of this epoch's capacity (units). */
+    Units fairShare = 0;
+    /** Current credit balance (0 for credit-less allocators). */
+    Credits balance = 0;
+    /** Spendable credits (balance minus the ledger floor). */
+    Credits spendable = 0;
+};
+
+/** A tenant's declaration strategy. */
+class TenantPolicy
+{
+  public:
+    virtual ~TenantPolicy() = default;
+
+    virtual std::string name() const = 0;
+    virtual TenantKind kind() const = 0;
+
+    /** Demand the tenant declares to the allocator this epoch. */
+    virtual Units declare(const PolicyContext &context) = 0;
+};
+
+/** Truthful declarations. */
+std::unique_ptr<TenantPolicy> makeHonestPolicy();
+
+/**
+ * Greedy overclaimer: declares
+ * max(ceil(trueDemand * overclaim_factor), fairShare) — inflated
+ * demand, and never a donation.
+ */
+std::unique_ptr<TenantPolicy>
+makeGreedyPolicy(double overclaim_factor = 3.0);
+
+/**
+ * Strategic overclaimer: greedy while spendable credits exceed
+ * `credit_reserve`, honest otherwise (earn, then exploit).
+ */
+std::unique_ptr<TenantPolicy>
+makeAdaptivePolicy(double overclaim_factor = 3.0,
+                   Credits credit_reserve = 0);
+
+/** Factory by kind with the default knobs above. */
+std::unique_ptr<TenantPolicy> makeTenantPolicy(TenantKind kind);
+
+} // namespace erms::market
+
+#endif // ERMS_MARKET_TENANT_POLICY_HPP

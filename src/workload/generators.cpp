@@ -23,6 +23,17 @@ std::vector<double>
 diurnalSeries(int minutes, double base_rate, double peak_rate,
               double period_minutes, double noise_cv, std::uint64_t seed)
 {
+    // phase 0.0 adds exactly 0.0 to every minute index, so this is
+    // byte-identical to the pre-phase-parameter implementation.
+    return phaseShiftedDiurnalSeries(minutes, base_rate, peak_rate,
+                                     period_minutes, 0.0, noise_cv, seed);
+}
+
+std::vector<double>
+phaseShiftedDiurnalSeries(int minutes, double base_rate, double peak_rate,
+                          double period_minutes, double phase_minutes,
+                          double noise_cv, std::uint64_t seed)
+{
     ERMS_ASSERT(minutes > 0);
     ERMS_ASSERT(base_rate >= 0.0 && peak_rate >= base_rate);
     ERMS_ASSERT(period_minutes > 0.0);
@@ -32,8 +43,9 @@ diurnalSeries(int minutes, double base_rate, double peak_rate,
     const double mid = (base_rate + peak_rate) / 2.0;
     const double amplitude = (peak_rate - base_rate) / 2.0;
     for (int m = 0; m < minutes; ++m) {
-        const double phase =
-            2.0 * std::numbers::pi * static_cast<double>(m) / period_minutes;
+        const double phase = 2.0 * std::numbers::pi *
+                             (static_cast<double>(m) + phase_minutes) /
+                             period_minutes;
         double rate = mid - amplitude * std::cos(phase);
         if (noise_cv > 0.0)
             rate *= rng.logNormalMeanCv(1.0, noise_cv);

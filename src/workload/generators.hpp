@@ -35,6 +35,21 @@ std::vector<double> diurnalSeries(int minutes, double baseRate,
                                   double noiseCv, std::uint64_t seed);
 
 /**
+ * Diurnal series starting `phaseMinutes` into the cycle — the tenant
+ * populations of the resource-market experiments (docs/market.md) are
+ * built from one diurnal shape at staggered phases, so tenant peaks
+ * alternate and troughs of one tenant overlap peaks of another.
+ * phaseShiftedDiurnalSeries(..., 0.0, cv, seed) is exactly
+ * diurnalSeries(..., cv, seed).
+ */
+std::vector<double> phaseShiftedDiurnalSeries(int minutes, double baseRate,
+                                              double peakRate,
+                                              double periodMinutes,
+                                              double phaseMinutes,
+                                              double noiseCv,
+                                              std::uint64_t seed);
+
+/**
  * Diurnal series with sudden bursts layered on top (flash-crowd spikes):
  * each minute independently starts a burst with burstProbability; a burst
  * multiplies the rate by burstFactor for burstMinutes.

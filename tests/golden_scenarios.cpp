@@ -6,6 +6,7 @@
 #include "bench_util.hpp"
 #include "core/controllers.hpp"
 #include "core/profiling_pipeline.hpp"
+#include "market/market.hpp"
 #include "telemetry/monitor.hpp"
 #include "telemetry/view.hpp"
 #include "workload/generators.hpp"
@@ -268,6 +269,140 @@ faultSweepImpl()
     return out.str();
 }
 
+// ---------------------------------------------------------------------
+// Tenant market (trimmed): capped closed-loop control, both allocators
+// ---------------------------------------------------------------------
+
+std::string
+marketImpl()
+{
+    MicroserviceCatalog catalog;
+    std::vector<Application> apps;
+    apps.push_back(makeMotivationShared(catalog, 0));
+    apps.push_back(makeMotivationShared(catalog, 2));
+
+    constexpr int kMinutes = 5;
+    constexpr double kSla = 240.0;
+    constexpr market::Units kCapacity = 16;
+    // Counter-phased diurnal demand: tenant 0 peaks while tenant 1
+    // troughs, so caps bind alternately and credits change hands.
+    std::vector<std::vector<double>> series;
+    series.push_back(phaseShiftedDiurnalSeries(
+        kMinutes, 4000.0, 12000.0, kMinutes, 0.0, 0.05, 21));
+    series.push_back(phaseShiftedDiurnalSeries(
+        kMinutes, 4000.0, 12000.0, kMinutes, kMinutes / 2.0, 0.05, 22));
+
+    std::vector<ServiceSpec> services;
+    std::vector<MarketTenantServices> tenants;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (std::size_t i = 0; i < apps[a].graphs.size(); ++i) {
+            ServiceSpec svc;
+            svc.id = apps[a].graphs[i].service();
+            svc.name = apps[a].serviceNames[i];
+            svc.graph = &apps[a].graphs[i];
+            svc.slaMs = kSla;
+            svc.workload = series[a].front() * 1.3;
+            services.push_back(svc);
+        }
+        MarketTenantServices tenant;
+        tenant.tenant = static_cast<market::TenantId>(a);
+        for (const auto &graph : apps[a].graphs)
+            for (MicroserviceId id : graph.nodes())
+                if (std::find(tenant.microservices.begin(),
+                              tenant.microservices.end(),
+                              id) == tenant.microservices.end())
+                    tenant.microservices.push_back(id);
+        tenants.push_back(std::move(tenant));
+    }
+
+    ErmsController controller(catalog, {});
+    const GlobalPlan initial =
+        controller.plan(services, Interference{0.25, 0.2});
+
+    std::ostringstream out;
+    out << "golden market (trimmed): 2x motivation-shared tenants "
+           "(honest, greedy), capacity "
+        << kCapacity << " units, SLA 240 ms, " << kMinutes
+        << " min counter-phased series, seed 5\n";
+    out << "scheme minute t0_containers t1_containers t0_cap t1_cap "
+           "worst_p95_ms\n";
+
+    std::ostringstream accounts;
+    for (int scheme = 0; scheme < 2; ++scheme) {
+        const std::string name = scheme == 0 ? "max-min" : "karma";
+        std::unique_ptr<market::MarketAllocator> allocator;
+        if (scheme == 0)
+            allocator = std::make_unique<market::MaxMinAllocator>();
+        else
+            allocator = std::make_unique<market::KarmaAllocator>(
+                tenants.size(), market::KarmaConfig{.initialCredits = 4});
+        std::vector<std::unique_ptr<market::TenantPolicy>> policies;
+        policies.push_back(market::makeHonestPolicy());
+        policies.push_back(market::makeGreedyPolicy());
+        auto tenant_market = std::make_shared<market::TenantMarket>(
+            kCapacity, std::move(allocator), std::move(policies));
+
+        SimConfig config;
+        config.horizonMinutes = kMinutes;
+        config.warmupMinutes = 1;
+        config.seed = 5;
+        Simulation sim(catalog, config);
+        sim.setBackgroundLoadAll(0.25, 0.2);
+        for (std::size_t s = 0; s < services.size(); ++s) {
+            ServiceWorkload svc;
+            svc.id = services[s].id;
+            svc.graph = services[s].graph;
+            svc.slaMs = kSla;
+            svc.rateSeries = series[s / 2];
+            sim.addService(svc);
+        }
+        sim.applyPlan(initial);
+
+        auto wrapped = makeMarketController(
+            controller.makeAutoscaler(services), tenant_market, tenants);
+        sim.setMinuteCallback([&](Simulation &s, int minute) {
+            wrapped(s, minute);
+            out << name << ' ' << minute;
+            for (const auto &tenant : tenants) {
+                int total = 0;
+                for (MicroserviceId id : tenant.microservices)
+                    total += s.containerCount(id);
+                out << ' ' << total;
+            }
+            for (const auto cap : tenant_market->lastEpoch().caps)
+                out << ' ' << cap;
+            double worst = 0.0;
+            for (const ServiceSpec &svc : services) {
+                auto it = s.metrics().endToEndByMinute.find(svc.id);
+                if (it == s.metrics().endToEndByMinute.end())
+                    continue;
+                worst = std::max(
+                    worst,
+                    it->second.window(static_cast<std::uint64_t>(minute))
+                        .p95());
+            }
+            out << ' ' << hex(worst) << '\n';
+        });
+        sim.run();
+
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+            const auto &account = tenant_market->accounts()[t];
+            accounts << name << " tenant " << t << " allocated "
+                     << account.allocatedIntegral << " useful "
+                     << account.usefulIntegral << " true "
+                     << account.trueIntegral << " declared "
+                     << account.declaredIntegral;
+            if (tenant_market->ledger() != nullptr)
+                accounts << " credits "
+                         << tenant_market->ledger()->balance(
+                                static_cast<market::TenantId>(t));
+            accounts << '\n';
+        }
+    }
+    out << accounts.str();
+    return out.str();
+}
+
 } // namespace
 
 std::string
@@ -288,6 +423,12 @@ faultSweepGolden()
     return faultSweepImpl();
 }
 
+std::string
+marketGolden()
+{
+    return marketImpl();
+}
+
 const std::vector<Scenario> &
 scenarios()
 {
@@ -295,6 +436,7 @@ scenarios()
         {"fig12.txt", &fig12Golden},
         {"fig13.txt", &fig13Golden},
         {"fault_sweep.txt", &faultSweepGolden},
+        {"market.txt", &marketGolden},
     };
     return kScenarios;
 }

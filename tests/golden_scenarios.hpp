@@ -39,6 +39,13 @@ std::string fig13Golden();
  *  however many runner workers execute it. */
 std::string faultSweepGolden();
 
+/** Trimmed tenant market: two motivation-shared tenants (honest vs
+ *  greedy) on counter-phased demand under makeMarketController, run
+ *  against both the max-min and the Karma allocator. Pins per-minute
+ *  caps, trimmed container counts, tail latencies and the final credit
+ *  ledger. */
+std::string marketGolden();
+
 /** All golden scenarios in regeneration order. */
 const std::vector<Scenario> &scenarios();
 

@@ -22,6 +22,15 @@
  *
  * Every seed derives from the task index, so the table is byte-identical
  * for any ERMS_RUNNER_THREADS.
+ *
+ * After the classic table the bench runs the correlated chaos-campaign
+ * battery (docs/chaos_campaigns.md): trace-driven diurnal populations
+ * under correlated AZ events + per-series corruption, sweeping campaign
+ * intensity x {naive, guarded} x {erms, grandslam, rhythm, firm} — all
+ * four controllers behind the identical guardrail stack. The battery
+ * writes its full per-minute trajectories to BENCH_chaos_campaign.json
+ * (override the path with argv[1]) and finishes with an in-process
+ * archive -> replay byte-identity check; the exit status reflects it.
  */
 
 #include <cstdio>
@@ -33,6 +42,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/controllers.hpp"
+#include "fault/campaign.hpp"
 #include "fault/telemetry_fault.hpp"
 #include "telemetry/guarded_view.hpp"
 
@@ -204,10 +214,150 @@ runArm(const MicroserviceCatalog &catalog, const Application &app,
     return result;
 }
 
+// ---------------------------------------------------------------------
+// Campaign battery
+// ---------------------------------------------------------------------
+
+struct CampaignArm
+{
+    CampaignConfig config;
+    CampaignResult result;
+};
+
+constexpr const char *kCampaignIntensities[] = {"off", "med", "high"};
+constexpr const char *kCampaignControllers[] = {"erms", "grandslam",
+                                                "rhythm", "firm"};
+
+/** Write the battery's full trajectories as a machine-readable JSON
+ *  artifact (doubles as %.17g so rows round-trip exactly). */
+void
+writeCampaignJson(const std::string &path,
+                  const std::vector<CampaignArm> &arms)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"chaos_campaign\",\n");
+    std::fprintf(out, "  \"arms\": [\n");
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        const CampaignArm &arm = arms[i];
+        std::fprintf(out,
+                     "    {\"intensity\": \"%s\", \"controller\": \"%s\", "
+                     "\"guarded\": %s,\n",
+                     kCampaignIntensities[i / 8],
+                     arm.config.controller.c_str(),
+                     arm.config.guarded ? "true" : "false");
+        std::fprintf(out,
+                     "     \"violation_pct\": %.17g, "
+                     "\"worst_p95_ms\": %.17g, "
+                     "\"container_minutes\": %.17g,\n",
+                     arm.result.violationPct, arm.result.worstP95Ms,
+                     arm.result.containerMinutes);
+        std::fprintf(out,
+                     "     \"fallback_cycles\": %llu, "
+                     "\"substituted_last_good\": %llu,\n",
+                     (unsigned long long)arm.result.guard.fallbackCycles,
+                     (unsigned long long)
+                         arm.result.guard.substitutedLastGood);
+        std::fprintf(out, "     \"minutes\": [\n");
+        for (std::size_t m = 0; m < arm.result.minutes.size(); ++m) {
+            const CampaignMinute &row = arm.result.minutes[m];
+            std::fprintf(out,
+                         "       {\"minute\": %d, \"containers\": %d, "
+                         "\"violation_pct\": %.17g, "
+                         "\"worst_p95_ms\": %.17g, "
+                         "\"guard_mode\": %d}%s\n",
+                         row.minute, row.containers, row.violationPct,
+                         row.worstP95Ms, row.guardMode,
+                         m + 1 < arm.result.minutes.size() ? "," : "");
+        }
+        std::fprintf(out, "     ]}%s\n",
+                     i + 1 < arms.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s (%zu arms)\n", path.c_str(), arms.size());
+}
+
+/** The cross-controller resilience battery: every campaign arm through
+ *  runCampaign, summary table, JSON artifact, and an in-process
+ *  archive -> replay byte-identity gate on one perturbed arm. */
+int
+runCampaignBattery(const std::string &json_path)
+{
+    printBanner(std::cout,
+                "Correlated chaos campaigns — diurnal trace populations "
+                "under AZ events + per-series corruption, all "
+                "controllers behind the same guardrails");
+
+    std::vector<std::function<CampaignArm()>> tasks;
+    for (const char *intensity : kCampaignIntensities) {
+        for (const char *controller : kCampaignControllers) {
+            for (const bool guarded : {false, true}) {
+                tasks.push_back([intensity, controller, guarded] {
+                    CampaignArm arm;
+                    arm.config =
+                        makeCampaignArm(intensity, controller, guarded);
+                    arm.result = runCampaign(arm.config);
+                    return arm;
+                });
+            }
+        }
+    }
+    const auto arms = runSweep("chaos-campaign", std::move(tasks));
+
+    TextTable table({"intensity", "controller", "arm", "SLA violation %",
+                     "worst P95 (ms)", "container-min", "fallback cyc",
+                     "LKG substs"});
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        const CampaignArm &arm = arms[i];
+        table.row()
+            .cell(kCampaignIntensities[i / 8])
+            .cell(arm.config.controller)
+            .cell(arm.config.guarded ? "guarded" : "naive")
+            .cell(arm.result.violationPct, 2)
+            .cell(arm.result.worstP95Ms, 1)
+            .cell(arm.result.containerMinutes, 0)
+            .cell(static_cast<double>(arm.result.guard.fallbackCycles), 0)
+            .cell(static_cast<double>(
+                      arm.result.guard.substitutedLastGood),
+                  0);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nshapes to check: at med and high every guarded arm's "
+           "SLA-violation rate sits\nat or below its naive counterpart "
+           "— for all four controllers, not just Erms.\nAt off the "
+           "erms/grandslam/rhythm arms are pairwise identical (clean "
+           "stream,\nguard transparent); firm's off arms differ "
+           "because its honest reactive p95\nspikes trip the outlier "
+           "gate — a measured cost of guarding a reactive\ncontroller, "
+           "not a telemetry fault.\n";
+
+    writeCampaignJson(json_path, arms);
+
+    // Archive -> replay byte-identity on a perturbed arm: the archived
+    // config alone must reproduce the exact rows and scrape stream.
+    const std::size_t pick = 8 + 2 * 0 + 1; // med / erms / guarded
+    const std::string archive =
+        archiveCampaign(arms[pick].config, arms[pick].result);
+    const CampaignReplay replay = replayCampaign(archive);
+    std::printf("archive replay (med/erms/guarded): rows %s, "
+                "scrapes %s\n",
+                replay.minutesIdentical ? "identical" : "MISMATCH",
+                replay.historyIdentical ? "identical" : "MISMATCH");
+    return replay.identical() ? 0 : 1;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Telemetry chaos — naive vs guarded control under a "
@@ -268,5 +418,7 @@ main()
            "arm's: the guard converts\ncorrupt scrapes into held, "
            "clamped, or over-provisioned capacity instead of\nletting "
            "them tear the deployment down mid-ramp.\n";
-    return 0;
+
+    return runCampaignBattery(argc > 1 ? argv[1]
+                                       : "BENCH_chaos_campaign.json");
 }

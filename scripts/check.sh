@@ -14,7 +14,9 @@
 # binary-heap event engine vs the calendar engine, and through the
 # K=1 sharded coordinator vs the unsharded path; the tenant-market
 # bench table must come out identical with one runner worker vs the
-# hardware default), and the documentation link-and-symbol checker.
+# hardware default; a chaos-campaign archive written with the default
+# worker count must replay byte-identically in a fresh serial process),
+# and the documentation link-and-symbol checker.
 #
 # Usage: scripts/check.sh [jobs]   (default: 2)
 
@@ -27,13 +29,13 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== asan: fault + chaos + runner + golden + market + property tests (build-asan/) =="
+echo "== asan: fault + chaos + campaign + runner + golden + market + property tests (build-asan/) =="
 cmake -B build-asan -S . -DERMS_SANITIZE=address
 cmake --build build-asan -j"$JOBS" \
     --target erms_tests_sim erms_tests_runner erms_tests_golden \
              erms_tests_system erms_tests_telemetry erms_tests_chaos \
-             erms_tests_event_engine erms_tests_queueing \
-             erms_tests_market
+             erms_tests_campaign erms_tests_event_engine \
+             erms_tests_queueing erms_tests_market
 ./build-asan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
 ./build-asan/tests/erms_tests_runner
@@ -42,17 +44,26 @@ cmake --build build-asan -j"$JOBS" \
     --gtest_filter='*Property*:*StatsMerge*:*HistogramMerge*:*TelemetryTransparency*'
 ./build-asan/tests/erms_tests_telemetry
 ./build-asan/tests/erms_tests_chaos
+# The campaign suite's full-size runs are slow under ASan; the archive/
+# replay and campaign-determinism contracts get their cross-process
+# pass below, so the sanitizer focuses on the schedule/corruption/cache
+# layers and the guarded-baseline transparency runs.
+./build-asan/tests/erms_tests_campaign \
+    --gtest_filter='CampaignAzSchedule.*:CampaignCorruption.*:CampaignFaultyViewCache.*:CampaignArms.*:CampaignArchive.MalformedDocumentThrows:CampaignBaselineTransparency.*'
 ./build-asan/tests/erms_tests_event_engine
 ./build-asan/tests/erms_tests_queueing \
     --gtest_filter='QueueingValidation.MM1*:QueueingValidation.ErlangC*'
 ./build-asan/tests/erms_tests_market
 
-echo "== ubsan: telemetry + guard + chaos numeric paths (build-ubsan/) =="
+echo "== ubsan: telemetry + guard + chaos + campaign numeric paths (build-ubsan/) =="
 cmake -B build-ubsan -S . -DERMS_SANITIZE=undefined
 cmake --build build-ubsan -j"$JOBS" \
-    --target erms_tests_telemetry erms_tests_chaos erms_tests_sim
+    --target erms_tests_telemetry erms_tests_chaos erms_tests_campaign \
+             erms_tests_sim
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_telemetry
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_chaos
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_campaign \
+    --gtest_filter='CampaignAzSchedule.*:CampaignCorruption.*:CampaignFaultyViewCache.*:CampaignArms.*:CampaignArchive.MalformedDocumentThrows:CampaignBaselineTransparency.*'
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
 
@@ -88,6 +99,19 @@ cmake --build build -j"$JOBS" --target bench_tenant_market
 ERMS_RUNNER_THREADS=1 ./build/bench/bench_tenant_market \
     > /tmp/erms_market_serial.txt
 cmp /tmp/erms_market_default.txt /tmp/erms_market_serial.txt
+
+echo "== campaign replay determinism: archive with default workers, replay serial =="
+cmake --build build -j"$JOBS" --target campaign_replay
+./build/bench/campaign_replay write /tmp/erms_campaign_default.json med erms guarded
+# The replay must reproduce the archived rows and scrape stream from
+# the config alone — in a fresh process, pinned to one runner worker.
+ERMS_RUNNER_THREADS=1 ./build/bench/campaign_replay replay \
+    /tmp/erms_campaign_default.json
+# And a serially-written archive must be byte-identical to the default
+# one: campaigns never depend on the worker count.
+ERMS_RUNNER_THREADS=1 ./build/bench/campaign_replay write \
+    /tmp/erms_campaign_serial.json med erms guarded
+cmp /tmp/erms_campaign_default.json /tmp/erms_campaign_serial.json
 
 echo "== docs: link and symbol check =="
 scripts/check_docs.sh

@@ -368,4 +368,16 @@ FirmAllocator::allocate(const std::vector<ServiceSpec> &services,
                                 std::move(allocations));
 }
 
+std::shared_ptr<BaselineAllocator>
+makeBaselineAllocator(const std::string &name)
+{
+    if (name == "grandslam")
+        return std::make_shared<GrandSlamAllocator>();
+    if (name == "rhythm")
+        return std::make_shared<RhythmAllocator>();
+    if (name == "firm")
+        return std::make_shared<FirmAllocator>();
+    throw ErmsError("unknown baseline allocator: " + name);
+}
+
 } // namespace erms

@@ -25,6 +25,7 @@
 #ifndef ERMS_BASELINES_BASELINE_HPP
 #define ERMS_BASELINES_BASELINE_HPP
 
+#include <memory>
 #include <string>
 
 #include "scaling/multiplexing.hpp"
@@ -126,6 +127,16 @@ class FirmAllocator : public BaselineAllocator
     std::uint64_t seed_;
     double slaSafety_;
 };
+
+/**
+ * Baseline registry by name — "grandslam", "rhythm", or "firm" (case
+ * as written), each with its default knobs. The cross-controller
+ * resilience battery and the chaos campaigns select baselines through
+ * this single point so every harness wires the identical allocator.
+ * @throws ErmsError on an unknown name.
+ */
+std::shared_ptr<BaselineAllocator>
+makeBaselineAllocator(const std::string &name);
 
 } // namespace erms
 

@@ -182,6 +182,34 @@ makeDynamicController(const ErmsController &controller,
 }
 
 std::function<void(Simulation &, int)>
+makeControllerByName(const std::string &name,
+                     const MicroserviceCatalog &catalog,
+                     std::vector<ServiceSpec> services,
+                     std::shared_ptr<const telemetry::TelemetryView> view)
+{
+    if (name == "erms") {
+        // The ErmsController must outlive the autoscaler closure (which
+        // captures it by reference); the outer closure owns it.
+        auto controller =
+            std::make_shared<ErmsController>(catalog, ErmsConfig{});
+        auto inner = controller->makeAutoscaler(std::move(services),
+                                                std::move(view));
+        return [controller, inner = std::move(inner)](Simulation &sim,
+                                                      int minute) {
+            inner(sim, minute);
+        };
+    }
+    if (name == "firm")
+        return makeFirmReactiveController(catalog, std::move(services),
+                                          std::move(view));
+    BaselineContext context;
+    context.catalog = &catalog;
+    return makeBaselineAutoscaler(makeBaselineAllocator(name), context,
+                                  std::move(services), 1.2,
+                                  std::move(view));
+}
+
+std::function<void(Simulation &, int)>
 makeGuardedController(std::function<void(Simulation &, int)> inner,
                       std::shared_ptr<telemetry::GuardedTelemetryView> guard,
                       std::vector<MicroserviceId> managed,

@@ -84,6 +84,21 @@ makeDynamicController(
     std::shared_ptr<const telemetry::TelemetryView> view = nullptr);
 
 /**
+ * Controller registry by name — "erms" (a default-config ErmsController
+ * owned by the returned closure), "grandslam"/"rhythm" (baseline
+ * autoscalers at the dynamic-operation headroom of 1.2), or "firm"
+ * (the reactive controller). All four observe through the same given
+ * view, so the cross-controller resilience battery and the chaos
+ * campaigns (docs/chaos_campaigns.md) can wrap any of them in the
+ * identical guardrail stack. @throws ErmsError on an unknown name.
+ */
+std::function<void(Simulation &, int)>
+makeControllerByName(
+    const std::string &name, const MicroserviceCatalog &catalog,
+    std::vector<ServiceSpec> services,
+    std::shared_ptr<const telemetry::TelemetryView> view = nullptr);
+
+/**
  * Knobs of the scaling guardrails wrapped around a controller by
  * makeGuardedController. Defaults keep NORMAL mode fully transparent:
  * with healthy telemetry the guarded controller is byte-identical to

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Trace-driven correlated chaos campaigns (docs/chaos_campaigns.md) —
+ * the regression battery that turns one-off chaos runs into replayable
+ * evidence. A campaign replays a diurnal SynthTrace population through
+ * the data-plane fault layer (fault.hpp) and the observability-chaos
+ * layer (telemetry_fault.hpp) at once:
+ *
+ *  - correlated AZ events: one closed-form schedule (AzEventConfig,
+ *    shared verbatim by FaultConfig and TelemetryFaultConfig) drives
+ *    host stragglers on the data plane and gauge blackouts plus scrape
+ *    drop/delay on the telemetry plane simultaneously;
+ *  - per-series corruption: a SeriesCorruptor makes one service's
+ *    counters lie (scaled/frozen/negated) while the rest stay honest;
+ *  - any controller: "erms", "grandslam", "rhythm", or "firm" via
+ *    makeControllerByName, naive or behind the full guardrail stack
+ *    (GuardedTelemetryView + makeGuardedController).
+ *
+ * Every campaign can be archived: archiveCampaign() serializes the
+ * complete config, the per-minute violation rows, and the perturbed
+ * scrape history (FaultyTelemetryView::perturbedHistory) to one JSON
+ * document. replayCampaign() parses the document, reruns the campaign
+ * from the archived config, and byte-compares both the violation rows
+ * and the perturbed scrape stream — so any surprising bench row
+ * reproduces offline, bit for bit, from the artifact alone.
+ *
+ * Determinism contract: runCampaign() is a pure function of its
+ * CampaignConfig. Every seed (trace, simulator, workload shapes, both
+ * fault planes) derives from config fields, none from global state, so
+ * the same config replays identically on any worker count, either
+ * event engine, and across processes.
+ */
+
+#ifndef ERMS_FAULT_CAMPAIGN_HPP
+#define ERMS_FAULT_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/telemetry_fault.hpp"
+#include "telemetry/guarded_view.hpp"
+#include "workload/synth_trace.hpp"
+
+namespace erms {
+
+/** Trace defaults for campaigns: a small shared population (a handful
+ *  of services over a few dozen microservices, moderate workloads)
+ *  that keeps one campaign arm in the seconds range. Scale up via
+ *  CampaignConfig::trace for Taobao-sized batteries. */
+SynthTraceConfig campaignTraceConfig();
+
+/**
+ * Complete description of one chaos campaign. Default-constructed:
+ * a fault-free diurnal replay under the naive Erms controller — both
+ * fault planes inactive, no corruption — which is byte-identical to a
+ * clean telemetry-driven run (the campaign transparency contract).
+ */
+struct CampaignConfig
+{
+    /** Root seed: workload shapes and the simulator seed derive from
+     *  it (fault-plane seeds live in their own configs below). */
+    std::uint64_t seed = 0xca3aULL;
+    int horizonMinutes = 10;
+    int warmupMinutes = 1;
+    int hostCount = 20;
+
+    /** Trace population replayed by the campaign. */
+    SynthTraceConfig trace = campaignTraceConfig();
+    /** Diurnal trough as a fraction of each service's trace workload. */
+    double troughFraction = 0.30;
+    /** Flash-crowd burst probability per minute (see
+     *  makeTraceRateSeries). */
+    double burstProbability = 0.05;
+
+    /** Controller under test: "erms", "grandslam", "rhythm", "firm". */
+    std::string controller = "erms";
+    /** Wrap the controller in GuardedTelemetryView +
+     *  makeGuardedController. */
+    bool guarded = false;
+
+    /** Data-plane faults (crashes/stragglers/AZ events). */
+    FaultConfig faults;
+    /** Observability-plane faults. Correlation with the data plane is
+     *  established by assigning the same AzEventConfig to
+     *  faults.azEvents and telemetryFaults.azEvents. */
+    TelemetryFaultConfig telemetryFaults;
+    /** Per-series corruption composed into the faulty view. */
+    SeriesCorruptionConfig corruption;
+};
+
+/** One per-minute row of a campaign trajectory. */
+struct CampaignMinute
+{
+    int minute = 0;
+    /** Deployed containers across all managed microservices after the
+     *  controller's decision this minute. */
+    int containers = 0;
+    /** Percentage of this minute's completed requests over their
+     *  service SLA (worst service). */
+    double violationPct = 0.0;
+    /** Worst per-service interval P95 this minute (ms). */
+    double worstP95Ms = 0.0;
+    /** Guard state after the controller ran (-1 when naive). */
+    int guardMode = -1;
+};
+
+/** Outcome of one campaign run. */
+struct CampaignResult
+{
+    std::vector<CampaignMinute> minutes;
+    /** Mean per-service full-run SLA-violation percentage. */
+    double violationPct = 0.0;
+    /** Worst per-service full-run P95 (ms). */
+    double worstP95Ms = 0.0;
+    /** Deployed-container integral over the run (container-minutes). */
+    double containerMinutes = 0.0;
+    telemetry::GuardStats guard{};
+    /** The perturbed scrape history the controller actually saw. */
+    std::vector<telemetry::TelemetrySnapshot> perturbedHistory;
+};
+
+/** Run one campaign. Pure function of the config (see file doc). */
+CampaignResult runCampaign(const CampaignConfig &config);
+
+/**
+ * The named arms of the cross-controller resilience battery
+ * (bench_telemetry_chaos, the campaign_replay tool, and the campaign
+ * test suite all build arms through here so they agree on what "med"
+ * means). Intensities:
+ *
+ *  - "off":  no faults, no corruption — the transparency row;
+ *  - "med":  correlated AZ events (one shared AzEventConfig on both
+ *            planes) plus background scrape drop/delay and Scaled
+ *            counter corruption of service 0;
+ *  - "high": more frequent/longer AZ events, heavier background
+ *            telemetry chaos (counter drops, outliers, blackouts) and
+ *            Frozen counter corruption of service 0.
+ *
+ * All seeds derive from the intensity index only, so every controller
+ * arm of one intensity faces the identical workload, fault schedule,
+ * and perturbed-scrape decisions. @throws ErmsError on unknown names.
+ */
+CampaignConfig makeCampaignArm(const std::string &intensity,
+                               const std::string &controller,
+                               bool guarded);
+
+/**
+ * Serialize a campaign to its replayable JSON artifact: the full
+ * config, the per-minute rows, the summary, and the perturbed scrape
+ * history (via telemetry::toJson, which round-trips doubles exactly).
+ */
+std::string archiveCampaign(const CampaignConfig &config,
+                            const CampaignResult &result);
+
+/** Outcome of replaying an archived campaign offline. */
+struct CampaignReplay
+{
+    /** Config parsed back from the archive. */
+    CampaignConfig config;
+    /** Fresh rerun of that config. */
+    CampaignResult replayed;
+    /** Rows as recorded in the archive. */
+    std::vector<CampaignMinute> archivedMinutes;
+    std::size_t archivedScrapes = 0;
+
+    /** Rerun rows bit-identical to the archived rows. */
+    bool minutesIdentical = false;
+    /** Rerun perturbed scrape history bit-identical to the archive. */
+    bool historyIdentical = false;
+
+    bool identical() const { return minutesIdentical && historyIdentical; }
+};
+
+/**
+ * Parse an archive produced by archiveCampaign(), rerun the campaign
+ * from the archived config, and byte-compare rows and scrape history.
+ * @throws ErmsError on a malformed document.
+ */
+CampaignReplay replayCampaign(const std::string &archive_json);
+
+} // namespace erms
+
+#endif // ERMS_FAULT_CAMPAIGN_HPP

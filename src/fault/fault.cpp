@@ -43,7 +43,29 @@ bool
 FaultConfig::anyFaults() const
 {
     return crashesPerMinute > 0.0 || slowdownsPerMinute > 0.0 ||
-           callFailureProbability > 0.0;
+           callFailureProbability > 0.0 || azEvents.active();
+}
+
+std::vector<AzEvent>
+buildAzEventSchedule(const AzEventConfig &config, SimTime horizon)
+{
+    ERMS_ASSERT(config.azCount > 0);
+    std::vector<AzEvent> events;
+    if (!config.active())
+        return events;
+    // Stream 0 of the AZ seed; the AZ seed is its own namespace (shared
+    // verbatim between the two fault planes), so this never collides
+    // with the crash/slowdown/blackout streams of the plane seeds.
+    Rng rng(deriveRunSeed(config.seed, 0));
+    const SimTime duration = toSimTime(config.eventDurationMs);
+    for (SimTime at : poissonTimes(rng, config.eventsPerMinute, horizon)) {
+        AzEvent event;
+        event.start = at;
+        event.end = at + std::max<SimTime>(1, duration);
+        event.az = static_cast<int>(rng.uniformInt(0, config.azCount - 1));
+        events.push_back(event);
+    }
+    return events;
 }
 
 FaultSchedule
@@ -72,6 +94,34 @@ buildFaultSchedule(const FaultConfig &config, int host_count,
         window.host = static_cast<HostId>(
             slow_rng.uniformInt(0, host_count - 1));
         schedule.slowdowns.push_back(window);
+    }
+
+    if (config.azEvents.active()) {
+        // Data-plane half of the correlated AZ events: every host of
+        // the struck AZ straggles for the window. The identical event
+        // list drives the telemetry plane (buildTelemetryFaultSchedule)
+        // when the same AzEventConfig is set there.
+        for (const AzEvent &event :
+             buildAzEventSchedule(config.azEvents, horizon)) {
+            for (HostId host = 0;
+                 host < static_cast<HostId>(host_count); ++host) {
+                if (azOfHost(host, config.azEvents.azCount) != event.az)
+                    continue;
+                SlowdownWindow window;
+                window.start = event.start;
+                window.end = event.end;
+                window.host = host;
+                schedule.slowdowns.push_back(window);
+            }
+        }
+        std::sort(schedule.slowdowns.begin(), schedule.slowdowns.end(),
+                  [](const SlowdownWindow &a, const SlowdownWindow &b) {
+                      if (a.start != b.start)
+                          return a.start < b.start;
+                      if (a.end != b.end)
+                          return a.end < b.end;
+                      return a.host < b.host;
+                  });
     }
     return schedule;
 }

@@ -31,6 +31,75 @@
 namespace erms {
 
 /**
+ * Correlated AZ/host-group events — the failure class where one
+ * physical incident (a zone's power feed, a ToR switch) degrades the
+ * data plane *and* the observability plane together. The host fleet is
+ * partitioned round-robin into `azCount` groups (host h belongs to AZ
+ * h % azCount); each event hits one uniformly chosen AZ for a window.
+ *
+ * The same AzEventConfig is embedded in both FaultConfig and
+ * TelemetryFaultConfig. Each side derives the identical event list from
+ * (seed, eventsPerMinute, eventDurationMs, azCount) via the pure
+ * buildAzEventSchedule(), so setting the two sides' `azEvents` to the
+ * same value yields one closed-form schedule driving both planes:
+ * the data plane turns every AZ host into a straggler for the window
+ * (buildFaultSchedule appends the SlowdownWindows), while the telemetry
+ * plane blacks out the AZ hosts' gauge series and drops/delays scrapes
+ * inside the window (buildTelemetryFaultSchedule + perturb). This is
+ * the correlation the chaos campaigns replay (docs/chaos_campaigns.md).
+ */
+struct AzEventConfig
+{
+    /** Seed of the event schedule's own RNG stream. Shared verbatim by
+     *  both planes — the correlation *is* this seed. */
+    std::uint64_t seed = 0xa25eULL;
+    /** Poisson rate of AZ events (events/minute). 0 disables. */
+    double eventsPerMinute = 0.0;
+    /** Length of one AZ event window (ms). */
+    double eventDurationMs = 90000.0;
+    /** Number of AZ groups the host fleet is split into. */
+    int azCount = 4;
+
+    // Telemetry-plane effect knobs (consumed by TelemetryFaultInjector;
+    // the data-plane side reuses FaultConfig's slowdown knobs).
+    /** Probability that a scrape inside an event window never lands. */
+    double scrapeDropProbability = 0.8;
+    /** Probability that a surviving scrape inside a window is late. */
+    double scrapeDelayProbability = 0.5;
+    /** How late such a delayed scrape becomes visible (ms). */
+    double scrapeDelayMs = 45000.0;
+
+    /** True when AZ events are being injected. */
+    bool active() const { return eventsPerMinute > 0.0; }
+};
+
+/** One scheduled AZ event window. */
+struct AzEvent
+{
+    SimTime start = 0;
+    SimTime end = 0;
+    int az = 0;
+
+    bool covers(SimTime at) const { return at >= start && at < end; }
+};
+
+/** AZ of a host under round-robin grouping. */
+inline int
+azOfHost(HostId host, int az_count)
+{
+    return static_cast<int>(host % static_cast<HostId>(az_count));
+}
+
+/**
+ * Generate the AZ event schedule: Poisson window starts over
+ * [0, horizon) on the config's own seed, one uniformly chosen AZ per
+ * event. Pure function of (config, horizon) — both fault planes call
+ * this with the identical config and obtain the identical list.
+ */
+std::vector<AzEvent> buildAzEventSchedule(const AzEventConfig &config,
+                                          SimTime horizon);
+
+/**
  * Knobs of the fault injector. All rates default to zero: a
  * default-constructed FaultConfig injects nothing and leaves the
  * simulator byte-identical to a fault-free run.
@@ -69,6 +138,14 @@ struct FaultConfig
     /** Probability that any single microservice call attempt fails
      *  transiently (the response is lost after processing). */
     double callFailureProbability = 0.0;
+
+    // --- correlated AZ events ------------------------------------------
+    /** Data-plane half of the correlated AZ events (see AzEventConfig):
+     *  every host of the struck AZ becomes a straggler for the window,
+     *  using the slowdownFactor / slowdownCpuInflate knobs above. Set
+     *  the identical struct on TelemetryFaultConfig::azEvents to
+     *  correlate the observability plane. */
+    AzEventConfig azEvents;
 
     /** True when any fault class is active. */
     bool anyFaults() const;
@@ -128,7 +205,11 @@ struct FaultSchedule
  * Generate the fault schedule for one run: Poisson arrival times over
  * [0, horizon) for crashes and slowdown windows. Crash times and
  * slowdown windows come from separate derived RNG streams, so changing
- * one knob never shifts the other class's schedule.
+ * one knob never shifts the other class's schedule. Active AZ events
+ * (config.azEvents) append one SlowdownWindow per host of the struck AZ
+ * per event; with AZ events on, the combined slowdown list is sorted by
+ * (start, end, host), and with them off the schedule is byte-identical
+ * to the pre-AZ behaviour.
  */
 FaultSchedule buildFaultSchedule(const FaultConfig &config, int host_count,
                                  SimTime horizon);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <string>
 
 #include "common/error.hpp"
@@ -28,6 +29,8 @@ constexpr std::uint64_t kSpanLossStream = 3;
 constexpr std::uint64_t kOutlierStream = 4;
 constexpr std::uint64_t kCounterDropStream = 5;
 constexpr std::uint64_t kJitterStream = 6;
+constexpr std::uint64_t kAzDropStream = 7;
+constexpr std::uint64_t kAzDelayStream = 8;
 
 /** Closed-form per-(stream, scrape) decision word. */
 std::uint64_t
@@ -116,7 +119,7 @@ TelemetryFaultConfig::anyFaults() const
     return scrapeDropProbability > 0.0 || scrapeDelayProbability > 0.0 ||
            blackoutsPerMinute > 0.0 || spanLossProbability > 0.0 ||
            outlierProbability > 0.0 || counterDropProbability > 0.0 ||
-           clockSkewMs != 0.0 || clockJitterMs > 0.0;
+           clockSkewMs != 0.0 || clockJitterMs > 0.0 || azEvents.active();
 }
 
 TelemetryFaultSchedule
@@ -136,7 +139,101 @@ buildTelemetryFaultSchedule(const TelemetryFaultConfig &config,
             rng.uniformInt(0, host_count - 1));
         schedule.blackouts.push_back(window);
     }
+
+    if (config.azEvents.active()) {
+        // Observability-plane half of the correlated AZ events: the
+        // identical event list buildFaultSchedule derives when the same
+        // AzEventConfig is set on the data plane. Every host of the
+        // struck AZ loses its gauge series for the window; the
+        // per-scrape drop/delay inside the window is applied by
+        // perturb() against this list.
+        schedule.azEvents =
+            buildAzEventSchedule(config.azEvents, horizon);
+        for (const AzEvent &event : schedule.azEvents) {
+            for (HostId host = 0;
+                 host < static_cast<HostId>(host_count); ++host) {
+                if (azOfHost(host, config.azEvents.azCount) != event.az)
+                    continue;
+                BlackoutWindow window;
+                window.start = event.start;
+                window.end = event.end;
+                window.host = host;
+                schedule.blackouts.push_back(window);
+            }
+        }
+        std::sort(schedule.blackouts.begin(), schedule.blackouts.end(),
+                  [](const BlackoutWindow &a, const BlackoutWindow &b) {
+                      if (a.start != b.start)
+                          return a.start < b.start;
+                      if (a.end != b.end)
+                          return a.end < b.end;
+                      return a.host < b.host;
+                  });
+    }
     return schedule;
+}
+
+SeriesCorruptor::SeriesCorruptor(SeriesCorruptionConfig config)
+    : config_(config)
+{
+    ERMS_ASSERT(config_.scale >= 0.0);
+}
+
+std::vector<TelemetrySnapshot>
+SeriesCorruptor::corrupt(std::vector<TelemetrySnapshot> snaps) const
+{
+    if (!config_.active())
+        return snaps;
+
+    const std::string target = std::to_string(config_.service);
+    const auto targeted = [&](const SeriesSnapshot &s) {
+        if (s.kind != MetricKind::Counter)
+            return false;
+        for (const auto &[key, value] : s.labels)
+            if (key == "service")
+                return value == target;
+        return false;
+    };
+
+    // Frozen/Negated anchor on the first scrape in which each series
+    // appears, resolved over the whole stream so the result is a pure
+    // function of (config, stream) — not of how the cache was queried.
+    std::map<std::string, std::uint64_t> anchors;
+    if (config_.mode != SeriesCorruptionConfig::Mode::Scaled) {
+        for (const TelemetrySnapshot &snap : snaps)
+            for (const SeriesSnapshot &s : snap.series)
+                if (targeted(s))
+                    anchors.emplace(s.name, s.counterValue);
+    }
+
+    for (TelemetrySnapshot &snap : snaps) {
+        for (SeriesSnapshot &s : snap.series) {
+            if (!targeted(s))
+                continue;
+            switch (config_.mode) {
+            case SeriesCorruptionConfig::Mode::Scaled:
+                s.counterValue = static_cast<std::uint64_t>(
+                    static_cast<double>(s.counterValue) * config_.scale);
+                break;
+            case SeriesCorruptionConfig::Mode::Frozen:
+                s.counterValue = anchors.at(s.name);
+                break;
+            case SeriesCorruptionConfig::Mode::Negated: {
+                // The counter runs backwards from its anchor by exactly
+                // the true progress, clamped at zero — the worst-case
+                // regression shape for delta-based rate math.
+                const std::uint64_t anchor = anchors.at(s.name);
+                const std::uint64_t progress = s.counterValue - anchor;
+                s.counterValue =
+                    anchor > progress ? anchor - progress : 0;
+                break;
+            }
+            case SeriesCorruptionConfig::Mode::None:
+                break;
+            }
+        }
+    }
+    return snaps;
 }
 
 TelemetryFaultInjector::TelemetryFaultInjector(TelemetryFaultConfig config,
@@ -157,6 +254,12 @@ TelemetryFaultInjector::TelemetryFaultInjector(TelemetryFaultConfig config,
                 config_.counterDropProbability <= 1.0);
     ERMS_ASSERT(config_.counterDropFloor >= 0.0 &&
                 config_.counterDropFloor <= 0.9);
+    ERMS_ASSERT(config_.azEvents.eventsPerMinute >= 0.0);
+    ERMS_ASSERT(config_.azEvents.azCount > 0);
+    ERMS_ASSERT(config_.azEvents.scrapeDropProbability >= 0.0 &&
+                config_.azEvents.scrapeDropProbability <= 1.0);
+    ERMS_ASSERT(config_.azEvents.scrapeDelayProbability >= 0.0 &&
+                config_.azEvents.scrapeDelayProbability <= 1.0);
 }
 
 bool
@@ -166,6 +269,15 @@ TelemetryFaultInjector::hostBlackedOut(HostId host, SimTime at) const
         if (window.host == host && at >= window.start && at < window.end)
             return true;
     }
+    return false;
+}
+
+bool
+TelemetryFaultInjector::activeAzEvent(SimTime at) const
+{
+    for (const AzEvent &event : schedule_.azEvents)
+        if (event.covers(at))
+            return true;
     return false;
 }
 
@@ -199,6 +311,26 @@ TelemetryFaultInjector::perturb(
                 snap.at + toSimTime(config_.scrapeDelayMs);
             if (newest_true < visible_at)
                 continue; // still in flight
+        }
+
+        if (config_.azEvents.active() && activeAzEvent(snap.at)) {
+            // Correlated AZ event: while the zone burns, the whole
+            // scrape pipeline degrades — scrapes stamped inside the
+            // window drop or arrive late with the event's own
+            // probabilities, on dedicated decision streams.
+            if (config_.azEvents.scrapeDropProbability > 0.0 &&
+                toUniform(decisionWord(config_.seed, kAzDropStream, i)) <
+                    config_.azEvents.scrapeDropProbability)
+                continue;
+            if (config_.azEvents.scrapeDelayProbability > 0.0 &&
+                toUniform(decisionWord(config_.seed, kAzDelayStream,
+                                       i)) <
+                    config_.azEvents.scrapeDelayProbability) {
+                const SimTime visible_at =
+                    snap.at + toSimTime(config_.azEvents.scrapeDelayMs);
+                if (newest_true < visible_at)
+                    continue; // still in flight
+            }
         }
 
         TelemetrySnapshot p = snap;
@@ -298,8 +430,9 @@ TelemetryFaultInjector::perturb(
 
 FaultyTelemetryView::FaultyTelemetryView(
     const telemetry::SimMonitor &monitor, TelemetryFaultConfig config,
-    int host_count, SimTime horizon)
-    : monitor_(&monitor), injector_(config, host_count, horizon)
+    int host_count, SimTime horizon, SeriesCorruptionConfig corruption)
+    : monitor_(&monitor), injector_(config, host_count, horizon),
+      corruptor_(corruption)
 {
 }
 
@@ -307,10 +440,9 @@ const std::vector<TelemetrySnapshot> &
 FaultyTelemetryView::visibleSnapshots() const
 {
     const auto &true_snaps = monitor_->snapshots();
-    if (!cacheValid_ || cachedTrueCount_ != true_snaps.size()) {
-        cache_ = injector_.perturb(true_snaps);
+    if (cachedTrueCount_ != true_snaps.size()) {
+        cache_ = corruptor_.corrupt(injector_.perturb(true_snaps));
         cachedTrueCount_ = true_snaps.size();
-        cacheValid_ = true;
     }
     return cache_;
 }

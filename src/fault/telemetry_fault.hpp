@@ -19,7 +19,12 @@
  *    overflow bucket, yanking interval quantiles to the top boundary),
  *  - partial counter scrapes (a counter shard is lost: cumulative
  *    counts under-report and later appear to regress),
- *  - clock skew/jitter on snapshot timestamps.
+ *  - clock skew/jitter on snapshot timestamps,
+ *  - correlated AZ events (shared with the data plane via
+ *    AzEventConfig in fault.hpp: the struck AZ's gauges black out and
+ *    its scrape windows drop/delay while its hosts straggle),
+ *  - per-series corruption (SeriesCorruptor: one service's counters
+ *    lie — scaled, frozen, or negated — while the rest stay honest).
  *
  * Faults perturb only what controllers *see*: the simulator's request
  * path, the monitor's true series, and every oracle read are untouched,
@@ -40,6 +45,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/view.hpp"
 
 namespace erms {
@@ -101,6 +107,15 @@ struct TelemetryFaultConfig
      *  +clockJitterMs]. */
     double clockJitterMs = 0.0;
 
+    // --- correlated AZ events ------------------------------------------
+    /** Observability-plane half of the correlated AZ events (see
+     *  AzEventConfig in fault.hpp): for each event window, the struck
+     *  AZ's host gauges black out, and every scrape stamped inside the
+     *  window drops or delays with the event's own probabilities. Set
+     *  the identical struct on FaultConfig::azEvents to correlate the
+     *  data plane. */
+    AzEventConfig azEvents;
+
     /** True when any fault class is active. */
     bool anyFaults() const;
 };
@@ -113,21 +128,83 @@ struct BlackoutWindow
     HostId host = kInvalidHost;
 };
 
-/** Precomputed blackout schedule of one run (time-ascending). */
+/** Precomputed blackout + AZ-event schedule of one run. */
 struct TelemetryFaultSchedule
 {
     std::vector<BlackoutWindow> blackouts;
+    /** Active AZ events (empty unless config.azEvents is active) — the
+     *  identical list buildFaultSchedule derives on the data plane. */
+    std::vector<AzEvent> azEvents;
 };
 
 /**
  * Generate the blackout schedule for one run: Poisson window starts
  * over [0, horizon) on a dedicated derived RNG stream, so changing any
  * per-scrape knob never shifts the blackout windows (and vice versa).
- * Pure function of (config, host_count, horizon).
+ * Active AZ events append one BlackoutWindow per host of the struck AZ
+ * per event (the combined list is then sorted by (start, end, host));
+ * with AZ events off the schedule is byte-identical to the pre-AZ
+ * behaviour. Pure function of (config, host_count, horizon).
  */
 TelemetryFaultSchedule
 buildTelemetryFaultSchedule(const TelemetryFaultConfig &config,
                             int host_count, SimTime horizon);
+
+/**
+ * Per-series corruption: one target service's *counter* series lie
+ * while every other series — and every series of every other service —
+ * stays bit-identical to the honest stream. Models a poisoned metric
+ * shard / bad client-library rollout confined to one deployment:
+ *
+ *  - Scaled:  reported cumulative counters are `scale` × the truth, so
+ *             the service's rates under-report proportionally;
+ *  - Frozen:  counters stop moving at their first scraped value, so the
+ *             service's rates read zero while traffic keeps flowing;
+ *  - Negated: counters run *backwards* from their first scraped value
+ *             (clamped at zero), the pathological regression shape that
+ *             stresses the view's counter-reset clamping.
+ *
+ * Frozen/Negated anchor on the first scrape in which a series appears,
+ * computed over the whole input stream, so corrupt() stays a pure
+ * function of (config, stream) — query-pattern independent, like every
+ * other perturbation in this layer.
+ */
+struct SeriesCorruptionConfig
+{
+    enum class Mode
+    {
+        None,
+        Scaled,
+        Frozen,
+        Negated,
+    };
+
+    Mode mode = Mode::None;
+    /** Service whose counter series lie. */
+    ServiceId service = 0;
+    /** Scaled mode: reported counter = scale × the true cumulative. */
+    double scale = 0.5;
+
+    /** True when corruption is being injected. */
+    bool active() const { return mode != Mode::None; }
+};
+
+/** Applies a SeriesCorruptionConfig to a snapshot stream. */
+class SeriesCorruptor
+{
+  public:
+    explicit SeriesCorruptor(SeriesCorruptionConfig config);
+
+    const SeriesCorruptionConfig &config() const { return config_; }
+
+    /** Corrupt the target service's counter series across the whole
+     *  stream; with Mode::None the input passes through untouched. */
+    std::vector<telemetry::TelemetrySnapshot>
+    corrupt(std::vector<telemetry::TelemetrySnapshot> snaps) const;
+
+  private:
+    SeriesCorruptionConfig config_;
+};
 
 /**
  * Applies a TelemetryFaultConfig to a true snapshot stream, producing
@@ -157,6 +234,7 @@ class TelemetryFaultInjector
 
   private:
     bool hostBlackedOut(HostId host, SimTime at) const;
+    bool activeAzEvent(SimTime at) const;
 
     TelemetryFaultConfig config_;
     TelemetryFaultSchedule schedule_;
@@ -172,26 +250,54 @@ class FaultyTelemetryView : public telemetry::SnapshotTelemetryView
 {
   public:
     /** The monitor must outlive the view. `host_count` and `horizon`
-     *  size the blackout schedule (match the SimConfig). */
+     *  size the blackout schedule (match the SimConfig). An optional
+     *  SeriesCorruptionConfig composes per-series corruption *after*
+     *  the injector: the corrupted stream is what the view's queries
+     *  (and perturbedHistory()) answer from. */
     FaultyTelemetryView(const telemetry::SimMonitor &monitor,
                         TelemetryFaultConfig config, int host_count,
-                        SimTime horizon);
+                        SimTime horizon,
+                        SeriesCorruptionConfig corruption = {});
 
     const TelemetryFaultInjector &injector() const { return injector_; }
+    const SeriesCorruptor &corruptor() const { return corruptor_; }
+
+    /**
+     * The full perturbed scrape history currently visible — the same
+     * vector every query reads. Chaos campaigns archive this stream
+     * next to their config so any run replays offline
+     * (docs/chaos_campaigns.md); the cache-idempotence regression test
+     * pins that the same scrape generation always returns bit-identical
+     * snapshots regardless of the query pattern that built the cache.
+     */
+    const std::vector<telemetry::TelemetrySnapshot> &
+    perturbedHistory() const
+    {
+        return visibleSnapshots();
+    }
 
   protected:
     /** Lazily rebuilt whenever the monitor scraped since the last
-     *  query (scrape count is the sole cache key: the monitor only
-     *  appends snapshots). */
+     *  query. The scrape count is the sole cache key (the monitor only
+     *  appends snapshots), which is sound only because the whole
+     *  perturbation pipeline — injector then corruptor — is a pure
+     *  function of the full true stream: a cache rebuilt at generation
+     *  N is byte-identical however many intermediate generations were
+     *  (or were not) queried along the way. */
     const std::vector<telemetry::TelemetrySnapshot> &
     visibleSnapshots() const override;
 
   private:
+    /** Sentinel: no generation cached yet (distinct from a cached empty
+     *  stream at generation 0). */
+    static constexpr std::size_t kNoGeneration =
+        static_cast<std::size_t>(-1);
+
     const telemetry::SimMonitor *monitor_;
     TelemetryFaultInjector injector_;
+    SeriesCorruptor corruptor_;
     mutable std::vector<telemetry::TelemetrySnapshot> cache_;
-    mutable bool cacheValid_ = false;
-    mutable std::size_t cachedTrueCount_ = 0;
+    mutable std::size_t cachedTrueCount_ = kNoGeneration;
 };
 
 } // namespace erms

@@ -425,6 +425,8 @@ Simulation::setFaultConfig(const FaultConfig &config)
     ERMS_ASSERT(config.callFailureProbability >= 0.0 &&
                 config.callFailureProbability <= 1.0);
     ERMS_ASSERT(config.slowdownFactor >= 1.0);
+    ERMS_ASSERT(config.azEvents.eventsPerMinute >= 0.0);
+    ERMS_ASSERT(config.azEvents.azCount > 0);
     faultConfig_ = config;
     faultsEnabled_ = config.anyFaults();
     // Dedicated streams (1 = transient failures, 2 = retry jitter) keep

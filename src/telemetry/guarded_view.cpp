@@ -30,6 +30,20 @@ medianOf(std::vector<double> &values)
 
 } // namespace
 
+const char *
+guardModeName(GuardMode mode)
+{
+    switch (mode) {
+    case GuardMode::Normal:
+        return "normal";
+    case GuardMode::Suspect:
+        return "suspect";
+    case GuardMode::Fallback:
+        return "fallback";
+    }
+    return "unknown";
+}
+
 GuardedTelemetryView::GuardedTelemetryView(
     std::shared_ptr<const TelemetryView> inner, GuardConfig config)
     : inner_(std::move(inner)), config_(config)

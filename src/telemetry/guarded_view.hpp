@@ -54,6 +54,11 @@ enum class GuardMode
     Fallback, ///< telemetry untrusted: hold/over-provision last good
 };
 
+/** Stable lowercase name of a guard mode ("normal"/"suspect"/
+ *  "fallback") — the spelling pinned in golden tables and campaign
+ *  archives. */
+const char *guardModeName(GuardMode mode);
+
 /** Knobs of the guard. Defaults are deliberately conservative so that
  *  clean streams never trip a gate (the transparency contract). */
 struct GuardConfig

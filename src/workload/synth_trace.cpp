@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "workload/generators.hpp"
 
 namespace erms {
 
@@ -155,6 +156,25 @@ makeSynthTrace(const SynthTraceConfig &config)
     }
 
     return trace;
+}
+
+std::vector<std::vector<double>>
+makeTraceRateSeries(const SynthTrace &trace, int minutes,
+                    double trough_fraction, double burst_probability,
+                    std::uint64_t seed)
+{
+    ERMS_ASSERT(minutes > 0);
+    ERMS_ASSERT(trough_fraction > 0.0 && trough_fraction <= 1.0);
+    std::vector<std::vector<double>> series;
+    series.reserve(trace.workloads.size());
+    for (std::size_t s = 0; s < trace.workloads.size(); ++s) {
+        const double peak = trace.workloads[s];
+        series.push_back(alibabaLikeSeries(
+            minutes, peak * trough_fraction, peak,
+            static_cast<double>(minutes), 0.05, burst_probability, 1.25,
+            1, deriveRunSeed(seed, s)));
+    }
+    return series;
 }
 
 } // namespace erms

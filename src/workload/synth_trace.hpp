@@ -73,6 +73,21 @@ struct SynthTrace
 /** Generate a synthetic trace population. */
 SynthTrace makeSynthTrace(const SynthTraceConfig &config);
 
+/**
+ * Per-service diurnal rate series for a trace population: each service
+ * follows an Alibaba-like diurnal shape (one full cycle over the run,
+ * mild noise, optional flash-crowd bursts) whose crest is the service's
+ * trace workload and whose trough is `trough_fraction` of it. Seeds
+ * derive per service index, so the population is byte-identical
+ * however the services are later partitioned or scheduled. This is the
+ * workload the correlated chaos campaigns replay
+ * (docs/chaos_campaigns.md).
+ */
+std::vector<std::vector<double>>
+makeTraceRateSeries(const SynthTrace &trace, int minutes,
+                    double trough_fraction, double burst_probability,
+                    std::uint64_t seed);
+
 } // namespace erms
 
 #endif // ERMS_WORKLOAD_SYNTH_TRACE_HPP

@@ -6,7 +6,9 @@
 #include "bench_util.hpp"
 #include "core/controllers.hpp"
 #include "core/profiling_pipeline.hpp"
+#include "fault/campaign.hpp"
 #include "market/market.hpp"
+#include "telemetry/guarded_view.hpp"
 #include "telemetry/monitor.hpp"
 #include "telemetry/view.hpp"
 #include "workload/generators.hpp"
@@ -403,6 +405,56 @@ marketImpl()
     return out.str();
 }
 
+// ---------------------------------------------------------------------
+// chaos campaign (trimmed): correlated AZ events + series corruption
+// ---------------------------------------------------------------------
+
+std::string
+chaosCampaignImpl()
+{
+    // The "med" battery arm (fault planes, corruption, seeds all from
+    // makeCampaignArm, so the golden pins the battery's own schedule)
+    // on a reduced population: the same shrink the campaign test suite
+    // uses for fast in-suite runs.
+    CampaignConfig config = makeCampaignArm("med", "erms", true);
+    config.horizonMinutes = 6;
+    config.hostCount = 10;
+    config.trace.microserviceCount = 24;
+    config.trace.serviceCount = 2;
+    config.trace.workloadLow = 30000.0;
+    config.trace.workloadHigh = 40000.0;
+
+    const CampaignResult result = runCampaign(config);
+
+    std::ostringstream out;
+    out << "golden chaos campaign (trimmed): med/erms/guarded, "
+           "6 minutes, 10 hosts, 24 microservices\n";
+    out << "minute containers guard violation_pct worst_p95_ms\n";
+    for (const CampaignMinute &row : result.minutes) {
+        const char *guard =
+            row.guardMode < 0
+                ? "naive"
+                : telemetry::guardModeName(
+                      static_cast<telemetry::GuardMode>(row.guardMode));
+        out << row.minute << ' ' << row.containers << ' ' << guard << ' '
+            << hex(row.violationPct) << ' ' << hex(row.worstP95Ms)
+            << '\n';
+    }
+    out << "summary violation_pct " << hex(result.violationPct)
+        << " worst_p95_ms " << hex(result.worstP95Ms)
+        << " container_minutes " << hex(result.containerMinutes) << '\n';
+    out << "guard fallback_cycles " << result.guard.fallbackCycles
+        << " stale_cycles " << result.guard.staleCycles
+        << " substituted_last_good " << result.guard.substitutedLastGood
+        << '\n';
+    out << "perturbed_scrapes " << result.perturbedHistory.size() << '\n';
+    std::size_t series = 0;
+    for (const auto &snap : result.perturbedHistory)
+        series += snap.series.size();
+    out << "perturbed_series_total " << series << '\n';
+    return out.str();
+}
+
 } // namespace
 
 std::string
@@ -429,6 +481,12 @@ marketGolden()
     return marketImpl();
 }
 
+std::string
+chaosCampaignGolden()
+{
+    return chaosCampaignImpl();
+}
+
 const std::vector<Scenario> &
 scenarios()
 {
@@ -437,6 +495,7 @@ scenarios()
         {"fig13.txt", &fig13Golden},
         {"fault_sweep.txt", &faultSweepGolden},
         {"market.txt", &marketGolden},
+        {"chaos_campaign.txt", &chaosCampaignGolden},
     };
     return kScenarios;
 }

@@ -46,6 +46,13 @@ std::string faultSweepGolden();
  *  ledger. */
 std::string marketGolden();
 
+/** Trimmed chaos campaign: one guarded Erms arm of the "med"
+ *  correlated-chaos battery (AZ events on both fault planes, scaled
+ *  counter corruption) on a reduced diurnal trace population. Pins the
+ *  per-minute violation/guard-state trajectory and the perturbed
+ *  scrape stream's shape end to end. */
+std::string chaosCampaignGolden();
+
 /** All golden scenarios in regeneration order. */
 const std::vector<Scenario> &scenarios();
 

@@ -4,9 +4,10 @@
 # chaos, and runner tests (the code paths with the hairiest object
 # lifetimes: pooled call contexts, container erasure on crash, hedge
 # cancellation, lazily cached perturbed snapshots), the golden,
-# market, and property suites, an UndefinedBehaviorSanitizer pass over the
-# numeric-heavy telemetry/guard/chaos paths (quantile interpolation,
-# counter deltas, NaN/Inf guards), a ThreadSanitizer pass over the
+# market, tuning, and property suites, an UndefinedBehaviorSanitizer pass
+# over the numeric-heavy telemetry/guard/chaos/tuning paths (quantile
+# interpolation, counter deltas, NaN/Inf guards, feedback-rule
+# streak arithmetic), a ThreadSanitizer pass over the
 # parallel runner, the event engine, and the sharded coordinator's
 # merge path (concurrent shard controllers reading the merged
 # telemetry view), determinism passes (the golden tables must come out
@@ -15,7 +16,9 @@
 # K=1 sharded coordinator vs the unsharded path; the tenant-market
 # bench table must come out identical with one runner worker vs the
 # hardware default; a chaos-campaign archive written with the default
-# worker count must replay byte-identically in a fresh serial process),
+# worker count must replay byte-identically in a fresh serial process;
+# a sweep-lite knob sweep over an archived campaign must export
+# byte-identical operating-curve JSON with one worker vs the default),
 # and the documentation link-and-symbol checker.
 #
 # Usage: scripts/check.sh [jobs]   (default: 2)
@@ -29,13 +32,13 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== asan: fault + chaos + campaign + runner + golden + market + property tests (build-asan/) =="
+echo "== asan: fault + chaos + campaign + tuning + runner + golden + market + property tests (build-asan/) =="
 cmake -B build-asan -S . -DERMS_SANITIZE=address
 cmake --build build-asan -j"$JOBS" \
     --target erms_tests_sim erms_tests_runner erms_tests_golden \
              erms_tests_system erms_tests_telemetry erms_tests_chaos \
              erms_tests_campaign erms_tests_event_engine \
-             erms_tests_queueing erms_tests_market
+             erms_tests_queueing erms_tests_market erms_tests_tuning
 ./build-asan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
 ./build-asan/tests/erms_tests_runner
@@ -54,18 +57,27 @@ cmake --build build-asan -j"$JOBS" \
 ./build-asan/tests/erms_tests_queueing \
     --gtest_filter='QueueingValidation.MM1*:QueueingValidation.ErlangC*'
 ./build-asan/tests/erms_tests_market
+# The tuning suite's campaign-level contracts re-run full micro
+# campaigns and are slow under ASan; the sweep-lite determinism gate
+# below exercises the sweep/campaign stack natively, so the sanitizer
+# focuses on the feedback rules, validation, reduction, metrics, and
+# one end-to-end self-tuned replay.
+./build-asan/tests/erms_tests_tuning \
+    --gtest_filter='AdaptiveTuner.*:TunerConfigValidation.*:GuardrailConfigValidation.*:SweepReduction.*:SweepConfigValidation.*:GuardMetrics.*:GuardRetune.*:SelfTuningDeterminism.SelfTunedCampaignReplaysExactly'
 
-echo "== ubsan: telemetry + guard + chaos + campaign numeric paths (build-ubsan/) =="
+echo "== ubsan: telemetry + guard + chaos + campaign + tuning numeric paths (build-ubsan/) =="
 cmake -B build-ubsan -S . -DERMS_SANITIZE=undefined
 cmake --build build-ubsan -j"$JOBS" \
     --target erms_tests_telemetry erms_tests_chaos erms_tests_campaign \
-             erms_tests_sim
+             erms_tests_sim erms_tests_tuning
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_telemetry
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_chaos
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_campaign \
     --gtest_filter='CampaignAzSchedule.*:CampaignCorruption.*:CampaignFaultyViewCache.*:CampaignArms.*:CampaignArchive.MalformedDocumentThrows:CampaignBaselineTransparency.*'
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_sim \
     --gtest_filter='Fault*:Resilience*'
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/erms_tests_tuning \
+    --gtest_filter='AdaptiveTuner.*:TunerConfigValidation.*:GuardrailConfigValidation.*:SweepReduction.*:SweepConfigValidation.*:GuardMetrics.*:GuardRetune.*:SelfTuningDeterminism.SelfTunedCampaignReplaysExactly'
 
 echo "== tsan: parallel runner + event engine + snapshot path (build-tsan/) =="
 cmake -B build-tsan -S . -DERMS_SANITIZE=thread
@@ -112,6 +124,18 @@ ERMS_RUNNER_THREADS=1 ./build/bench/campaign_replay replay \
 ERMS_RUNNER_THREADS=1 ./build/bench/campaign_replay write \
     /tmp/erms_campaign_serial.json med erms guarded
 cmp /tmp/erms_campaign_default.json /tmp/erms_campaign_serial.json
+
+echo "== sweep determinism: sweep-lite over an archived campaign, 1 worker vs default =="
+cmake --build build -j"$JOBS" --target bench_guard_tuning
+# A tiny grid over a scenario rebuilt from an archived campaign: the
+# operating-curve JSON (cells, curves, knee picks, safe bounds) must
+# come out byte-identical regardless of the runner worker count.
+./build/bench/bench_guard_tuning write-scenario /tmp/erms_tuning_scenario.json med
+./build/bench/bench_guard_tuning sweep-lite /tmp/erms_sweep_default.json \
+    /tmp/erms_tuning_scenario.json
+ERMS_RUNNER_THREADS=1 ./build/bench/bench_guard_tuning sweep-lite \
+    /tmp/erms_sweep_serial.json /tmp/erms_tuning_scenario.json
+cmp /tmp/erms_sweep_default.json /tmp/erms_sweep_serial.json
 
 echo "== docs: link and symbol check =="
 scripts/check_docs.sh

@@ -7,6 +7,11 @@
 #
 # Usage: scripts/regen_golden.sh [jobs]   (default: 2)
 #
+# Fails fast — without touching tests/golden/ — when build/ is missing,
+# configured against a different source tree, or the regen binary can't
+# be brought up to date: regenerating tables from a stale or foreign
+# build silently bakes the wrong behaviour into the goldens.
+#
 # Commit the regenerated files together with the change that moved
 # them, and say in the commit message why the tables moved.
 
@@ -14,8 +19,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-2}"
 
-cmake -B build -S .
-cmake --build build -j"$JOBS" --target erms_golden_regen
+if [[ ! -f build/CMakeCache.txt ]]; then
+    echo "error: build/ is not configured (no build/CMakeCache.txt)." >&2
+    echo "Run the tier-1 build first so the goldens regenerate from the" >&2
+    echo "same tree the tests compare against:" >&2
+    echo "    cmake -B build -S . && cmake --build build -j${JOBS}" >&2
+    exit 1
+fi
+
+cache_src="$(sed -n 's/^CMAKE_HOME_DIRECTORY:INTERNAL=//p' build/CMakeCache.txt)"
+repo_src="$(pwd -P)"
+if [[ "$cache_src" != "$repo_src" ]]; then
+    echo "error: build/ was configured for '$cache_src'," >&2
+    echo "not this checkout ('$repo_src') — a stale or copied build dir." >&2
+    echo "Delete build/ and reconfigure before regenerating goldens." >&2
+    exit 1
+fi
+
+if ! cmake --build build -j"$JOBS" --target erms_golden_regen; then
+    echo "error: erms_golden_regen failed to build; goldens NOT touched." >&2
+    exit 1
+fi
+
 ./build/tests/erms_golden_regen
 
 echo "== golden tables regenerated; review the diff before committing =="

@@ -215,11 +215,54 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
                       std::vector<MicroserviceId> managed,
                       GuardrailConfig config)
 {
+    return makeGuardedController(
+        std::move(inner), std::move(guard), std::move(managed),
+        std::make_shared<GuardrailConfig>(config));
+}
+
+void
+validateGuardrailConfig(const GuardrailConfig &config)
+{
+    if (!std::isfinite(config.maxScaleStepFraction) ||
+        config.maxScaleStepFraction <= 0.0)
+        throw ErmsError(
+            "GuardrailConfig: maxScaleStepFraction must be positive "
+            "(a zero step bound would freeze every rate-limited up-step)");
+    if (!std::isfinite(config.scaleDownHoldFraction) ||
+        config.scaleDownHoldFraction < 0.0)
+        throw ErmsError(
+            "GuardrailConfig: scaleDownHoldFraction must be >= 0");
+    if (!std::isfinite(config.fallbackOverProvisionFactor) ||
+        config.fallbackOverProvisionFactor < 1.0)
+        throw ErmsError(
+            "GuardrailConfig: fallbackOverProvisionFactor must be >= 1 — "
+            "a FALLBACK floor below last-known-good tears down capacity "
+            "on evidence from a pipeline already judged untrustworthy");
+    if (!std::isfinite(config.fallbackEscalationPerCycle) ||
+        config.fallbackEscalationPerCycle < 0.0)
+        throw ErmsError(
+            "GuardrailConfig: fallbackEscalationPerCycle must be >= 0");
+    if (!std::isfinite(config.fallbackMaxOverProvisionFactor) ||
+        config.fallbackMaxOverProvisionFactor <
+            config.fallbackOverProvisionFactor)
+        throw ErmsError(
+            "GuardrailConfig: fallbackMaxOverProvisionFactor is below "
+            "fallbackOverProvisionFactor — the escalation ceiling would "
+            "undercut the base margin on the very first blind cycle");
+}
+
+std::function<void(Simulation &, int)>
+makeGuardedController(std::function<void(Simulation &, int)> inner,
+                      std::shared_ptr<telemetry::GuardedTelemetryView> guard,
+                      std::vector<MicroserviceId> managed,
+                      std::shared_ptr<GuardrailConfig> shared_config,
+                      std::shared_ptr<GuardrailStats> stats)
+{
     ERMS_ASSERT(inner != nullptr);
     ERMS_ASSERT(guard != nullptr);
     ERMS_ASSERT(!managed.empty());
-    ERMS_ASSERT(config.maxScaleStepFraction > 0.0);
-    ERMS_ASSERT(config.fallbackOverProvisionFactor >= 1.0);
+    ERMS_ASSERT(shared_config != nullptr);
+    validateGuardrailConfig(*shared_config);
     struct State
     {
         std::map<MicroserviceId, int> lastGood;
@@ -227,8 +270,12 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
     };
     auto state = std::make_shared<State>();
     return [inner = std::move(inner), guard = std::move(guard),
-            managed = std::move(managed), config,
-            state](Simulation &sim, int minute) {
+            managed = std::move(managed),
+            shared_config = std::move(shared_config),
+            stats = std::move(stats), state](Simulation &sim, int minute) {
+        const GuardrailConfig &config = *shared_config;
+        if (stats != nullptr)
+            ++stats->cycles;
         guard->beginCycle(sim.now());
         const telemetry::GuardMode mode = guard->mode();
         if (mode == telemetry::GuardMode::Fallback)
@@ -257,6 +304,8 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
         const bool limited = mode != telemetry::GuardMode::Normal ||
                              !clean_cycle ||
                              config.applyLimitsInNormalMode;
+        if (limited && stats != nullptr)
+            ++stats->limitedCycles;
         if (!limited) {
             // NORMAL + clean queries: fully transparent — the inner
             // controller's outcome stands and becomes last-known-good.
@@ -285,6 +334,8 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
                     1, static_cast<int>(std::ceil(
                            was * config.maxScaleStepFraction)));
                 target = std::min(now, was + max_step);
+                if (target < now && stats != nullptr)
+                    ++stats->upStepClamps;
             } else if (now < was) {
                 const int hold_band = static_cast<int>(std::ceil(
                     was * config.scaleDownHoldFraction));
@@ -292,8 +343,11 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
                 const bool allow_down =
                     mode == telemetry::GuardMode::Suspect &&
                     config.allowScaleDownInSuspect;
-                if (!allow_down || small_shrink)
+                if (!allow_down || small_shrink) {
                     target = was; // hysteresis: hold
+                    if (stats != nullptr)
+                        ++stats->scaleDownReverts;
+                }
             }
             if (mode == telemetry::GuardMode::Fallback) {
                 const auto it = state->lastGood.find(ms);
@@ -306,6 +360,8 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
                                     state->consecutiveFallback - 1));
                     const int floor_count = static_cast<int>(
                         std::ceil(it->second * factor));
+                    if (floor_count > target && stats != nullptr)
+                        ++stats->fallbackHolds;
                     target = std::max(target, floor_count);
                 }
             }
@@ -313,6 +369,92 @@ makeGuardedController(std::function<void(Simulation &, int)> inner,
                 sim.setContainerCount(ms, target);
         }
         // Doctored/suspect/fallback cycles never refresh last-known-good.
+    };
+}
+
+namespace {
+
+/** Push the tuner's knob vector into the live guard + rails pair. */
+void
+applyTunedKnobs(telemetry::GuardedTelemetryView &guard,
+                GuardrailConfig &rails, const tuning::TunedKnobs &knobs)
+{
+    telemetry::GuardConfig guard_config = guard.config();
+    guard_config.madGateMultiplier = knobs.madGateMultiplier;
+    guard_config.maxStalenessMs = knobs.maxStalenessMs;
+    guard_config.suspectBadCyclesToFallback =
+        knobs.suspectBadCyclesToFallback;
+    guard.retune(guard_config);
+    rails.fallbackOverProvisionFactor = knobs.fallbackOverProvisionFactor;
+    rails.fallbackEscalationPerCycle = knobs.fallbackEscalationPerCycle;
+    // Keep the rails self-consistent: a tuned base factor must never
+    // exceed the escalation ceiling (validateGuardrailConfig's rule).
+    rails.fallbackMaxOverProvisionFactor =
+        std::max(rails.fallbackMaxOverProvisionFactor,
+                 knobs.fallbackOverProvisionFactor);
+}
+
+} // namespace
+
+std::function<void(Simulation &, int)>
+makeSelfTuningController(
+    std::function<void(Simulation &, int)> inner,
+    std::shared_ptr<telemetry::GuardedTelemetryView> guard,
+    std::vector<MicroserviceId> managed,
+    std::shared_ptr<tuning::AdaptiveGuardTuner> tuner,
+    GuardrailConfig rails_config, std::shared_ptr<GuardrailStats> stats)
+{
+    ERMS_ASSERT(guard != nullptr);
+    ERMS_ASSERT(tuner != nullptr);
+    validateGuardrailConfig(rails_config);
+    auto rails = std::make_shared<GuardrailConfig>(rails_config);
+    if (stats == nullptr)
+        stats = std::make_shared<GuardrailStats>();
+
+    // The tuner is authoritative from the start: a resumed tuner
+    // re-applies its learned knobs, a fresh one re-applies the static
+    // configuration (a no-op).
+    applyTunedKnobs(*guard, *rails, tuner->knobs());
+
+    auto guarded = makeGuardedController(std::move(inner), guard,
+                                         std::move(managed), rails, stats);
+
+    // Previous-cycle counter snapshots for delta signals.
+    struct Baseline
+    {
+        telemetry::GuardStats guard{};
+        GuardrailStats rails{};
+    };
+    auto baseline = std::make_shared<Baseline>();
+    return [guard = std::move(guard), rails = std::move(rails),
+            stats = std::move(stats), tuner = std::move(tuner), baseline,
+            guarded = std::move(guarded)](Simulation &sim, int minute) {
+        if (tuner->config().enabled) {
+            const telemetry::GuardStats &g = guard->stats();
+            const GuardrailStats &r = *stats;
+            tuning::TunerSignals signals;
+            signals.softRejects =
+                (g.rejectedOutliers + g.clampedOutliers) -
+                (baseline->guard.rejectedOutliers +
+                 baseline->guard.clampedOutliers);
+            signals.hardRejects =
+                g.rejectedBounds - baseline->guard.rejectedBounds;
+            signals.staleCycles =
+                g.staleCycles - baseline->guard.staleCycles;
+            signals.upStepClamps =
+                r.upStepClamps - baseline->rails.upStepClamps;
+            signals.scaleDownReverts =
+                r.scaleDownReverts - baseline->rails.scaleDownReverts;
+            signals.fallbackHolds =
+                r.fallbackHolds - baseline->rails.fallbackHolds;
+            signals.inFallback =
+                guard->mode() == telemetry::GuardMode::Fallback;
+            baseline->guard = g;
+            baseline->rails = r;
+            if (tuner->observe(signals))
+                applyTunedKnobs(*guard, *rails, tuner->knobs());
+        }
+        guarded(sim, minute);
     };
 }
 

@@ -18,6 +18,7 @@
 #include "sim/simulation.hpp"
 #include "telemetry/guarded_view.hpp"
 #include "telemetry/view.hpp"
+#include "tuning/adaptive.hpp"
 
 namespace erms {
 
@@ -134,6 +135,33 @@ struct GuardrailConfig
 };
 
 /**
+ * Reject nonsensical guardrail combinations loudly at construction:
+ * non-positive step fractions, a negative hold band, an over-provision
+ * factor below 1 (a fallback floor that *removes* capacity), negative
+ * escalation, or a ceiling below the base factor
+ * (`fallbackMaxOverProvisionFactor < fallbackOverProvisionFactor`).
+ * @throws ErmsError naming the offending knob.
+ */
+void validateGuardrailConfig(const GuardrailConfig &config);
+
+/** Tallies of guardrail interventions (the self-tuning loop reads
+ *  these as feedback signals; benches read them as observability). */
+struct GuardrailStats
+{
+    /** Cycles the wrapper ran (= inner controller invocations). */
+    std::uint64_t cycles = 0;
+    /** Cycles where limits applied (mode, doctored queries, or
+     *  applyLimitsInNormalMode). */
+    std::uint64_t limitedCycles = 0;
+    /** Up-steps clamped to the per-cycle step bound. */
+    std::uint64_t upStepClamps = 0;
+    /** Scale-downs reverted (hysteresis hold). */
+    std::uint64_t scaleDownReverts = 0;
+    /** Container counts raised by the FALLBACK over-provision floor. */
+    std::uint64_t fallbackHolds = 0;
+};
+
+/**
  * Wrap any minute controller with self-defending scaling guardrails
  * driven by a GuardedTelemetryView's degraded-mode state machine:
  *
@@ -157,6 +185,54 @@ makeGuardedController(
     std::function<void(Simulation &, int)> inner,
     std::shared_ptr<telemetry::GuardedTelemetryView> guard,
     std::vector<MicroserviceId> managed, GuardrailConfig config = {});
+
+/**
+ * Live-retunable overload: the rails are read through the shared
+ * pointer on every cycle, so an outer loop (makeSelfTuningController)
+ * may adjust the fallback margin while the controller runs. Optional
+ * `stats` receives intervention tallies (pass null to skip). The value
+ * overload above forwards here with a private config copy, so both are
+ * byte-identical for a fixed config.
+ */
+std::function<void(Simulation &, int)>
+makeGuardedController(
+    std::function<void(Simulation &, int)> inner,
+    std::shared_ptr<telemetry::GuardedTelemetryView> guard,
+    std::vector<MicroserviceId> managed,
+    std::shared_ptr<GuardrailConfig> config,
+    std::shared_ptr<GuardrailStats> stats = nullptr);
+
+/**
+ * Wrap a controller in the full self-tuning guard stack
+ * (docs/self_tuning.md): the guarded controller above, plus an
+ * AdaptiveGuardTuner closing the loop at controller cadence. Each
+ * minute, *before* the guard's cycle advances, the decorator feeds the
+ * tuner the previous cycle's signal deltas (guard rejection counters,
+ * staleness verdicts, guardrail clamp tallies, fallback occupancy);
+ * when a feedback rule fires, the new knob vector is applied live —
+ * guard thresholds through GuardedTelemetryView::retune(), the
+ * fallback margin through the shared rails (the escalation ceiling is
+ * raised if a tuned factor would exceed it, so the rails stay valid).
+ *
+ * The tuner's current knobs are applied once at construction, making
+ * the tuner authoritative over the corresponding guard/rail fields
+ * (construct it with knobsFrom(guard->config(), ...) for a stack that
+ * starts exactly at the static configuration).
+ *
+ * Transparency contract: with `tuner->config().enabled == false` — or
+ * with an enabled tuner that never fires, e.g. over a clean stream —
+ * the decorator is pure delegation and the run is byte-identical to
+ * makeGuardedController with the same rails (pinned by the tuning test
+ * suite on both event engines).
+ */
+std::function<void(Simulation &, int)>
+makeSelfTuningController(
+    std::function<void(Simulation &, int)> inner,
+    std::shared_ptr<telemetry::GuardedTelemetryView> guard,
+    std::vector<MicroserviceId> managed,
+    std::shared_ptr<tuning::AdaptiveGuardTuner> tuner,
+    GuardrailConfig rails = {},
+    std::shared_ptr<GuardrailStats> stats = nullptr);
 
 /**
  * Which microservices a market tenant owns. Tenants must not share

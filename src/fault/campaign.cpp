@@ -68,6 +68,10 @@ runCampaign(const CampaignConfig &config)
     ERMS_ASSERT(config.horizonMinutes > 0);
     ERMS_ASSERT(config.warmupMinutes >= 0);
     ERMS_ASSERT(config.hostCount > 0);
+    if (config.selfTuned && !config.guarded)
+        throw ErmsError("CampaignConfig: selfTuned requires guarded — "
+                        "the tuner adapts the guard stack, which a naive "
+                        "arm does not have");
 
     SynthTrace trace = makeSynthTrace(config.trace);
 
@@ -146,9 +150,12 @@ runCampaign(const CampaignConfig &config)
     sim.applyPlan(planner.plan(services, Interference{0.2, 0.2}));
 
     std::shared_ptr<telemetry::GuardedTelemetryView> guard;
+    std::shared_ptr<tuning::AdaptiveGuardTuner> tuner;
+    auto rail_stats = std::make_shared<GuardrailStats>();
     std::function<void(Simulation &, int)> scaling;
     if (config.guarded) {
-        guard = std::make_shared<telemetry::GuardedTelemetryView>(view);
+        guard = std::make_shared<telemetry::GuardedTelemetryView>(
+            view, config.guard);
         // Campaign guardrails know the diurnal envelope they protect:
         // a blind FALLBACK hold anchored at a trough-time last-known-
         // good must be allowed to escalate to peak demand, i.e. by the
@@ -157,17 +164,37 @@ runCampaign(const CampaignConfig &config)
         // incident are SLA-safe (over-provision is the conservative
         // direction), so the SUSPECT step bound is a doubling per
         // cycle, which still caps corrupt-telemetry-driven runaway.
+        // Sweep cells override the base factor/escalation through the
+        // config; negative overrides keep this envelope default.
         GuardrailConfig rails;
         rails.maxScaleStepFraction = 1.0;
         rails.fallbackEscalationPerCycle = 0.5;
+        if (config.fallbackOverProvisionFactor >= 0.0)
+            rails.fallbackOverProvisionFactor =
+                config.fallbackOverProvisionFactor;
+        if (config.fallbackEscalationPerCycle >= 0.0)
+            rails.fallbackEscalationPerCycle =
+                config.fallbackEscalationPerCycle;
         rails.fallbackMaxOverProvisionFactor =
             std::max(rails.fallbackMaxOverProvisionFactor,
                      rails.fallbackOverProvisionFactor /
                          config.troughFraction);
-        scaling = makeGuardedController(
-            makeControllerByName(config.controller, trace.catalog,
-                                 services, guard),
-            guard, managed, rails);
+        auto inner = makeControllerByName(config.controller, trace.catalog,
+                                          services, guard);
+        if (config.selfTuned) {
+            tuner = std::make_shared<tuning::AdaptiveGuardTuner>(
+                tuning::knobsFrom(config.guard,
+                                  rails.fallbackOverProvisionFactor,
+                                  rails.fallbackEscalationPerCycle),
+                config.tuner);
+            scaling = makeSelfTuningController(std::move(inner), guard,
+                                               managed, tuner, rails,
+                                               rail_stats);
+        } else {
+            scaling = makeGuardedController(
+                std::move(inner), guard, managed,
+                std::make_shared<GuardrailConfig>(rails), rail_stats);
+        }
     } else {
         scaling = makeControllerByName(config.controller, trace.catalog,
                                        services, view);
@@ -210,6 +237,11 @@ runCampaign(const CampaignConfig &config)
         100.0 * violations / static_cast<double>(services.size());
     if (guard != nullptr)
         result.guard = guard->stats();
+    result.rails = *rail_stats;
+    if (tuner != nullptr) {
+        result.tunerAdjustments = tuner->adjustments();
+        result.finalKnobs = tuner->knobs();
+    }
     result.perturbedHistory = view->perturbedHistory();
     return result;
 }
@@ -529,7 +561,63 @@ archiveCampaign(const CampaignConfig &config, const CampaignResult &result)
     out += std::string("  \"corruption\": {\"mode\": \"") +
            corruptionModeName(c.mode) +
            "\", \"service\": " + std::to_string(c.service) +
-           ", \"scale\": " + fmtDouble(c.scale) + "}\n";
+           ", \"scale\": " + fmtDouble(c.scale) + "},\n";
+
+    const telemetry::GuardConfig &g = config.guard;
+    out += "  \"guard\": {\"max_staleness_ms\": " +
+           fmtDouble(g.maxStalenessMs) +
+           ", \"max_rate_rpm\": " + fmtDouble(g.maxRateRpm) +
+           ", \"max_latency_ms\": " + fmtDouble(g.maxLatencyMs) +
+           ", \"max_interference_util\": " +
+           fmtDouble(g.maxInterferenceUtil) +
+           ", \"mad_gate_multiplier\": " +
+           fmtDouble(g.madGateMultiplier) +
+           ", \"relative_gate_factor\": " +
+           fmtDouble(g.relativeGateFactor) +
+           ", \"outlier_history\": " + std::to_string(g.outlierHistory) +
+           ", \"outlier_min_history\": " +
+           std::to_string(g.outlierMinHistory) +
+           ", \"suspect_bad_cycles_to_fallback\": " +
+           std::to_string(g.suspectBadCyclesToFallback) +
+           ", \"recovery_clean_cycles\": " +
+           std::to_string(g.recoveryCleanCycles) + "},\n";
+
+    out += "  \"rails\": {\"fallback_over_provision_factor\": " +
+           fmtDouble(config.fallbackOverProvisionFactor) +
+           ", \"fallback_escalation_per_cycle\": " +
+           fmtDouble(config.fallbackEscalationPerCycle) + "},\n";
+
+    out += std::string("  \"self_tuned\": ") +
+           (config.selfTuned ? "true" : "false") + ",\n";
+
+    const tuning::AdaptiveTunerConfig &tn = config.tuner;
+    out += std::string("  \"tuner\": {\"enabled\": ") +
+           (tn.enabled ? "true" : "false") +
+           ", \"cooldown_cycles\": " + std::to_string(tn.cooldownCycles) +
+           ", \"over_reject_cycles\": " +
+           std::to_string(tn.overRejectCycles) +
+           ", \"missed_lie_cycles\": " +
+           std::to_string(tn.missedLieCycles) +
+           ", \"stale_clean_cycles\": " +
+           std::to_string(tn.staleCleanCycles) +
+           ", \"residency_window\": " +
+           std::to_string(tn.residencyWindow) +
+           ", \"fallback_residency_high\": " +
+           fmtDouble(tn.fallbackResidencyHigh) +
+           ", \"gate_step\": " + fmtDouble(tn.gateStep) +
+           ", \"staleness_step\": " + fmtDouble(tn.stalenessStep) +
+           ", \"fallback_step\": " + fmtDouble(tn.fallbackStep) +
+           ", \"mad_gate_lo\": " + fmtDouble(tn.madGate.lo) +
+           ", \"mad_gate_hi\": " + fmtDouble(tn.madGate.hi) +
+           ", \"staleness_lo\": " + fmtDouble(tn.stalenessMs.lo) +
+           ", \"staleness_hi\": " + fmtDouble(tn.stalenessMs.hi) +
+           ", \"suspect_lo\": " + fmtDouble(tn.suspectToFallback.lo) +
+           ", \"suspect_hi\": " + fmtDouble(tn.suspectToFallback.hi) +
+           ", \"fallback_factor_lo\": " + fmtDouble(tn.fallbackFactor.lo) +
+           ", \"fallback_factor_hi\": " + fmtDouble(tn.fallbackFactor.hi) +
+           ", \"escalation_lo\": " + fmtDouble(tn.fallbackEscalation.lo) +
+           ", \"escalation_hi\": " + fmtDouble(tn.fallbackEscalation.hi) +
+           "}\n";
     out += "},\n";
 
     out += "\"minutes\": [\n";
@@ -555,11 +643,9 @@ archiveCampaign(const CampaignConfig &config, const CampaignResult &result)
     return out;
 }
 
-CampaignReplay
-replayCampaign(const std::string &archive_json)
+CampaignConfig
+campaignConfigFromArchive(const std::string &archive_json)
 {
-    CampaignReplay replay;
-
     const std::string campaign = sliceObject(archive_json, "campaign");
     CampaignConfig config;
     config.seed = u64Field(campaign, "seed");
@@ -635,7 +721,67 @@ replayCampaign(const std::string &archive_json)
         corruptionModeFromName(strField(corruption, "mode"));
     config.corruption.service = u64Field(corruption, "service");
     config.corruption.scale = numField(corruption, "scale");
-    replay.config = config;
+
+    const std::string guard = sliceObject(campaign, "guard");
+    config.guard.maxStalenessMs = numField(guard, "max_staleness_ms");
+    config.guard.maxRateRpm = numField(guard, "max_rate_rpm");
+    config.guard.maxLatencyMs = numField(guard, "max_latency_ms");
+    config.guard.maxInterferenceUtil =
+        numField(guard, "max_interference_util");
+    config.guard.madGateMultiplier =
+        numField(guard, "mad_gate_multiplier");
+    config.guard.relativeGateFactor =
+        numField(guard, "relative_gate_factor");
+    config.guard.outlierHistory = static_cast<std::size_t>(
+        u64Field(guard, "outlier_history"));
+    config.guard.outlierMinHistory = static_cast<std::size_t>(
+        u64Field(guard, "outlier_min_history"));
+    config.guard.suspectBadCyclesToFallback =
+        intField(guard, "suspect_bad_cycles_to_fallback");
+    config.guard.recoveryCleanCycles =
+        intField(guard, "recovery_clean_cycles");
+
+    const std::string rails = sliceObject(campaign, "rails");
+    config.fallbackOverProvisionFactor =
+        numField(rails, "fallback_over_provision_factor");
+    config.fallbackEscalationPerCycle =
+        numField(rails, "fallback_escalation_per_cycle");
+
+    config.selfTuned = boolField(campaign, "self_tuned");
+
+    const std::string tuner = sliceObject(campaign, "tuner");
+    config.tuner.enabled = boolField(tuner, "enabled");
+    config.tuner.cooldownCycles = intField(tuner, "cooldown_cycles");
+    config.tuner.overRejectCycles = intField(tuner, "over_reject_cycles");
+    config.tuner.missedLieCycles = intField(tuner, "missed_lie_cycles");
+    config.tuner.staleCleanCycles = intField(tuner, "stale_clean_cycles");
+    config.tuner.residencyWindow = intField(tuner, "residency_window");
+    config.tuner.fallbackResidencyHigh =
+        numField(tuner, "fallback_residency_high");
+    config.tuner.gateStep = numField(tuner, "gate_step");
+    config.tuner.stalenessStep = numField(tuner, "staleness_step");
+    config.tuner.fallbackStep = numField(tuner, "fallback_step");
+    config.tuner.madGate.lo = numField(tuner, "mad_gate_lo");
+    config.tuner.madGate.hi = numField(tuner, "mad_gate_hi");
+    config.tuner.stalenessMs.lo = numField(tuner, "staleness_lo");
+    config.tuner.stalenessMs.hi = numField(tuner, "staleness_hi");
+    config.tuner.suspectToFallback.lo = numField(tuner, "suspect_lo");
+    config.tuner.suspectToFallback.hi = numField(tuner, "suspect_hi");
+    config.tuner.fallbackFactor.lo =
+        numField(tuner, "fallback_factor_lo");
+    config.tuner.fallbackFactor.hi =
+        numField(tuner, "fallback_factor_hi");
+    config.tuner.fallbackEscalation.lo = numField(tuner, "escalation_lo");
+    config.tuner.fallbackEscalation.hi = numField(tuner, "escalation_hi");
+
+    return config;
+}
+
+CampaignReplay
+replayCampaign(const std::string &archive_json)
+{
+    CampaignReplay replay;
+    replay.config = campaignConfigFromArchive(archive_json);
 
     const std::string minutes = sliceArray(archive_json, "minutes");
     std::size_t pos = 0;
@@ -658,7 +804,7 @@ replayCampaign(const std::string &archive_json)
         telemetry::fromJson(sliceArray(archive_json, "scrapes"));
     replay.archivedScrapes = archived_scrapes.size();
 
-    replay.replayed = runCampaign(config);
+    replay.replayed = runCampaign(replay.config);
 
     replay.minutesIdentical =
         replay.replayed.minutes.size() == replay.archivedMinutes.size() &&

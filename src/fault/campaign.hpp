@@ -38,9 +38,11 @@
 #include <string>
 #include <vector>
 
+#include "core/controllers.hpp"
 #include "fault/fault.hpp"
 #include "fault/telemetry_fault.hpp"
 #include "telemetry/guarded_view.hpp"
+#include "tuning/adaptive.hpp"
 #include "workload/synth_trace.hpp"
 
 namespace erms {
@@ -80,6 +82,23 @@ struct CampaignConfig
      *  makeGuardedController. */
     bool guarded = false;
 
+    /** Guard knobs of the guarded arm (ignored when !guarded). The
+     *  default is exactly the static GuardConfig every prior campaign
+     *  ran with, so existing arms replay byte-identically. */
+    telemetry::GuardConfig guard{};
+    /** Overrides of the envelope-derived fallback rails (see
+     *  runCampaign): the base over-provision factor and its per-cycle
+     *  escalation. Negative keeps the computed default. */
+    double fallbackOverProvisionFactor = -1.0;
+    double fallbackEscalationPerCycle = -1.0;
+
+    /** Close the loop online: wrap the guarded stack in
+     *  makeSelfTuningController (requires `guarded`). */
+    bool selfTuned = false;
+    /** Feedback-rule thresholds and safe bounds of the self-tuned arm
+     *  (ignored unless `selfTuned`). */
+    tuning::AdaptiveTunerConfig tuner{};
+
     /** Data-plane faults (crashes/stragglers/AZ events). */
     FaultConfig faults;
     /** Observability-plane faults. Correlation with the data plane is
@@ -117,6 +136,14 @@ struct CampaignResult
     /** Deployed-container integral over the run (container-minutes). */
     double containerMinutes = 0.0;
     telemetry::GuardStats guard{};
+    /** Guardrail intervention tallies (guarded arms only). */
+    GuardrailStats rails{};
+    /** Knob-adjustment trajectory of a self-tuned arm (empty when
+     *  !selfTuned or when no feedback rule ever fired). */
+    std::vector<tuning::TunerAdjustment> tunerAdjustments;
+    /** Final knob vector of a self-tuned arm (the initial static knobs
+     *  when the tuner never fired). */
+    tuning::TunedKnobs finalKnobs{};
     /** The perturbed scrape history the controller actually saw. */
     std::vector<telemetry::TelemetrySnapshot> perturbedHistory;
 };
@@ -179,6 +206,16 @@ struct CampaignReplay
  * @throws ErmsError on a malformed document.
  */
 CampaignReplay replayCampaign(const std::string &archive_json);
+
+/**
+ * Parse just the config out of an archive produced by
+ * archiveCampaign() — the sweep entry point for reusing archived
+ * campaigns: the knob-sweep harness (tuning/sweep.hpp) builds its
+ * scenarios from archived configs so operating curves are measured on
+ * the exact fault schedule an incident was captured under.
+ * @throws ErmsError on a malformed document.
+ */
+CampaignConfig campaignConfigFromArchive(const std::string &archive_json);
 
 } // namespace erms
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/registry.hpp"
 
 namespace erms::telemetry {
 
@@ -16,6 +17,30 @@ constexpr int kMsTail = 2;
 constexpr int kContainers = 3;
 constexpr int kItfCpu = 4;
 constexpr int kItfMem = 5;
+
+constexpr int kSeriesKinds = 6;
+constexpr int kRejectReasons = 3;
+
+/** Stable label values of the series kinds above. */
+constexpr const char *kSeriesKindNames[kSeriesKinds] = {
+    "rate",       "service_p95",      "ms_tail",
+    "containers", "interference_cpu", "interference_mem",
+};
+
+constexpr const char *kRejectReasonNames[kRejectReasons] = {
+    "bounds",
+    "outlier",
+    "clamp",
+};
+
+/** State-machine edges the guard can take (see beginCycle). */
+constexpr int kTransitionEdges = 4;
+constexpr const char *kTransitionNames[kTransitionEdges][2] = {
+    {"normal", "suspect"},
+    {"suspect", "normal"},
+    {"suspect", "fallback"},
+    {"fallback", "suspect"},
+};
 
 /** Median of a small scratch vector (sorted in place). */
 double
@@ -44,16 +69,109 @@ guardModeName(GuardMode mode)
     return "unknown";
 }
 
+void
+validateGuardConfig(const GuardConfig &config)
+{
+    if (config.outlierHistory < 2)
+        throw ErmsError("GuardConfig: outlierHistory must be >= 2 "
+                        "(a one-slot ring has no history to gate on)");
+    if (config.outlierMinHistory < 2)
+        throw ErmsError("GuardConfig: outlierMinHistory must be >= 2");
+    if (config.outlierMinHistory > config.outlierHistory)
+        throw ErmsError(
+            "GuardConfig: outlierMinHistory exceeds outlierHistory — the "
+            "MAD gate would wait for more samples than the ring retains "
+            "and never arm");
+    if (!std::isfinite(config.maxStalenessMs) ||
+        config.maxStalenessMs <= 0.0)
+        throw ErmsError(
+            "GuardConfig: maxStalenessMs must be positive and finite");
+    if (!std::isfinite(config.maxRateRpm) || config.maxRateRpm <= 0.0)
+        throw ErmsError(
+            "GuardConfig: maxRateRpm must be positive and finite");
+    if (!std::isfinite(config.maxLatencyMs) || config.maxLatencyMs <= 0.0)
+        throw ErmsError(
+            "GuardConfig: maxLatencyMs must be positive and finite");
+    if (!std::isfinite(config.maxInterferenceUtil) ||
+        config.maxInterferenceUtil <= 0.0)
+        throw ErmsError(
+            "GuardConfig: maxInterferenceUtil must be positive and finite");
+    if (!std::isfinite(config.madGateMultiplier) ||
+        config.madGateMultiplier <= 0.0)
+        throw ErmsError(
+            "GuardConfig: madGateMultiplier must be positive and finite");
+    if (!std::isfinite(config.relativeGateFactor) ||
+        config.relativeGateFactor <= 1.0)
+        throw ErmsError(
+            "GuardConfig: relativeGateFactor must be > 1 (a factor at or "
+            "below 1 flags every honest value as an outlier)");
+    if (config.suspectBadCyclesToFallback < 1)
+        throw ErmsError(
+            "GuardConfig: suspectBadCyclesToFallback must be >= 1");
+    if (config.recoveryCleanCycles < 1)
+        throw ErmsError("GuardConfig: recoveryCleanCycles must be >= 1");
+}
+
+/** Metric handles registered by bindMetrics (see guarded_view.hpp). */
+struct GuardedTelemetryView::BoundMetrics
+{
+    Counter *rejects[kSeriesKinds][kRejectReasons] = {};
+    Counter *transitions[kTransitionEdges] = {};
+    Counter *transitionsTotal = nullptr;
+    Gauge *mode = nullptr;
+    Gauge *fallbackResidency = nullptr;
+};
+
 GuardedTelemetryView::GuardedTelemetryView(
     std::shared_ptr<const TelemetryView> inner, GuardConfig config)
     : inner_(std::move(inner)), config_(config)
 {
     ERMS_ASSERT(inner_ != nullptr);
-    ERMS_ASSERT(config_.outlierHistory >= 2);
-    ERMS_ASSERT(config_.outlierMinHistory >= 2);
-    ERMS_ASSERT(config_.relativeGateFactor > 1.0);
-    ERMS_ASSERT(config_.suspectBadCyclesToFallback >= 1);
-    ERMS_ASSERT(config_.recoveryCleanCycles >= 1);
+    validateGuardConfig(config_);
+}
+
+void
+GuardedTelemetryView::retune(const GuardConfig &updated)
+{
+    validateGuardConfig(updated);
+    if (updated.outlierHistory != config_.outlierHistory)
+        throw ErmsError(
+            "GuardedTelemetryView::retune: outlierHistory is structural "
+            "(per-series rings are sized by it) and cannot change live");
+    config_ = updated;
+}
+
+void
+GuardedTelemetryView::bindMetrics(MetricsRegistry &registry)
+{
+    auto bound = std::make_shared<BoundMetrics>();
+    for (int kind = 0; kind < kSeriesKinds; ++kind)
+        for (int reason = 0; reason < kRejectReasons; ++reason)
+            bound->rejects[kind][reason] = &registry.counter(
+                "erms_guard_rejections_total",
+                {{"reason", kRejectReasonNames[reason]},
+                 {"series", kSeriesKindNames[kind]}});
+    for (int edge = 0; edge < kTransitionEdges; ++edge)
+        bound->transitions[edge] = &registry.counter(
+            "erms_guard_transitions_total",
+            {{"from", kTransitionNames[edge][0]},
+             {"to", kTransitionNames[edge][1]}});
+    bound->transitionsTotal =
+        &registry.counter("erms_guard_transitions_total");
+    bound->mode = &registry.gauge("erms_guard_mode");
+    bound->fallbackResidency =
+        &registry.gauge("erms_guard_fallback_residency");
+    bound->mode->set(static_cast<double>(mode_));
+    bound->fallbackResidency->set(0.0);
+    metrics_ = std::move(bound);
+}
+
+void
+GuardedTelemetryView::recordReject(int kind, RejectReason reason) const
+{
+    if (metrics_ == nullptr)
+        return;
+    metrics_->rejects[kind][static_cast<int>(reason)]->inc();
 }
 
 void
@@ -68,6 +186,7 @@ GuardedTelemetryView::beginCycle(SimTime now)
     if (stale)
         ++stats_.staleCycles;
 
+    const GuardMode before = mode_;
     switch (mode_) {
       case GuardMode::Normal:
         if (bad) {
@@ -102,6 +221,29 @@ GuardedTelemetryView::beginCycle(SimTime now)
         ++stats_.suspectCycles;
     else if (mode_ == GuardMode::Fallback)
         ++stats_.fallbackCycles;
+
+    if (mode_ != before)
+        ++stats_.transitions;
+
+    if (metrics_ != nullptr) {
+        if (mode_ != before) {
+            // Edge index matches kTransitionNames: the machine only
+            // takes N→S, S→N, S→F, and F→S (see the state diagram).
+            int edge = -1;
+            if (before == GuardMode::Normal)
+                edge = 0;
+            else if (before == GuardMode::Suspect)
+                edge = mode_ == GuardMode::Normal ? 1 : 2;
+            else
+                edge = 3;
+            metrics_->transitions[edge]->inc();
+            metrics_->transitionsTotal->inc();
+        }
+        metrics_->mode->set(static_cast<double>(mode_));
+        metrics_->fallbackResidency->set(
+            static_cast<double>(stats_.fallbackCycles) /
+            static_cast<double>(stats_.cycles));
+    }
 }
 
 double
@@ -115,9 +257,10 @@ GuardedTelemetryView::guardValue(SeriesKey key, double x,
         return 0.0;
 
     SeriesGuard &guard = series_[key];
-    const auto reject = [&](std::uint64_t &counter) {
+    const auto reject = [&](std::uint64_t &counter, RejectReason reason) {
         ++counter;
         ++cycleRejects_;
+        recordReject(key.first, reason);
         if (guard.hasLastGood) {
             ++stats_.substitutedLastGood;
             return guard.lastGood;
@@ -137,7 +280,7 @@ GuardedTelemetryView::guardValue(SeriesKey key, double x,
     };
 
     if (!std::isfinite(x) || x < 0.0 || x > max_bound)
-        return reject(stats_.rejectedBounds);
+        return reject(stats_.rejectedBounds, RejectReason::Bounds);
 
     // Cold-start dynamics are honestly violent for most series — a
     // bootstrap p95 spike settles 100x, host utilization climbs from
@@ -188,9 +331,10 @@ GuardedTelemetryView::guardValue(SeriesKey key, double x,
                 // of being locked out forever.
                 ++stats_.clampedOutliers;
                 ++cycleRejects_;
+                recordReject(key.first, RejectReason::Clamp);
                 return remember(rel * median);
             }
-            return reject(stats_.rejectedOutliers);
+            return reject(stats_.rejectedOutliers, RejectReason::Outlier);
         }
     }
 

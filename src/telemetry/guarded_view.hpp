@@ -40,11 +40,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "telemetry/view.hpp"
 
 namespace erms::telemetry {
+
+class MetricsRegistry;
 
 /** Health of the observability pipeline as judged by the guard. */
 enum class GuardMode
@@ -89,6 +92,17 @@ struct GuardConfig
     int recoveryCleanCycles = 2;
 };
 
+/**
+ * Reject nonsensical knob combinations loudly at construction time
+ * instead of silently accepting a guard that cannot work: history
+ * depths below 2, an arming threshold above the ring it arms on
+ * (`outlierMinHistory > outlierHistory`), non-positive gate multipliers
+ * or sanity ceilings, a relative gate at or below 1 (which would flag
+ * every value), and state-machine thresholds below one cycle.
+ * @throws ErmsError naming the offending knob.
+ */
+void validateGuardConfig(const GuardConfig &config);
+
 /** Tallies of guard activity (test/bench observability). */
 struct GuardStats
 {
@@ -102,6 +116,8 @@ struct GuardStats
      *  of the raw spike (fail-safe: err high, never low). */
     std::uint64_t clampedOutliers = 0;
     std::uint64_t substitutedLastGood = 0;
+    /** Degraded-mode state-machine transitions (any edge). */
+    std::uint64_t transitions = 0;
 };
 
 /**
@@ -124,6 +140,32 @@ class GuardedTelemetryView : public TelemetryView
      * rejections recorded since the previous cycle.
      */
     void beginCycle(SimTime now);
+
+    /**
+     * Replace the guard's knobs live (the self-tuning loop in
+     * core/controllers.cpp applies AdaptiveGuardTuner decisions through
+     * here). The new config is validated like at construction; the
+     * history depth `outlierHistory` is structural (per-series rings
+     * are sized by it) and must not change. Per-series memory and the
+     * state machine carry over — retuning adjusts thresholds, it does
+     * not forget what the guard has learned.
+     * @throws ErmsError on an invalid config or a changed history depth.
+     */
+    void retune(const GuardConfig &updated);
+
+    /**
+     * Export guard internals as first-class telemetry: per-series-kind
+     * rejection counters (`erms_guard_rejections_total` labelled by
+     * series kind and reason), a state-transition counter per edge plus
+     * a total (`erms_guard_transitions_total`), and gauges for the
+     * current mode and lifetime fallback residency
+     * (`erms_guard_mode`, `erms_guard_fallback_residency`). All series
+     * register eagerly here (registration order is irrelevant —
+     * snapshots sort by name/labels); recording is off-path until bound,
+     * so unbound guards behave byte-identically to before this hook
+     * existed. The registry must outlive the guard.
+     */
+    void bindMetrics(MetricsRegistry &registry);
 
     GuardMode mode() const { return mode_; }
     const GuardStats &stats() const { return stats_; }
@@ -158,6 +200,20 @@ class GuardedTelemetryView : public TelemetryView
     double guardValue(SeriesKey key, double x, double max_bound,
                       bool outlier_gate = true) const;
 
+    /** Reasons a value can be doctored (metric label + counter index). */
+    enum class RejectReason
+    {
+        Bounds = 0,
+        Outlier = 1,
+        Clamp = 2,
+    };
+
+    /** Registered metric handles (null until bindMetrics). */
+    struct BoundMetrics;
+
+    /** Record one rejection into the bound registry (no-op unbound). */
+    void recordReject(int kind, RejectReason reason) const;
+
     mutable std::map<SeriesKey, SeriesGuard> series_;
     mutable GuardStats stats_;
     mutable std::uint64_t cycleRejects_ = 0;
@@ -167,6 +223,7 @@ class GuardedTelemetryView : public TelemetryView
     GuardMode mode_ = GuardMode::Normal;
     int badStreak_ = 0;   ///< consecutive bad cycles in SUSPECT
     int cleanStreak_ = 0; ///< consecutive clean cycles in FALLBACK
+    std::shared_ptr<BoundMetrics> metrics_; ///< null when unbound
 };
 
 } // namespace erms::telemetry

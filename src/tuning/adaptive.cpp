@@ -1,0 +1,276 @@
+#include "tuning/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace erms::tuning {
+
+namespace {
+
+double
+clampTo(double v, const KnobBounds &bounds)
+{
+    return std::min(bounds.hi, std::max(bounds.lo, v));
+}
+
+void
+requireBounds(const KnobBounds &bounds, const char *name)
+{
+    if (!std::isfinite(bounds.lo) || !std::isfinite(bounds.hi) ||
+        bounds.lo > bounds.hi)
+        throw ErmsError(std::string("AdaptiveTunerConfig: bounds for ") +
+                        name + " must satisfy lo <= hi and be finite");
+}
+
+bool
+sameKnobs(const TunedKnobs &a, const TunedKnobs &b)
+{
+    return a.madGateMultiplier == b.madGateMultiplier &&
+           a.maxStalenessMs == b.maxStalenessMs &&
+           a.suspectBadCyclesToFallback == b.suspectBadCyclesToFallback &&
+           a.fallbackOverProvisionFactor ==
+               b.fallbackOverProvisionFactor &&
+           a.fallbackEscalationPerCycle == b.fallbackEscalationPerCycle;
+}
+
+} // namespace
+
+TunedKnobs
+knobsFrom(const telemetry::GuardConfig &guard,
+          double fallback_over_provision_factor,
+          double fallback_escalation_per_cycle)
+{
+    TunedKnobs knobs;
+    knobs.madGateMultiplier = guard.madGateMultiplier;
+    knobs.maxStalenessMs = guard.maxStalenessMs;
+    knobs.suspectBadCyclesToFallback = guard.suspectBadCyclesToFallback;
+    knobs.fallbackOverProvisionFactor = fallback_over_provision_factor;
+    knobs.fallbackEscalationPerCycle = fallback_escalation_per_cycle;
+    return knobs;
+}
+
+void
+validateTunerConfig(const AdaptiveTunerConfig &config)
+{
+    if (config.cooldownCycles < 0)
+        throw ErmsError("AdaptiveTunerConfig: cooldownCycles must be >= 0");
+    if (config.overRejectCycles < 1 || config.missedLieCycles < 1 ||
+        config.staleCleanCycles < 1)
+        throw ErmsError(
+            "AdaptiveTunerConfig: evidence-streak thresholds must be >= 1");
+    if (config.residencyWindow < 1)
+        throw ErmsError("AdaptiveTunerConfig: residencyWindow must be >= 1");
+    if (!(config.fallbackResidencyHigh > 0.0) ||
+        config.fallbackResidencyHigh > 1.0)
+        throw ErmsError(
+            "AdaptiveTunerConfig: fallbackResidencyHigh must be in (0, 1]");
+    if (!(config.gateStep > 1.0) || !std::isfinite(config.gateStep))
+        throw ErmsError("AdaptiveTunerConfig: gateStep must be > 1");
+    if (!(config.stalenessStep > 1.0) ||
+        !std::isfinite(config.stalenessStep))
+        throw ErmsError("AdaptiveTunerConfig: stalenessStep must be > 1");
+    if (!(config.fallbackStep > 0.0) || !std::isfinite(config.fallbackStep))
+        throw ErmsError("AdaptiveTunerConfig: fallbackStep must be > 0");
+    requireBounds(config.madGate, "madGate");
+    requireBounds(config.stalenessMs, "stalenessMs");
+    requireBounds(config.suspectToFallback, "suspectToFallback");
+    requireBounds(config.fallbackFactor, "fallbackFactor");
+    requireBounds(config.fallbackEscalation, "fallbackEscalation");
+    if (config.suspectToFallback.lo < 1.0)
+        throw ErmsError(
+            "AdaptiveTunerConfig: suspectToFallback bounds must be >= 1 "
+            "(the guard requires at least one bad cycle before FALLBACK)");
+    if (config.fallbackFactor.lo < 1.0)
+        throw ErmsError(
+            "AdaptiveTunerConfig: fallbackFactor bounds must be >= 1 "
+            "(an under-provisioning fallback floor is the failure mode "
+            "the guardrails exist to prevent)");
+    if (config.fallbackEscalation.lo < 0.0)
+        throw ErmsError(
+            "AdaptiveTunerConfig: fallbackEscalation bounds must be >= 0");
+    if (config.stalenessMs.lo <= 0.0)
+        throw ErmsError(
+            "AdaptiveTunerConfig: stalenessMs bounds must be positive");
+    if (config.madGate.lo <= 0.0)
+        throw ErmsError(
+            "AdaptiveTunerConfig: madGate bounds must be positive");
+}
+
+AdaptiveGuardTuner::AdaptiveGuardTuner(TunedKnobs initial,
+                                       AdaptiveTunerConfig config)
+    : knobs_(initial), initial_(initial), config_(config)
+{
+    validateTunerConfig(config_);
+    residencyRing_.assign(static_cast<std::size_t>(config_.residencyWindow),
+                          0);
+}
+
+bool
+AdaptiveGuardTuner::commit(const char *rule, const TunedKnobs &next)
+{
+    if (sameKnobs(next, knobs_))
+        return false;
+    knobs_ = next;
+    TunerAdjustment adjustment;
+    adjustment.cycle = cycles_;
+    adjustment.rule = rule;
+    adjustment.knobs = knobs_;
+    adjustments_.push_back(adjustment);
+    cooldown_ = config_.cooldownCycles;
+    return true;
+}
+
+bool
+AdaptiveGuardTuner::observe(const TunerSignals &signals)
+{
+    ++cycles_;
+
+    // --- evidence bookkeeping (always, even while cooling down or
+    // disabled, so a later decision sees the full recent history) -----
+    const bool soft = signals.softRejects > 0;
+    const bool hard = signals.hardRejects > 0;
+    const bool stale = signals.staleCycles > 0;
+
+    const bool soft_only = soft && !hard && !stale;
+    const bool hard_silent = hard && !soft && !stale;
+    // Stale-only evidence counts only while the guard can still see:
+    // a slow-but-honest pipeline observed from NORMAL/SUSPECT justifies
+    // widening the window, but staleness during FALLBACK is an active
+    // incident — widening there would mask it and tear down the
+    // over-provision floor mid-blindness.
+    const bool stale_only =
+        stale && !soft && !hard && !signals.inFallback;
+    const bool stale_noisy = stale && (soft || hard);
+
+    softOnlyStreak_ = soft_only ? softOnlyStreak_ + 1 : 0;
+    hardSilentStreak_ = hard_silent ? hardSilentStreak_ + 1 : 0;
+    staleOnlyStreak_ = stale_only ? staleOnlyStreak_ + 1 : 0;
+    staleNoisyStreak_ = stale_noisy ? staleNoisyStreak_ + 1 : 0;
+    clampsInStreak_ =
+        soft_only ? clampsInStreak_ + signals.upStepClamps : 0;
+
+    // Trailing fallback-residency ring.
+    const char occupied = signals.inFallback ? 1 : 0;
+    residencyCount_ -=
+        static_cast<std::size_t>(residencyRing_[residencyNext_]);
+    residencyRing_[residencyNext_] = occupied;
+    residencyCount_ += static_cast<std::size_t>(occupied);
+    residencyNext_ = (residencyNext_ + 1) % residencyRing_.size();
+    residencyFill_ = std::min(residencyFill_ + 1, residencyRing_.size());
+    const bool ring_full = residencyFill_ == residencyRing_.size();
+    const double residency =
+        static_cast<double>(residencyCount_) /
+        static_cast<double>(residencyRing_.size());
+
+    if (!config_.enabled)
+        return false;
+    if (cooldown_ > 0) {
+        --cooldown_;
+        return false;
+    }
+
+    // --- rule 1: escalate-fallback -----------------------------------
+    if (ring_full && residency >= config_.fallbackResidencyHigh) {
+        TunedKnobs next = knobs_;
+        next.fallbackOverProvisionFactor =
+            clampTo(knobs_.fallbackOverProvisionFactor +
+                        config_.fallbackStep,
+                    config_.fallbackFactor);
+        next.fallbackEscalationPerCycle =
+            clampTo(knobs_.fallbackEscalationPerCycle +
+                        0.5 * config_.fallbackStep,
+                    config_.fallbackEscalation);
+        if (commit("escalate-fallback", next)) {
+            // A fresh full window is required before the next move.
+            std::fill(residencyRing_.begin(), residencyRing_.end(), 0);
+            residencyCount_ = 0;
+            residencyFill_ = 0;
+            return true;
+        }
+    }
+
+    // --- rule 2: relax-fallback --------------------------------------
+    if (ring_full && residencyCount_ == 0 &&
+        (knobs_.fallbackOverProvisionFactor >
+             initial_.fallbackOverProvisionFactor ||
+         knobs_.fallbackEscalationPerCycle >
+             initial_.fallbackEscalationPerCycle)) {
+        TunedKnobs next = knobs_;
+        next.fallbackOverProvisionFactor =
+            std::max(std::max(initial_.fallbackOverProvisionFactor,
+                              config_.fallbackFactor.lo),
+                     knobs_.fallbackOverProvisionFactor -
+                         config_.fallbackStep);
+        next.fallbackEscalationPerCycle =
+            std::max(std::max(initial_.fallbackEscalationPerCycle,
+                              config_.fallbackEscalation.lo),
+                     knobs_.fallbackEscalationPerCycle -
+                         0.5 * config_.fallbackStep);
+        if (commit("relax-fallback", next)) {
+            std::fill(residencyRing_.begin(), residencyRing_.end(), 0);
+            residencyCount_ = 0;
+            residencyFill_ = 0;
+            return true;
+        }
+    }
+
+    // --- rule 3: loosen-gate -----------------------------------------
+    if (softOnlyStreak_ >= config_.overRejectCycles) {
+        TunedKnobs next = knobs_;
+        next.madGateMultiplier = clampTo(
+            knobs_.madGateMultiplier * config_.gateStep, config_.madGate);
+        if (clampsInStreak_ > 0)
+            next.suspectBadCyclesToFallback = static_cast<int>(
+                clampTo(knobs_.suspectBadCyclesToFallback + 1.0,
+                        config_.suspectToFallback));
+        if (commit("loosen-gate", next)) {
+            softOnlyStreak_ = 0;
+            clampsInStreak_ = 0;
+            return true;
+        }
+    }
+
+    // --- rule 4: tighten-gate ----------------------------------------
+    if (hardSilentStreak_ >= config_.missedLieCycles) {
+        TunedKnobs next = knobs_;
+        next.madGateMultiplier = clampTo(
+            knobs_.madGateMultiplier / config_.gateStep, config_.madGate);
+        next.suspectBadCyclesToFallback = static_cast<int>(
+            clampTo(knobs_.suspectBadCyclesToFallback - 1.0,
+                    config_.suspectToFallback));
+        if (commit("tighten-gate", next)) {
+            hardSilentStreak_ = 0;
+            return true;
+        }
+    }
+
+    // --- rule 5: widen-staleness -------------------------------------
+    if (staleOnlyStreak_ >= config_.staleCleanCycles) {
+        TunedKnobs next = knobs_;
+        next.maxStalenessMs =
+            clampTo(knobs_.maxStalenessMs * config_.stalenessStep,
+                    config_.stalenessMs);
+        if (commit("widen-staleness", next)) {
+            staleOnlyStreak_ = 0;
+            return true;
+        }
+    }
+
+    // --- rule 6: narrow-staleness ------------------------------------
+    if (staleNoisyStreak_ >= config_.staleCleanCycles) {
+        TunedKnobs next = knobs_;
+        next.maxStalenessMs =
+            clampTo(knobs_.maxStalenessMs / config_.stalenessStep,
+                    config_.stalenessMs);
+        if (commit("narrow-staleness", next)) {
+            staleNoisyStreak_ = 0;
+            return true;
+        }
+    }
+
+    return false;
+}
+
+} // namespace erms::tuning

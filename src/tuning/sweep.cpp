@@ -1,0 +1,432 @@
+#include "tuning/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runner/parallel_runner.hpp"
+
+namespace erms::tuning {
+
+namespace {
+
+/** Shortest-exact double formatting: %.17g round-trips every finite
+ *  double, keeping sweep JSON byte-stable across worker counts. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Validate one grid value against the knob's domain (mirrors
+ *  validateGuardConfig / validateGuardrailConfig so a bad grid fails
+ *  before any campaign runs, not mid-sweep on a worker thread). */
+void
+requireKnobValue(GuardKnob knob, double value)
+{
+    if (!std::isfinite(value))
+        throw ErmsError(std::string("sweep grid for ") +
+                        guardKnobName(knob) + " contains a non-finite value");
+    switch (knob) {
+    case GuardKnob::MadGateMultiplier:
+    case GuardKnob::MaxStalenessMs:
+        if (value <= 0.0)
+            throw ErmsError(std::string("sweep grid for ") +
+                            guardKnobName(knob) + " must be positive, got " +
+                            fmtDouble(value));
+        break;
+    case GuardKnob::SuspectBadCyclesToFallback:
+        if (value < 1.0 || value != std::floor(value))
+            throw ErmsError("sweep grid for suspect_bad_cycles_to_fallback "
+                            "must hold integers >= 1, got " +
+                            fmtDouble(value));
+        break;
+    case GuardKnob::FallbackOverProvisionFactor:
+        if (value < 1.0)
+            throw ErmsError("sweep grid for fallback_over_provision_factor "
+                            "must be >= 1, got " + fmtDouble(value));
+        break;
+    }
+}
+
+/** Build the cell's campaign: the scenario config with exactly one knob
+ *  moved, forced guarded and non-self-tuned. */
+CampaignConfig
+cellConfig(const SweepScenario &scenario, GuardKnob knob, double value)
+{
+    CampaignConfig config = scenario.config;
+    config.guarded = true;
+    config.selfTuned = false;
+    switch (knob) {
+    case GuardKnob::MadGateMultiplier:
+        config.guard.madGateMultiplier = value;
+        break;
+    case GuardKnob::MaxStalenessMs:
+        config.guard.maxStalenessMs = value;
+        break;
+    case GuardKnob::SuspectBadCyclesToFallback:
+        config.guard.suspectBadCyclesToFallback = static_cast<int>(value);
+        break;
+    case GuardKnob::FallbackOverProvisionFactor:
+        config.fallbackOverProvisionFactor = value;
+        break;
+    }
+    return config;
+}
+
+SweepCell
+measureCell(const SweepScenario &scenario, GuardKnob knob, double value)
+{
+    const CampaignResult result = runCampaign(cellConfig(scenario, knob, value));
+
+    SweepCell cell;
+    cell.knob = knob;
+    cell.value = value;
+    cell.scenario = scenario.label;
+    cell.violationPct = result.violationPct;
+    cell.meanContainers =
+        result.minutes.empty()
+            ? 0.0
+            : result.containerMinutes /
+                  static_cast<double>(result.minutes.size());
+    const auto &g = result.guard;
+    cell.rejectionRate =
+        g.cycles == 0
+            ? 0.0
+            : static_cast<double>(g.rejectedBounds + g.rejectedOutliers +
+                                  g.clampedOutliers) /
+                  static_cast<double>(g.cycles);
+    cell.fallbackResidency =
+        g.cycles == 0 ? 0.0
+                      : static_cast<double>(g.fallbackCycles) /
+                            static_cast<double>(g.cycles);
+    return cell;
+}
+
+/** Fold one curve's knee pick into the default knob vector. */
+void
+applyKnee(TunedKnobs &knobs, const OperatingCurve &curve)
+{
+    switch (curve.knob) {
+    case GuardKnob::MadGateMultiplier:
+        knobs.madGateMultiplier = curve.kneeValue;
+        break;
+    case GuardKnob::MaxStalenessMs:
+        knobs.maxStalenessMs = curve.kneeValue;
+        break;
+    case GuardKnob::SuspectBadCyclesToFallback:
+        knobs.suspectBadCyclesToFallback = static_cast<int>(curve.kneeValue);
+        break;
+    case GuardKnob::FallbackOverProvisionFactor:
+        knobs.fallbackOverProvisionFactor = curve.kneeValue;
+        break;
+    }
+}
+
+/** Install one curve's measured safe bounds into the tuner config. */
+void
+applyBounds(AdaptiveTunerConfig &config, const OperatingCurve &curve)
+{
+    switch (curve.knob) {
+    case GuardKnob::MadGateMultiplier:
+        config.madGate = curve.safeBounds;
+        break;
+    case GuardKnob::MaxStalenessMs:
+        config.stalenessMs = curve.safeBounds;
+        break;
+    case GuardKnob::SuspectBadCyclesToFallback:
+        config.suspectToFallback = curve.safeBounds;
+        break;
+    case GuardKnob::FallbackOverProvisionFactor:
+        config.fallbackFactor = curve.safeBounds;
+        break;
+    }
+}
+
+std::string
+cellJson(const SweepCell &cell)
+{
+    return std::string("{\"knob\": \"") + guardKnobName(cell.knob) +
+           "\", \"value\": " + fmtDouble(cell.value) + ", \"scenario\": \"" +
+           jsonEscape(cell.scenario) +
+           "\", \"violation_pct\": " + fmtDouble(cell.violationPct) +
+           ", \"mean_containers\": " + fmtDouble(cell.meanContainers) +
+           ", \"rejection_rate\": " + fmtDouble(cell.rejectionRate) +
+           ", \"fallback_residency\": " + fmtDouble(cell.fallbackResidency) +
+           "}";
+}
+
+std::string
+curveJson(const OperatingCurve &curve)
+{
+    std::string out = std::string("{\"knob\": \"") + guardKnobName(curve.knob) +
+                      "\", \"knee_index\": " +
+                      std::to_string(curve.kneeIndex) +
+                      ", \"knee_value\": " + fmtDouble(curve.kneeValue) +
+                      ", \"safe_lo\": " + fmtDouble(curve.safeBounds.lo) +
+                      ", \"safe_hi\": " + fmtDouble(curve.safeBounds.hi) +
+                      ", \"points\": [";
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+        const CurvePoint &p = curve.points[i];
+        if (i > 0)
+            out += ", ";
+        out += "{\"value\": " + fmtDouble(p.value) +
+               ", \"violation_pct\": " + fmtDouble(p.violationPct) +
+               ", \"mean_containers\": " + fmtDouble(p.meanContainers) +
+               ", \"rejection_rate\": " + fmtDouble(p.rejectionRate) +
+               ", \"fallback_residency\": " + fmtDouble(p.fallbackResidency) +
+               ", \"cost\": " + fmtDouble(p.cost) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace
+
+const char *
+guardKnobName(GuardKnob knob)
+{
+    switch (knob) {
+    case GuardKnob::MadGateMultiplier:
+        return "mad_gate_multiplier";
+    case GuardKnob::MaxStalenessMs:
+        return "max_staleness_ms";
+    case GuardKnob::SuspectBadCyclesToFallback:
+        return "suspect_bad_cycles_to_fallback";
+    case GuardKnob::FallbackOverProvisionFactor:
+        return "fallback_over_provision_factor";
+    }
+    return "unknown";
+}
+
+SweepScenario
+scenarioFromArchive(const std::string &archive_json, std::string label)
+{
+    SweepScenario scenario;
+    scenario.label = std::move(label);
+    scenario.config = campaignConfigFromArchive(archive_json);
+    return scenario;
+}
+
+OperatingCurve
+reduceCurve(GuardKnob knob, const std::vector<SweepCell> &cells,
+            double cost_weight, double safe_cost_slack)
+{
+    OperatingCurve curve;
+    curve.knob = knob;
+
+    // Group the knob's cells by value, preserving first-seen order
+    // (cells arrive in (value, scenario) order, so this is grid order).
+    std::vector<double> values;
+    for (const SweepCell &cell : cells) {
+        if (cell.knob != knob)
+            continue;
+        if (std::find(values.begin(), values.end(), cell.value) ==
+            values.end())
+            values.push_back(cell.value);
+    }
+    if (values.empty())
+        throw ErmsError(std::string("reduceCurve: no cells for knob ") +
+                        guardKnobName(knob));
+
+    for (double value : values) {
+        CurvePoint point;
+        point.value = value;
+        int n = 0;
+        for (const SweepCell &cell : cells) {
+            if (cell.knob != knob || cell.value != value)
+                continue;
+            point.violationPct += cell.violationPct;
+            point.meanContainers += cell.meanContainers;
+            point.rejectionRate += cell.rejectionRate;
+            point.fallbackResidency += cell.fallbackResidency;
+            ++n;
+        }
+        point.violationPct /= n;
+        point.meanContainers /= n;
+        point.rejectionRate /= n;
+        point.fallbackResidency /= n;
+        curve.points.push_back(point);
+    }
+
+    // Scalarize: min-max-normalize violation and container cost over the
+    // curve (a flat metric contributes zero) and weight them.
+    double vLo = curve.points.front().violationPct, vHi = vLo;
+    double cLo = curve.points.front().meanContainers, cHi = cLo;
+    for (const CurvePoint &p : curve.points) {
+        vLo = std::min(vLo, p.violationPct);
+        vHi = std::max(vHi, p.violationPct);
+        cLo = std::min(cLo, p.meanContainers);
+        cHi = std::max(cHi, p.meanContainers);
+    }
+    const double vSpan = vHi - vLo;
+    const double cSpan = cHi - cLo;
+    for (CurvePoint &p : curve.points) {
+        const double vNorm = vSpan > 0.0 ? (p.violationPct - vLo) / vSpan : 0.0;
+        const double cNorm =
+            cSpan > 0.0 ? (p.meanContainers - cLo) / cSpan : 0.0;
+        p.cost = vNorm + cost_weight * cNorm;
+    }
+
+    // Knee: cost-minimizing value; ties resolve to the first (grid
+    // order), keeping the pick deterministic.
+    curve.kneeIndex = 0;
+    for (std::size_t i = 1; i < curve.points.size(); ++i)
+        if (curve.points[i].cost < curve.points[curve.kneeIndex].cost)
+            curve.kneeIndex = i;
+    curve.kneeValue = curve.points[curve.kneeIndex].value;
+
+    // Safe bounds: the contiguous run around the knee whose cost stays
+    // within the slack. Sort indices by value first so "contiguous"
+    // means contiguous on the knob axis even for unsorted grids.
+    std::vector<std::size_t> order(curve.points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return curve.points[a].value < curve.points[b].value;
+                     });
+    const std::size_t kneePos = static_cast<std::size_t>(
+        std::find(order.begin(), order.end(), curve.kneeIndex) -
+        order.begin());
+    const double limit = curve.points[curve.kneeIndex].cost + safe_cost_slack;
+    std::size_t lo = kneePos, hi = kneePos;
+    while (lo > 0 && curve.points[order[lo - 1]].cost <= limit)
+        --lo;
+    while (hi + 1 < order.size() && curve.points[order[hi + 1]].cost <= limit)
+        ++hi;
+    curve.safeBounds.lo = curve.points[order[lo]].value;
+    curve.safeBounds.hi = curve.points[order[hi]].value;
+    return curve;
+}
+
+GuardSweepResult
+runGuardSweep(const GuardSweepConfig &config)
+{
+    if (config.scenarios.empty())
+        throw ErmsError("runGuardSweep: no scenarios");
+    if (config.grids.empty())
+        throw ErmsError("runGuardSweep: no knob grids");
+    if (!(config.costWeight >= 0.0) || !std::isfinite(config.costWeight))
+        throw ErmsError("runGuardSweep: costWeight must be >= 0 and finite");
+    if (!(config.safeCostSlack >= 0.0) || !std::isfinite(config.safeCostSlack))
+        throw ErmsError("runGuardSweep: safeCostSlack must be >= 0 and finite");
+    for (const KnobGrid &grid : config.grids) {
+        if (grid.values.empty())
+            throw ErmsError(std::string("runGuardSweep: empty grid for ") +
+                            guardKnobName(grid.knob));
+        for (double value : grid.values)
+            requireKnobValue(grid.knob, value);
+    }
+
+    // Fan out every (grid, value, scenario) cell; runAll returns results
+    // in task order regardless of worker count, so the cell vector — and
+    // everything reduced from it — is byte-stable across
+    // ERMS_RUNNER_THREADS.
+    std::vector<std::function<SweepCell()>> tasks;
+    for (const KnobGrid &grid : config.grids)
+        for (double value : grid.values)
+            for (const SweepScenario &scenario : config.scenarios)
+                tasks.push_back([&scenario, knob = grid.knob, value] {
+                    return measureCell(scenario, knob, value);
+                });
+
+    ParallelRunner runner(RunnerOptions{config.runnerWorkers});
+    GuardSweepResult result;
+    result.cells = runner.runAll(std::move(tasks));
+
+    for (const KnobGrid &grid : config.grids) {
+        OperatingCurve curve = reduceCurve(grid.knob, result.cells,
+                                           config.costWeight,
+                                           config.safeCostSlack);
+        applyKnee(result.tunedKnobs, curve);
+        applyBounds(result.tunerConfig, curve);
+        result.curves.push_back(std::move(curve));
+    }
+
+    // A one-point (or degenerate) safe range still has to admit the
+    // knee and the tuner's step directions; widen nothing — bounds are
+    // exactly what the sweep measured, the tuner just can't move a knob
+    // whose safe range collapsed to a point.
+    validateTunerConfig(result.tunerConfig);
+    return result;
+}
+
+std::string
+sweepToJson(const GuardSweepConfig &config, const GuardSweepResult &result)
+{
+    std::string out = "{\n";
+    out += "  \"cost_weight\": " + fmtDouble(config.costWeight) + ",\n";
+    out += "  \"safe_cost_slack\": " + fmtDouble(config.safeCostSlack) + ",\n";
+
+    out += "  \"scenarios\": [";
+    for (std::size_t i = 0; i < config.scenarios.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "\"" + jsonEscape(config.scenarios[i].label) + "\"";
+    }
+    out += "],\n";
+
+    out += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        out += "    " + cellJson(result.cells[i]);
+        if (i + 1 < result.cells.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ],\n";
+
+    out += "  \"curves\": [\n";
+    for (std::size_t i = 0; i < result.curves.size(); ++i) {
+        out += "    " + curveJson(result.curves[i]);
+        if (i + 1 < result.curves.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ],\n";
+
+    const TunedKnobs &k = result.tunedKnobs;
+    out += "  \"tuned_knobs\": {\"mad_gate_multiplier\": " +
+           fmtDouble(k.madGateMultiplier) +
+           ", \"max_staleness_ms\": " + fmtDouble(k.maxStalenessMs) +
+           ", \"suspect_bad_cycles_to_fallback\": " +
+           std::to_string(k.suspectBadCyclesToFallback) +
+           ", \"fallback_over_provision_factor\": " +
+           fmtDouble(k.fallbackOverProvisionFactor) +
+           ", \"fallback_escalation_per_cycle\": " +
+           fmtDouble(k.fallbackEscalationPerCycle) + "},\n";
+
+    const AdaptiveTunerConfig &t = result.tunerConfig;
+    out += "  \"tuner_bounds\": {\"mad_gate\": [" + fmtDouble(t.madGate.lo) +
+           ", " + fmtDouble(t.madGate.hi) + "], \"staleness_ms\": [" +
+           fmtDouble(t.stalenessMs.lo) + ", " + fmtDouble(t.stalenessMs.hi) +
+           "], \"suspect_to_fallback\": [" +
+           fmtDouble(t.suspectToFallback.lo) + ", " +
+           fmtDouble(t.suspectToFallback.hi) + "], \"fallback_factor\": [" +
+           fmtDouble(t.fallbackFactor.lo) + ", " +
+           fmtDouble(t.fallbackFactor.hi) + "], \"fallback_escalation\": [" +
+           fmtDouble(t.fallbackEscalation.lo) + ", " +
+           fmtDouble(t.fallbackEscalation.hi) + "]}\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace erms::tuning

@@ -326,6 +326,38 @@ TEST(TelemetryChaosInjector, ClockSkewShiftsObservedStaleness)
 // GuardedTelemetryView: rejection, memory, state machine
 // ---------------------------------------------------------------------
 
+TEST(TelemetryGuardConfig, RejectsNonsensicalKnobCombinations)
+{
+    // One loud rejection per validation rule: a guard constructed from
+    // a config that cannot work must throw at construction, not
+    // misbehave silently later (docs/self_tuning.md).
+    const auto expectThrow = [](auto mutate) {
+        GuardConfig config;
+        mutate(config);
+        EXPECT_THROW(telemetry::validateGuardConfig(config), ErmsError);
+        auto scripted = std::make_shared<ScriptedView>();
+        EXPECT_THROW(GuardedTelemetryView(scripted, config), ErmsError);
+    };
+    expectThrow([](auto &c) { c.outlierHistory = 1; });
+    expectThrow([](auto &c) { c.outlierMinHistory = 1; });
+    expectThrow([](auto &c) { c.outlierMinHistory = c.outlierHistory + 1; });
+    expectThrow([](auto &c) { c.maxStalenessMs = 0.0; });
+    expectThrow([](auto &c) {
+        c.maxStalenessMs = std::numeric_limits<double>::infinity();
+    });
+    expectThrow([](auto &c) { c.maxRateRpm = -1.0; });
+    expectThrow([](auto &c) { c.maxLatencyMs = 0.0; });
+    expectThrow([](auto &c) { c.maxInterferenceUtil = 0.0; });
+    expectThrow([](auto &c) { c.madGateMultiplier = 0.0; });
+    expectThrow([](auto &c) {
+        c.madGateMultiplier = std::numeric_limits<double>::quiet_NaN();
+    });
+    expectThrow([](auto &c) { c.relativeGateFactor = 1.0; });
+    expectThrow([](auto &c) { c.suspectBadCyclesToFallback = 0; });
+    expectThrow([](auto &c) { c.recoveryCleanCycles = 0; });
+    telemetry::validateGuardConfig({}); // the default is valid
+}
+
 TEST(TelemetryGuard, BoundsRejectionSubstitutesLastGood)
 {
     auto scripted = std::make_shared<ScriptedView>();
